@@ -1,0 +1,52 @@
+"""Figure 10: throughput CDFs, two single-antenna AP/client pairs.
+
+Paper legend means (Mbit/s): CSMA 47.7, COPA-SEQ 51.6, COPA fair 53.3,
+COPA 54.7, COPA+ fair 53.7, COPA+ 55.0.  Shape: COPA-SEQ's power
+allocation and subcarrier selection beat CSMA; concurrency adds only a
+little without nulling; the fair and greedy variants are close; COPA+ is
+a small further step.
+"""
+
+import numpy as np
+
+from repro.sim.metrics import cdf
+
+from conftest import cdf_table, write_result
+
+PAPER = {
+    "csma": 47.7,
+    "copa_seq": 51.6,
+    "copa_fair": 53.3,
+    "copa": 54.7,
+    "copa_plus_fair": 53.7,
+    "copa_plus": 55.0,
+}
+KEYS = ("csma", "copa_seq", "copa_fair", "copa", "copa_plus_fair", "copa_plus")
+
+
+def test_fig10_single_antenna_cdfs(benchmark, result_1x1):
+    table = cdf_table(result_1x1, KEYS, PAPER)
+
+    lines = [table, "CDF series (Mbps @ cumulative probability):"]
+    for key in KEYS:
+        values, probs = cdf(result_1x1.series_mbps(key))
+        points = "  ".join(f"{v:.1f}@{p:.2f}" for v, p in zip(values, probs))
+        lines.append(f"{key}: {points}")
+    write_result("fig10_single_antenna.txt", "\n".join(lines) + "\n")
+
+    benchmark(lambda: result_1x1.mean_table_mbps())
+
+    csma = result_1x1.series_mbps("csma").mean()
+    seq = result_1x1.series_mbps("copa_seq").mean()
+    fair = result_1x1.series_mbps("copa_fair").mean()
+    copa = result_1x1.series_mbps("copa").mean()
+    plus = result_1x1.series_mbps("copa_plus").mean()
+
+    # Paper ordering: CSMA < COPA-SEQ <= COPA fair <= COPA, COPA+ >= COPA-ish.
+    assert csma < seq
+    assert seq <= fair * 1.02
+    assert fair <= copa + 1e-9
+    assert plus >= copa * 0.97
+    # Magnitudes within ~25% of the paper's testbed.
+    assert abs(csma - PAPER["csma"]) / PAPER["csma"] < 0.25
+    assert abs(copa - PAPER["copa"]) / PAPER["copa"] < 0.3

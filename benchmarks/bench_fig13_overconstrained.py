@@ -1,0 +1,63 @@
+"""Figure 13: the overconstrained 3×2 scenario with shut-down-antenna.
+
+Paper legend means (Mbit/s): CSMA 104.1, COPA-SEQ 108.9, Null+SDA 87.4,
+COPA fair 117.8, COPA 121.6, COPA+ fair 122.9, COPA+ 126.4.  Shape:
+Null+SDA alone loses to CSMA; COPA (with SDA among its strategies) beats
+CSMA by ~13-17%; a sizable minority of topologies pick concurrency.
+"""
+
+import numpy as np
+
+from repro.core.strategy import SCHEME_CONC_NULL, SCHEME_CONC_SDA
+from repro.sim.metrics import cdf, compare
+
+from conftest import cdf_table, write_result
+
+PAPER = {
+    "csma": 104.1,
+    "copa_seq": 108.9,
+    "null": 87.4,
+    "copa_fair": 117.8,
+    "copa": 121.6,
+    "copa_plus_fair": 122.9,
+    "copa_plus": 126.4,
+}
+KEYS = ("csma", "copa_seq", "null", "copa_fair", "copa", "copa_plus_fair", "copa_plus")
+
+
+def test_fig13_overconstrained_cdfs(benchmark, result_3x2):
+    table = cdf_table(result_3x2, KEYS, PAPER)
+    lines = [table, "CDF series (Mbps @ cumulative probability):"]
+    for key in KEYS:
+        values, probs = cdf(result_3x2.series_mbps(key))
+        points = "  ".join(f"{v:.1f}@{p:.2f}" for v, p in zip(values, probs))
+        lines.append(f"{key}: {points}")
+
+    concurrent_choices = sum(
+        1
+        for record in result_3x2.records
+        if record.outcome.copa_choice in (SCHEME_CONC_SDA, SCHEME_CONC_NULL)
+    )
+    fraction = concurrent_choices / len(result_3x2.records)
+    lines.append("")
+    lines.append(
+        f"concurrent strategies chosen in {fraction:.0%} of topologies (paper: ~40%)"
+    )
+    write_result("fig13_overconstrained.txt", "\n".join(lines) + "\n")
+
+    benchmark(lambda: result_3x2.mean_table_mbps())
+
+    csma = result_3x2.series_mbps("csma")
+    null_sda = result_3x2.series_mbps("null")
+    copa = result_3x2.series_mbps("copa")
+    fair = result_3x2.series_mbps("copa_fair")
+
+    # §4.5 shapes.
+    assert null_sda.mean() < csma.mean(), "Null+SDA alone doesn't reach CSMA"
+    assert copa.mean() > csma.mean(), "COPA beats CSMA (paper: +17%)"
+    assert fair.mean() > csma.mean(), "COPA fair beats CSMA (paper: +13%)"
+    assert fair.mean() <= copa.mean() + 1e-9
+    assert fraction > 0.15, "a meaningful share of topologies go concurrent"
+    # Magnitudes within ~25%.
+    assert abs(csma.mean() - PAPER["csma"]) / PAPER["csma"] < 0.25
+    assert abs(copa.mean() - PAPER["copa"]) / PAPER["copa"] < 0.25

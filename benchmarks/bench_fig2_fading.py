@@ -1,0 +1,54 @@
+"""Figure 2: per-subcarrier received power at two antennas.
+
+Paper shape: with equal power per subcarrier, the received power from one
+send antenna varies by tens of dB across the band, and the two receive
+antennas (half a wavelength apart) fade independently.
+"""
+
+import numpy as np
+
+from repro.phy.channel import ChannelModel
+from repro.phy.topology import TopologyGenerator
+from repro.sim.network import per_subcarrier_rx_power_dbm
+
+from conftest import write_result
+
+
+def _one_realization(seed=2):
+    rng = np.random.default_rng(seed)
+    topology = TopologyGenerator().sample(rng, ap_antennas=1, client_antennas=2)
+    return ChannelModel().realize(topology, rng)
+
+
+def test_fig2_per_subcarrier_power(benchmark):
+    channels = _one_realization()
+    powers = benchmark(per_subcarrier_rx_power_dbm, channels, "AP1", "C1")
+
+    spread_ant1 = float(np.ptp(powers[0]))
+    spread_ant2 = float(np.ptp(powers[1]))
+    correlation = float(np.corrcoef(powers[0], powers[1])[0, 1])
+
+    lines = ["subcarrier  ant1_dBm  ant2_dBm"]
+    for k in range(powers.shape[1]):
+        lines.append(f"{k:>10}  {powers[0, k]:>8.1f}  {powers[1, k]:>8.1f}")
+    lines.append("")
+    lines.append(f"spread ant1: {spread_ant1:.1f} dB   spread ant2: {spread_ant2:.1f} dB")
+    lines.append(f"antenna correlation: {correlation:.2f}")
+    lines.append("paper shape: 20-30 dB swings, antennas fade differently")
+    write_result("fig2_fading.txt", "\n".join(lines) + "\n")
+
+    # Paper shape: deep narrow-band fades, antennas decorrelated.
+    assert spread_ant1 > 8.0 or spread_ant2 > 8.0
+    assert correlation < 0.98
+
+
+def test_fig2_statistics_across_realizations(benchmark):
+    def spreads():
+        out = []
+        for seed in range(12):
+            powers = per_subcarrier_rx_power_dbm(_one_realization(seed), "AP1", "C1")
+            out.append(np.ptp(powers[0]))
+        return np.asarray(out)
+
+    values = benchmark(spreads)
+    assert values.mean() > 10.0

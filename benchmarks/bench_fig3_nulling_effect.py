@@ -1,0 +1,63 @@
+"""Figure 3: end-to-end effect of nulling on SINR, SNR and INR.
+
+Paper numbers (30 indoor 4×2 topologies): INR reduction ≈ 27 dB mean,
+SNR ("collateral damage") reduction ≈ 8 dB, net SINR increase ≈ 18 dB.
+Shape requirement: large positive INR reduction, a clearly positive but
+much smaller SNR reduction, positive net SINR gain.
+"""
+
+import numpy as np
+
+from repro.sim.experiment import ScenarioSpec, generate_channel_sets
+from repro.sim.network import measure_nulling_effect
+
+from conftest import write_result
+
+PAPER = {"inr_reduction": 27.0, "snr_reduction": 8.0, "sinr_increase": 18.0}
+
+
+def _measure_all(config):
+    sets = generate_channel_sets(ScenarioSpec("4x2", 4, 2), config)
+    imperfections = config.imperfections()
+    effects = []
+    for index, channels in enumerate(sets):
+        for client_index in (0, 1):
+            effects.append(
+                measure_nulling_effect(
+                    channels,
+                    imperfections,
+                    np.random.default_rng(7000 + index),
+                    client_index=client_index,
+                )
+            )
+    return effects
+
+
+def test_fig3_nulling_statistics(benchmark, config):
+    effects = _measure_all(config)
+
+    def kernel():
+        # The timed unit: one topology's full nulling measurement.
+        sets = generate_channel_sets(ScenarioSpec("4x2", 4, 2), config.with_(n_topologies=1))
+        return measure_nulling_effect(sets[0], config.imperfections(), np.random.default_rng(0))
+
+    benchmark(kernel)
+
+    inr = np.array([e.inr_reduction_db for e in effects])
+    snr = np.array([e.snr_reduction_db for e in effects])
+    sinr = np.array([e.sinr_increase_db for e in effects])
+
+    rows = [
+        f"{'quantity':<16}{'paper dB':>10}{'measured dB':>14}{'std':>8}",
+        f"{'INR reduction':<16}{PAPER['inr_reduction']:>10.1f}{inr.mean():>14.1f}{inr.std():>8.1f}",
+        f"{'SNR reduction':<16}{PAPER['snr_reduction']:>10.1f}{snr.mean():>14.1f}{snr.std():>8.1f}",
+        f"{'SINR increase':<16}{PAPER['sinr_increase']:>10.1f}{sinr.mean():>14.1f}{sinr.std():>8.1f}",
+    ]
+    write_result("fig3_nulling_effect.txt", "\n".join(rows) + "\n")
+
+    # Shape assertions.
+    assert 18.0 < inr.mean() < 36.0, "INR reduction should be near the paper's 27 dB"
+    assert 0.0 < snr.mean() < inr.mean(), "collateral damage positive but smaller"
+    assert sinr.mean() > 0.0, "nulling must improve SINR on average"
+    # The paper notes reductions 'generally do not exceed 30 dB'.
+    assert np.median(inr) < 35.0

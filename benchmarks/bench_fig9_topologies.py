@@ -1,0 +1,44 @@
+"""Figure 9: signal power vs interference power across the testbed.
+
+Paper shape: each receiver is one point; signal spans roughly −70 to
+−30 dBm; most (but not all) points lie below the x = y line — the signal
+of interest is usually stronger than the interference — with a wide mix
+of interference strengths and a few obstructed outliers.
+"""
+
+import numpy as np
+
+from repro.sim.experiment import ScenarioSpec, generate_channel_sets
+
+from conftest import write_result
+
+
+def test_fig9_scatter(benchmark, config):
+    def collect():
+        sets = generate_channel_sets(ScenarioSpec("4x2", 4, 2), config)
+        points = []
+        for channels in sets:
+            points.extend(channels.topology.signal_and_interference_dbm())
+        return np.asarray(points)
+
+    points = benchmark(collect)
+    signal, interference = points[:, 0], points[:, 1]
+
+    lines = ["signal_dBm  interference_dBm"]
+    for s, i in points:
+        lines.append(f"{s:>10.1f}  {i:>16.1f}")
+    below = float(np.mean(signal > interference))
+    lines.append("")
+    lines.append(f"points: {len(points)} (2 per topology)")
+    lines.append(f"signal range: {signal.min():.1f} .. {signal.max():.1f} dBm")
+    lines.append(f"interference range: {interference.min():.1f} .. {interference.max():.1f} dBm")
+    lines.append(f"signal > interference in {below:.0%} of points (paper: most, not all)")
+    write_result("fig9_topologies.txt", "\n".join(lines) + "\n")
+
+    assert len(points) == 2 * config.n_topologies
+    # Paper shape: wide dynamic range, mostly below the x = y line.
+    assert signal.min() < -40 and signal.max() > -50
+    assert np.ptp(signal) > 15
+    assert 0.55 < below <= 1.0
+    # Interference is real: within ~35 dB of the signal for most points.
+    assert np.median(signal - interference) < 35

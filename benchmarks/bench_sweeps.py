@@ -1,0 +1,80 @@
+"""Generalizing the paper's operating points: environment sweeps.
+
+* Coherence time (Table 1's axis, carried to end-to-end throughput):
+  COPA's net win over CSMA grows as the channel gets more static.
+* Interference strength (§4.4's single −10 dB point, as a curve).
+* Antenna configuration (the §4 progression 1×1 → 2×2 → 3×2 → 4×2).
+"""
+
+import numpy as np
+
+from repro.sim.experiment import ScenarioSpec
+from repro.sim.sweep import (
+    sweep_antenna_configurations,
+    sweep_coherence_time,
+    sweep_interference,
+)
+
+from conftest import write_result
+
+N_TOPOLOGIES = 10
+
+
+def test_sweep_coherence(benchmark, config):
+    small = config.with_(n_topologies=N_TOPOLOGIES)
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    sweep = sweep_coherence_time((0.004, 0.030, 0.120, 1.0), spec=spec, config=small)
+    benchmark(lambda: sweep.gains("copa"))
+
+    lines = [f"{'coherence s':<12}{'csma':>8}{'copa':>8}{'copa gain':>11}"]
+    for point in sweep.points:
+        lines.append(
+            f"{point.parameter:<12g}{point.means_mbps['csma']:>8.1f}"
+            f"{point.means_mbps['copa']:>8.1f}{point.gain_over_csma():>10.0%}"
+        )
+    write_result("sweep_coherence.txt", "\n".join(lines) + "\n")
+
+    gains = sweep.gains("copa")
+    assert gains[-1] >= gains[0]  # overhead amortizes away
+    _, csma = sweep.series("csma")
+    assert np.ptp(csma) / csma.mean() < 0.01  # CSMA does not care
+
+
+def test_sweep_interference(benchmark, config):
+    small = config.with_(n_topologies=N_TOPOLOGIES)
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    sweep = sweep_interference((0.0, -5.0, -10.0, -20.0), spec=spec, config=small)
+    benchmark(lambda: sweep.gains("copa"))
+
+    lines = [f"{'offset dB':<10}{'csma':>8}{'null':>8}{'copa':>8}{'copa gain':>11}"]
+    for point in sweep.points:
+        lines.append(
+            f"{point.parameter:<10g}{point.means_mbps['csma']:>8.1f}"
+            f"{point.means_mbps['null']:>8.1f}{point.means_mbps['copa']:>8.1f}"
+            f"{point.gain_over_csma():>10.0%}"
+        )
+    write_result("sweep_interference.txt", "\n".join(lines) + "\n")
+
+    _, null = sweep.series("null")
+    assert null[-1] > null[0], "weaker interference rescues vanilla nulling"
+    gains = sweep.gains("copa")
+    assert gains[-1] > gains[0], "COPA's concurrency gain grows"
+
+
+def test_sweep_antennas(benchmark, config):
+    small = config.with_(n_topologies=N_TOPOLOGIES)
+    sweep = sweep_antenna_configurations(((1, 1), (2, 2), (3, 2), (4, 2)), config=small)
+    benchmark(lambda: sweep.gains("copa"))
+
+    lines = [f"{'config':<8}{'csma':>8}{'copa':>8}{'copa gain':>11}"]
+    labels = ("1x1", "2x2", "3x2", "4x2")
+    for label, point in zip(labels, sweep.points):
+        lines.append(
+            f"{label:<8}{point.means_mbps['csma']:>8.1f}"
+            f"{point.means_mbps['copa']:>8.1f}{point.gain_over_csma():>10.0%}"
+        )
+    write_result("sweep_antennas.txt", "\n".join(lines) + "\n")
+
+    _, copa = sweep.series("copa")
+    assert np.all(np.diff(copa) > -5.0)  # throughput grows with antennas
+    assert copa[-1] > copa[0] * 1.5

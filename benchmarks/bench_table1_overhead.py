@@ -1,0 +1,68 @@
+"""Table 1: throughput costs of MAC overhead vs coherence time.
+
+Paper rows (%, coherence 4 / 30 / 1000 ms):
+    COPA Conc   9.3 / 5.1 / 4.5
+    COPA Seq    7.7 / 3.5 / 2.8
+    CSMA CTS    2.7 (constant)
+    RTS/CTS     3.7 (constant)
+Shape: COPA overheads fall with coherence time; concurrent ≥ sequential;
+CSMA variants constant; ordering at every row preserved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mac.its import ItsSimulator
+from repro.mac.timing import MacOverheadModel, table1_rows
+
+from conftest import write_result
+
+PAPER = {
+    4.0: (9.3, 7.7, 2.7, 3.7),
+    30.0: (5.1, 3.5, 2.7, 3.7),
+    1000.0: (4.5, 2.8, 2.7, 3.7),
+}
+
+
+def test_table1_analytic(benchmark):
+    rows = benchmark(table1_rows)
+
+    lines = [
+        f"{'coherence ms':<14}{'conc %':>16}{'seq %':>16}{'cts %':>16}{'rts/cts %':>16}",
+        f"{'':<14}{'paper/meas':>16}{'paper/meas':>16}{'paper/meas':>16}{'paper/meas':>16}",
+    ]
+    for tc, row in rows.items():
+        p = PAPER[tc]
+        lines.append(
+            f"{tc:<14g}"
+            f"{f'{p[0]:.1f}/{row.copa_concurrent * 100:.1f}':>16}"
+            f"{f'{p[1]:.1f}/{row.copa_sequential * 100:.1f}':>16}"
+            f"{f'{p[2]:.1f}/{row.csma * 100:.1f}':>16}"
+            f"{f'{p[3]:.1f}/{row.rts_cts * 100:.1f}':>16}"
+        )
+    write_result("table1_overhead.txt", "\n".join(lines) + "\n")
+
+    for tc, row in rows.items():
+        conc, seq, cts, rts = PAPER[tc]
+        assert row.copa_concurrent * 100 == pytest.approx(conc, abs=1.5)
+        assert row.copa_sequential * 100 == pytest.approx(seq, abs=1.5)
+        assert row.csma * 100 == pytest.approx(cts, abs=0.5)
+        assert row.rts_cts * 100 == pytest.approx(rts, abs=0.5)
+    # Trend assertions.
+    overheads = [rows[tc].copa_concurrent for tc in (4.0, 30.0, 1000.0)]
+    assert overheads[0] > overheads[1] > overheads[2]
+
+
+def test_table1_simulated_exchange_agrees(benchmark):
+    """The frame-by-frame ITS simulator must land on the analytic numbers."""
+    model = MacOverheadModel()
+
+    def simulate():
+        sim = ItsSimulator(
+            "AP1", "AP2", {"AP1": "C1", "AP2": "C2"}, timing=model, coherence_s=0.030
+        )
+        return sim.run(80)
+
+    stats = benchmark(simulate)
+    analytic = model.copa_overhead(0.030, concurrent=True)
+    assert stats.overhead_fraction == pytest.approx(analytic, abs=0.005)

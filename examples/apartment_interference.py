@@ -1,0 +1,75 @@
+"""Two apartments sharing a wall: a COPA session over wall-clock time.
+
+The paper's motivating scenario (§1): two Wi-Fi networks owned by
+different tenants interfere.  This example runs the full control plane —
+contention, leader election, the ITS INIT/REQ/ACK exchange with real
+compressed-CSI payload sizes, strategy selection once per coherence
+interval — for half a second of simulated air time, then reports what the
+two households actually got, with and without COPA's incentive-compatible
+fairness rule.
+
+Run:  python examples/apartment_interference.py
+"""
+
+import numpy as np
+
+from repro import ChannelModel, TopologyGenerator
+from repro.core import CopaSession
+from repro.phy.topology import Node, Topology, PathLossModel
+
+
+def build_apartment_topology() -> Topology:
+    """Two 4-antenna APs in adjacent apartments, one client each.
+
+    The wall between the apartments adds 8 dB to every cross link.
+    """
+    loss = PathLossModel()
+    wall_db = 8.0
+    aps = [Node("AP1", (2.0, 2.0), 4), Node("AP2", (9.0, 2.5), 4)]
+    clients = [Node("C1", (4.5, 4.0), 2), Node("C2", (6.8, 4.5), 2)]
+    topology = Topology(aps=aps, clients=clients)
+    nodes = aps + clients
+    same_side = {"AP1": 0, "C1": 0, "AP2": 1, "C2": 1}
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            crosses_wall = same_side[a.name] != same_side[b.name]
+            penalty = wall_db if crosses_wall else 0.0
+            topology.link_gain_db[(a.name, b.name)] = -(
+                loss.path_loss_db(a.distance_to(b)) + penalty
+            )
+    return topology
+
+
+def run_session(channels, fair: bool, seed: int):
+    session = CopaSession(channels, fair=fair, rng=np.random.default_rng(seed))
+    records = session.run(duration_s=0.5)
+    return session, records
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    topology = build_apartment_topology()
+    channels = ChannelModel().realize(topology, rng)
+
+    print("Apartment topology (8 dB wall on cross links):")
+    for i, (signal, interference) in enumerate(topology.signal_and_interference_dbm()):
+        print(f"  household {i + 1}: signal {signal:.1f} dBm, interference {interference:.1f} dBm")
+
+    for fair in (False, True):
+        session, records = run_session(channels, fair, seed=3)
+        t1, t2 = CopaSession.throughput_mbps(records)
+        schemes = {}
+        for record in records:
+            schemes[record.scheme] = schemes.get(record.scheme, 0) + 1
+        refreshes = sum(r.csi_refreshed for r in records)
+        control_kib = sum(r.control_bytes for r in records) / 1024
+        label = "COPA fair" if fair else "COPA     "
+        print(f"\n{label}: household1 {t1:.1f} Mbps, household2 {t2:.1f} Mbps "
+              f"(aggregate {t1 + t2:.1f})")
+        print(f"  TXOPs: {len(records)}, strategies used: {schemes}")
+        print(f"  CSI refreshes: {refreshes} (once per 30 ms coherence window)")
+        print(f"  control-plane bytes on air: {control_kib:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

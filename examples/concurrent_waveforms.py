@@ -1,0 +1,92 @@
+"""The paper's testbed experiment, sample by sample.
+
+Two 4-antenna APs transmit two spatial streams each, concurrently.  Client
+C1 (2 antennas) receives the floating-point sum of both waveforms — the
+paper's record-separately-revert-AGC-and-combine methodology — estimates
+its channel from HT-LTF-style training, MMSE-filters, and soft-decodes.
+
+With AP2 beamforming selfishly, C1's two antennas face four incoming
+streams and reception collapses; with AP2 nulling toward C1 (computed
+from noisy CSI, so the null is imperfect), C1 decodes cleanly.  This is
+Figure 1's scenario executed at the waveform level.
+
+Run:  python examples/concurrent_waveforms.py
+"""
+
+import numpy as np
+
+from repro.phy.constants import MCS_TABLE, N_FFT
+from repro.phy.fading import TappedDelayLine, exponential_pdp
+from repro.phy.mimo import nulling_precoder, svd_beamformer
+from repro.phy.mimo_transceiver import MimoTransceiver
+from repro.phy.noise import ImperfectionModel
+from repro.phy.ofdm import data_subcarrier_bins
+from repro.util import linear_to_db
+
+SNR_DB = 28.0
+
+
+def mimo_taps(rng):
+    pdp = exponential_pdp(60e-9, n_taps=10, tap_spacing_s=50e-9)
+    return TappedDelayLine.sample(2, 4, pdp, rng).taps
+
+
+def freq(taps):
+    return np.fft.fft(taps, N_FFT, axis=0)[data_subcarrier_bins(52)]
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    ap1_to_c1 = mimo_taps(rng)
+    ap2_to_c1 = mimo_taps(rng)
+    ap2_to_c2 = mimo_taps(rng)
+    h11, h21, h22 = freq(ap1_to_c1), freq(ap2_to_c1), freq(ap2_to_c2)
+
+    imperfections = ImperfectionModel()  # −26 dB CSI error, as calibrated
+    noisy_h21 = imperfections.measure_csi(h21, rng)
+
+    trx = MimoTransceiver(mcs=MCS_TABLE[3], n_ofdm_symbols=10)  # 16-QAM 1/2
+    powers = np.ones((52, 2))
+    precoder1 = svd_beamformer(h11, 2)
+
+    print(f"Concurrent 4x2 transmission at {SNR_DB:.0f} dB SNR, 16-QAM 1/2, "
+          "2 streams per AP\n")
+    for label, null in (("AP2 beamforms (selfish)", False), ("AP2 nulls toward C1", True)):
+        if null:
+            precoder2 = nulling_precoder(h22, noisy_h21, 2)
+        else:
+            precoder2 = svd_beamformer(h22, 2)
+
+        frame1 = trx.transmit(precoder1, powers, rng)
+        frame2 = trx.transmit(precoder2, powers, rng)
+        intended = trx.propagate(frame1, ap1_to_c1)
+        interference = trx.propagate(frame2, ap2_to_c1)
+        interference[:, : frame2.preamble_samples] = 0.0  # staggered preambles
+
+        combined = intended + interference
+        signal_power = float(np.mean(np.abs(intended) ** 2))
+        noise_var = signal_power / 10 ** (SNR_DB / 10)
+        combined += np.sqrt(noise_var / 2) * (
+            rng.standard_normal(combined.shape) + 1j * rng.standard_normal(combined.shape)
+        )
+
+        out = trx.receive(combined, frame1, powers, noise_var)
+        inr = np.mean(np.abs(interference[:, frame2.preamble_samples:]) ** 2) / noise_var
+        total_bits = sum(b.size for b in frame1.stream_bits)
+        print(f"{label}:")
+        print(f"  interference-to-noise at C1: {linear_to_db(inr):.1f} dB")
+        print(
+            f"  post-MMSE SINR (median over subcarriers/streams): "
+            f"{linear_to_db(np.median(out.post_mmse_sinr)):.1f} dB"
+        )
+        print(
+            f"  bit errors: {sum(out.bit_errors)} / {total_bits} "
+            f"-> frame {'OK' if out.frame_ok else 'LOST'}\n"
+        )
+
+    print("An imperfect (CSI-error-limited) null is the difference between a"
+          "\nlost frame and a clean one — the paper's premise, at sample level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""A walking client: coherence time, CSI refresh, strategy adaptation.
+
+A client walks across the floor from its own AP toward the interfering
+one.  At walking speed the channel stays coherent for ~28 ms (§3.1's
+t_c = 0.25·λ/v), so every coherence window the APs re-measure CSI, re-run
+strategy selection, and the chosen strategy changes as the interference
+geometry changes — strong signal / weak interference near home, heavy
+cross-interference in the overlap zone.
+
+Run:  python examples/mobility_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.core.strategy import StrategyEngine
+from repro.mac.timing import coherence_time_s
+from repro.phy import ChannelModel
+from repro.phy.constants import CARRIER_WAVELENGTH_M
+from repro.phy.topology import Node, PathLossModel, Topology
+
+WALK_SPEED_M_S = 4.0 / 3.6  # 4 km/h
+STEP_S = 0.5  # report every half second of walking
+
+
+def build_topology(client1_x: float) -> Topology:
+    """Two APs 14 m apart; client 1 sits at ``client1_x`` on the line."""
+    loss = PathLossModel(shadowing_sigma_db=0.0)
+    aps = [Node("AP1", (2.0, 5.0), 4), Node("AP2", (16.0, 5.0), 4)]
+    clients = [Node("C1", (client1_x, 6.0), 2), Node("C2", (14.5, 4.0), 2)]
+    topology = Topology(aps=aps, clients=clients)
+    nodes = aps + clients
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            topology.link_gain_db[(a.name, b.name)] = -loss.path_loss_db(a.distance_to(b))
+    return topology
+
+
+def main() -> None:
+    coherence = coherence_time_s(WALK_SPEED_M_S, CARRIER_WAVELENGTH_M)
+    print(
+        f"walking at {WALK_SPEED_M_S * 3.6:.0f} km/h -> coherence time "
+        f"{coherence * 1e3:.0f} ms (t_c = 0.25 lambda / v)"
+    )
+    print(
+        f"CSI refreshes per second: {1 / coherence:.0f}; "
+        f"strategy re-selected each window\n"
+    )
+
+    model = ChannelModel()
+    print(f"{'t (s)':>6} {'C1 x (m)':>9} {'SIR (dB)':>9} {'choice':>10} "
+          f"{'copa Mbps':>10} {'csma Mbps':>10}")
+    rng = np.random.default_rng(123)
+    for step in range(10):
+        t = step * STEP_S
+        x = 3.5 + WALK_SPEED_M_S * t
+        topology = build_topology(x)
+        channels = model.realize(topology, rng)
+        signal, interference = topology.signal_and_interference_dbm()[0]
+        outcome = StrategyEngine(channels, rng=rng, coherence_s=coherence).run()
+        print(
+            f"{t:>6.1f} {x:>9.1f} {signal - interference:>9.1f} "
+            f"{outcome.copa_choice:>10} {outcome.copa.aggregate_mbps:>10.1f} "
+            f"{outcome.schemes['csma'].aggregate_mbps:>10.1f}"
+        )
+
+    print(
+        "\nAs C1 walks toward AP2, its signal-to-interference ratio falls and"
+        "\nthe concurrency gain shrinks; near the overlap zone COPA's nulled"
+        "\nstrategy approaches CSMA and (as in the paper) the occasional"
+        "\nmisprediction appears — §4.3's 'sometimes COPA gives negligible"
+        "\nimprovement over CSMA'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a full reproduction of COPA (CoNEXT 2015).
+
+COPA (CoOperative Power Allocation) lets two loosely-cooperating 802.11
+MIMO access points transmit concurrently by combining per-subcarrier power
+allocation, interference nulling and multi-stream transmission.  This
+package implements the paper's algorithms plus every substrate they need:
+an indoor OFDM/MIMO channel simulator, an 802.11n link model, and the ITS
+over-the-air coordination protocol.
+
+Quick start::
+
+    import numpy as np
+    from repro import StrategyEngine, ChannelModel, TopologyGenerator
+
+    rng = np.random.default_rng(7)
+    topology = TopologyGenerator().sample(rng, ap_antennas=4, client_antennas=2)
+    channels = ChannelModel().realize(topology, rng)
+    outcome = StrategyEngine(channels, rng=rng).run()
+    print(outcome.copa_choice, outcome.copa.aggregate_mbps, "Mbps")
+"""
+
+from .core import (
+    SCHEME_CONC_BF,
+    SCHEME_CONC_NULL,
+    SCHEME_CONC_SDA,
+    SCHEME_COPA_SEQ,
+    SCHEME_CSMA,
+    SCHEME_NULL,
+    SchemeResult,
+    StrategyEngine,
+    StrategyOutcome,
+)
+from .mac import MacOverheadModel, MacOverheads, table1_rows
+from .phy import (
+    ChannelModel,
+    ChannelSet,
+    ImperfectionModel,
+    Topology,
+    TopologyGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelModel",
+    "ChannelSet",
+    "ImperfectionModel",
+    "MacOverheadModel",
+    "MacOverheads",
+    "SCHEME_CONC_BF",
+    "SCHEME_CONC_NULL",
+    "SCHEME_CONC_SDA",
+    "SCHEME_COPA_SEQ",
+    "SCHEME_CSMA",
+    "SCHEME_NULL",
+    "SchemeResult",
+    "StrategyEngine",
+    "StrategyOutcome",
+    "Topology",
+    "TopologyGenerator",
+    "table1_rows",
+    "__version__",
+]

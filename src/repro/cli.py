@@ -1,0 +1,202 @@
+"""Command-line front end: run experiments and print paper-style tables.
+
+Usage::
+
+    python -m repro.cli scenarios                 # list scenarios
+    python -m repro.cli run 4x2 [-n 30] [--plus]  # one scenario's CDF table
+    python -m repro.cli run 4x2 --interference -10
+    python -m repro.cli table1                    # the MAC-overhead table
+    python -m repro.cli nulling [-n 30]           # Figure 3's statistics
+    python -m repro.cli topology [--seed 7]       # inspect one topology
+
+All numbers use the frozen calibration in :mod:`repro.sim.config`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: a strictly positive topology count."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return parsed
+
+import numpy as np
+
+from .sim.config import DEFAULT_CONFIG
+from .sim.emulation import run_emulated_experiment
+from .sim.experiment import ScenarioSpec, generate_channel_sets, run_experiment
+from .sim.metrics import compare
+from .sim.network import measure_nulling_effect
+
+SCENARIOS = {
+    "1x1": ScenarioSpec("1x1", 1, 1),
+    "4x2": ScenarioSpec("4x2", 4, 2),
+    "3x2": ScenarioSpec("3x2", 3, 2),
+}
+
+
+def _cmd_scenarios(_args) -> int:
+    print("scenario   APs x clients   description")
+    print("1x1        1 ant / 1 ant   single-antenna pairs (§4.2, Fig. 10)")
+    print("4x2        4 ant / 2 ant   constrained nulling (§4.3, Fig. 11)")
+    print("3x2        3 ant / 2 ant   overconstrained + SDA (§4.5, Fig. 13)")
+    print("add --interference -10 to any for the §4.4 emulation (Fig. 12)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = SCENARIOS[args.scenario]
+    spec = ScenarioSpec(
+        spec.name,
+        spec.ap_antennas,
+        spec.client_antennas,
+        include_copa_plus=args.plus,
+    )
+    config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    if args.interference:
+        result = run_emulated_experiment(spec, args.interference, config)
+    else:
+        result = run_experiment(spec, config)
+
+    print(f"scenario {result.spec.name}: {args.topologies} topologies")
+    print(f"{'scheme':<16}{'mean Mbps':>11}{'median':>9}{'min':>8}{'max':>8}")
+    for key in result.available_series():
+        s = result.summary(key)
+        print(f"{key:<16}{s.mean:>11.1f}{s.median:>9.1f}{s.minimum:>8.1f}{s.maximum:>8.1f}")
+
+    if "null" in result.available_series():
+        stats = compare(result.series_mbps("null"), result.series_mbps("csma"))
+        print(f"\nnulling beats CSMA in {stats.win_fraction:.0%} of topologies")
+        rescue = compare(result.series_mbps("copa"), result.series_mbps("null"))
+        print(f"COPA improves on nulling by {rescue.mean_improvement:.0%} mean")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from .mac.timing import table1_rows
+
+    print(f"{'coherence':>10} {'COPA conc':>10} {'COPA seq':>10} {'CSMA CTS':>10} {'RTS/CTS':>10}")
+    for tc, row in table1_rows().items():
+        print(
+            f"{tc:>9g}ms {row.copa_concurrent:>10.1%} {row.copa_sequential:>10.1%}"
+            f" {row.csma:>10.1%} {row.rts_cts:>10.1%}"
+        )
+    return 0
+
+
+def _cmd_nulling(args) -> int:
+    config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    sets = generate_channel_sets(SCENARIOS["4x2"], config)
+    imperfections = config.imperfections()
+    inr, snr, sinr = [], [], []
+    for index, channels in enumerate(sets):
+        for client in (0, 1):
+            effect = measure_nulling_effect(
+                channels, imperfections, np.random.default_rng(5000 + index), client
+            )
+            inr.append(effect.inr_reduction_db)
+            snr.append(effect.snr_reduction_db)
+            sinr.append(effect.sinr_increase_db)
+    print(f"measurements: {len(inr)} ({args.topologies} topologies x 2 clients)")
+    print(f"INR reduction:  {np.mean(inr):6.1f} dB mean ({np.std(inr):.1f} std)   paper: ~27")
+    print(f"SNR reduction:  {np.mean(snr):6.1f} dB mean ({np.std(snr):.1f} std)   paper: ~8")
+    print(f"SINR increase:  {np.mean(sinr):6.1f} dB mean ({np.std(sinr):.1f} std)   paper: ~18")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .sim.reporting import experiment_report
+
+    spec = SCENARIOS[args.scenario]
+    spec = ScenarioSpec(
+        spec.name, spec.ap_antennas, spec.client_antennas, include_copa_plus=args.plus
+    )
+    config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    if args.interference:
+        result = run_emulated_experiment(spec, args.interference, config)
+    else:
+        result = run_experiment(spec, config)
+    text = experiment_report(result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    config = DEFAULT_CONFIG
+    rng = np.random.default_rng(args.seed)
+    topology = config.topology_generator().sample(rng, 4, 2)
+    print("node  position (m)        antennas")
+    for node in topology.aps + topology.clients:
+        print(
+            f"{node.name:<5} ({node.position_m[0]:5.1f}, {node.position_m[1]:5.1f})"
+            f"      {node.n_antennas}"
+        )
+    print("\nlink gains (dB):")
+    for (a, b), gain in sorted(topology.link_gain_db.items()):
+        print(f"  {a:<4} <-> {b:<4} {gain:7.1f}")
+    for i, (signal, interference) in enumerate(topology.signal_and_interference_dbm()):
+        print(f"C{i + 1}: signal {signal:.1f} dBm, interference {interference:.1f} dBm")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list the evaluation scenarios").set_defaults(
+        func=_cmd_scenarios
+    )
+
+    run = sub.add_parser("run", help="run one scenario and print its CDF table")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("-n", "--topologies", type=_positive_int, default=30)
+    run.add_argument("--plus", action="store_true", help="include COPA+ (slow)")
+    run.add_argument(
+        "--interference",
+        type=float,
+        default=0.0,
+        help="scale cross links by this many dB (e.g. -10 for Fig. 12)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("table1", help="print the reproduced Table 1").set_defaults(
+        func=_cmd_table1
+    )
+
+    nulling = sub.add_parser("nulling", help="Figure 3's nulling statistics")
+    nulling.add_argument("-n", "--topologies", type=_positive_int, default=30)
+    nulling.set_defaults(func=_cmd_nulling)
+
+    topo = sub.add_parser("topology", help="inspect one generated topology")
+    topo.add_argument("--seed", type=int, default=7)
+    topo.set_defaults(func=_cmd_topology)
+
+    report = sub.add_parser(
+        "report", help="write a markdown evaluation report for one scenario"
+    )
+    report.add_argument("scenario", choices=sorted(SCENARIOS))
+    report.add_argument("-n", "--topologies", type=_positive_int, default=30)
+    report.add_argument("--plus", action="store_true", help="include COPA+ (slow)")
+    report.add_argument("--interference", type=float, default=0.0)
+    report.add_argument("-o", "--output", default=None, help="file path (default: stdout)")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""COPA's core contribution: power allocation, precoding, strategy choice."""
+
+from .equi_snr import Allocation, allocate
+from .equi_sinr import (
+    ConcurrentAllocation,
+    ConcurrentContext,
+    StreamAllocation,
+    allocate_concurrent,
+    allocate_single,
+    radiated_powers,
+)
+from .controller import CopaAccessPoint, CopaSession, TxopRecord
+from .scheduler import MultiApScheduler, Neighbourhood, ScheduleResult
+from .mercury import mercury_allocate, mercury_waterfilling, mmse_of_snr
+from .multi_decoder import MultiDecoderSelection, per_subcarrier_rates
+from .precoding import (
+    TransmissionDesign,
+    beamforming_design,
+    cross_coupling,
+    nulling_design,
+    sda_designs,
+    stream_gains,
+)
+from .strategy import (
+    SCHEME_CONC_BF,
+    SCHEME_CONC_NULL,
+    SCHEME_CONC_SDA,
+    SCHEME_COPA_SEQ,
+    SCHEME_CSMA,
+    SCHEME_NULL,
+    SchemeResult,
+    StrategyEngine,
+    StrategyOutcome,
+)
+
+__all__ = [
+    "Allocation",
+    "ConcurrentAllocation",
+    "ConcurrentContext",
+    "CopaAccessPoint",
+    "CopaSession",
+    "MultiApScheduler",
+    "MultiDecoderSelection",
+    "Neighbourhood",
+    "ScheduleResult",
+    "TxopRecord",
+    "per_subcarrier_rates",
+    "SCHEME_CONC_BF",
+    "SCHEME_CONC_NULL",
+    "SCHEME_CONC_SDA",
+    "SCHEME_COPA_SEQ",
+    "SCHEME_CSMA",
+    "SCHEME_NULL",
+    "SchemeResult",
+    "StrategyEngine",
+    "StrategyOutcome",
+    "StreamAllocation",
+    "TransmissionDesign",
+    "allocate",
+    "allocate_concurrent",
+    "allocate_single",
+    "beamforming_design",
+    "cross_coupling",
+    "mercury_allocate",
+    "mercury_waterfilling",
+    "mmse_of_snr",
+    "nulling_design",
+    "radiated_powers",
+    "sda_designs",
+    "stream_gains",
+]

@@ -1,0 +1,214 @@
+"""A per-AP COPA controller: the glue between MAC, CSI and strategy.
+
+:class:`CopaAccessPoint` models one AP's bookkeeping — CSI overheard from
+clients, a downlink traffic backlog, leader/follower roles — and
+:class:`CopaSession` runs two of them against a simulated channel over
+wall-clock time: contention, the ITS exchange (with real compressed-CSI
+payload sizes), strategy selection through the
+:class:`~repro.core.strategy.StrategyEngine`, and per-TXOP throughput
+accounting.  This is the "whole system" view the examples use; the
+figure-by-figure benchmarks drive the strategy engine directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mac.compression import compress_csi
+from ..mac.csi_cache import CsiCache
+from ..mac.frames import Decision, ItsAck, ItsInit, ItsReq
+from ..mac.timing import MacOverheadModel
+from ..phy.channel import ChannelSet
+from ..phy.noise import ImperfectionModel
+from .strategy import SCHEME_COPA_SEQ, SchemeResult, StrategyEngine, StrategyOutcome
+
+__all__ = ["CopaAccessPoint", "TxopRecord", "CopaSession"]
+
+
+@dataclass
+class CopaAccessPoint:
+    """One COPA AP's control-plane state."""
+
+    name: str
+    client: str
+    coherence_s: float = 0.030
+    backlog_bits: float = float("inf")
+    cache: CsiCache = field(init=False)
+
+    def __post_init__(self):
+        self.cache = CsiCache(self.coherence_s)
+
+    def overhear(self, sender: str, channel: np.ndarray, now_s: float) -> None:
+        """Record CSI measured from an overheard transmission (§3.1 ①)."""
+        self.cache.update(sender, channel, now_s)
+
+    def has_fresh_csi(self, now_s: float, senders) -> bool:
+        return all(self.cache.is_fresh(sender, now_s) for sender in senders)
+
+    def backlogged(self) -> bool:
+        return self.backlog_bits > 0
+
+    def drain(self, bits: float) -> None:
+        if self.backlog_bits != float("inf"):
+            self.backlog_bits = max(self.backlog_bits - bits, 0.0)
+
+
+@dataclass(frozen=True)
+class TxopRecord:
+    """One coordinated transmit opportunity in a session run."""
+
+    start_s: float
+    leader: str
+    decision: Decision
+    scheme: str
+    #: Bits delivered to each client in this TXOP.
+    delivered_bits: Tuple[float, float]
+    #: Airtime consumed including the ITS exchange and PHY overheads.
+    airtime_s: float
+    csi_refreshed: bool
+    #: Control bytes that crossed the air (INIT + REQ + ACK).
+    control_bytes: int
+
+
+class CopaSession:
+    """Two COPA APs coordinating over one (static) channel realization.
+
+    The channel is assumed quasi-static: CSI stays valid for one coherence
+    time, after which the APs re-measure and the session re-runs strategy
+    selection.  ``fair`` selects the incentive-compatible variant.
+    """
+
+    def __init__(
+        self,
+        channels: ChannelSet,
+        imperfections: Optional[ImperfectionModel] = None,
+        timing: Optional[MacOverheadModel] = None,
+        coherence_s: float = 0.030,
+        fair: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.channels = channels
+        self.imperfections = imperfections if imperfections is not None else ImperfectionModel()
+        self.timing = timing if timing is not None else MacOverheadModel()
+        self.coherence_s = coherence_s
+        self.fair = fair
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+        topology = channels.topology
+        self.aps = [
+            CopaAccessPoint(ap.name, client.name, coherence_s)
+            for ap, client in zip(topology.aps, topology.clients)
+        ]
+        self._outcome: Optional[StrategyOutcome] = None
+        self._outcome_at_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def _refresh_strategy(self, now_s: float) -> StrategyOutcome:
+        """Re-measure CSI and re-run strategy selection (once per coherence)."""
+        outcome = StrategyEngine(
+            self.channels,
+            imperfections=self.imperfections,
+            rng=self.rng,
+            coherence_s=self.coherence_s,
+        ).run()
+        for ap in self.aps:
+            for client in (ap.client, self._other(ap).client):
+                ap.overhear(client, self.channels.channel(client, ap.name), now_s)
+        self._outcome = outcome
+        self._outcome_at_s = now_s
+        return outcome
+
+    def _other(self, ap: CopaAccessPoint) -> CopaAccessPoint:
+        return self.aps[1] if ap is self.aps[0] else self.aps[0]
+
+    def _current_outcome(self, now_s: float) -> Tuple[StrategyOutcome, bool]:
+        stale = (
+            self._outcome is None
+            or self._outcome_at_s is None
+            or now_s - self._outcome_at_s > self.coherence_s
+        )
+        if stale:
+            return self._refresh_strategy(now_s), True
+        assert self._outcome is not None
+        return self._outcome, False
+
+    def _chosen(self, outcome: StrategyOutcome) -> SchemeResult:
+        return outcome.copa_fair if self.fair else outcome.copa
+
+    # ------------------------------------------------------------------
+
+    def run_txop(self, now_s: float) -> TxopRecord:
+        """One coordinated TXOP: contention, ITS exchange, transmission."""
+        outcome, refreshed = self._current_outcome(now_s)
+        leader_index = int(self.rng.integers(0, 2))
+        leader = self.aps[leader_index]
+        follower = self._other(leader)
+
+        # Build the actual control frames to account real payload sizes.
+        init = ItsInit(leader.name, leader.client, airtime_us=int(self.timing.txop_s * 1e6))
+        csi_blob = b""
+        if refreshed:
+            for client in (leader.client, follower.client):
+                csi_blob += compress_csi(self.channels.channel(follower.name, client))
+        req = ItsReq(leader.name, follower.name, leader.client, follower.client, csi_blob)
+        chosen = self._chosen(outcome)
+        decision = Decision.CONCURRENT if chosen.concurrent else Decision.SEQUENTIAL
+        precoder_blob = bytes(self.timing.precoder_bits // 8) if (refreshed and chosen.concurrent) else b""
+        ack = ItsAck(
+            leader.name, follower.name, leader.client, follower.client, decision, precoder_blob
+        )
+        control_bytes = init.byte_size + req.byte_size + ack.byte_size
+        exchange_s = (
+            self.timing.control_airtime_s(init.byte_size)
+            + self.timing.control_airtime_s(req.byte_size)
+            + self.timing.control_airtime_s(ack.byte_size)
+            + 3 * self.timing.sifs_s
+        )
+
+        # SchemeResult throughputs already include MAC overhead and airtime
+        # sharing, so delivered bits per wall-clock TXOP follow directly.
+        if chosen.concurrent:
+            airtime = exchange_s + self.timing.data_fixed_overhead_s + self.timing.txop_s
+            span = airtime
+        else:
+            airtime = exchange_s + 2 * (self.timing.data_fixed_overhead_s + self.timing.txop_s)
+            span = airtime
+        delivered = tuple(t * span for t in chosen.client_throughput_bps)
+        for ap, bits in zip(self.aps, delivered):
+            ap.drain(bits)
+
+        return TxopRecord(
+            start_s=now_s,
+            leader=leader.name,
+            decision=decision,
+            scheme=chosen.name,
+            delivered_bits=delivered,  # type: ignore[arg-type]
+            airtime_s=airtime,
+            csi_refreshed=refreshed,
+            control_bytes=control_bytes,
+        )
+
+    def run(self, duration_s: float) -> List[TxopRecord]:
+        """Run back-to-back TXOPs until ``duration_s`` of airtime elapses."""
+        records: List[TxopRecord] = []
+        now = 0.0
+        while now < duration_s:
+            record = self.run_txop(now)
+            records.append(record)
+            now += record.airtime_s + self.timing.contention_s
+        return records
+
+    @staticmethod
+    def throughput_mbps(records: List[TxopRecord]) -> Tuple[float, float]:
+        """Average per-client throughput over a run."""
+        if not records:
+            return (0.0, 0.0)
+        total_time = records[-1].start_s + records[-1].airtime_s
+        bits = [
+            sum(r.delivered_bits[i] for r in records) for i in range(2)
+        ]
+        return tuple(b / total_time / 1e6 for b in bits)  # type: ignore[return-value]

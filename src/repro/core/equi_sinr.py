@@ -1,0 +1,253 @@
+"""§3.2.1: iterative concurrent Equi-SINR power allocation (Figure 6).
+
+Two APs transmit concurrently; each stream's best power allocation depends
+on the interference every *other* stream causes, which in turn depends on
+those streams' allocations — the circular dependency the paper illustrates
+with its AP1/AP2 subcarrier anecdote.  COPA's heuristic:
+
+1. allocate each stream independently assuming the other sender spreads
+   its power equally across subcarriers,
+2. recompute the interference every stream causes to all others (including
+   the −27 dB leakage of dropped subcarriers),
+3. re-run the (Equi-SINR flavoured) Algorithm 1 per stream, and
+4. iterate until convergence or an iteration cap, keeping the best
+   solution seen — the iteration may regress, and is not guaranteed to
+   find a global optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import equi_snr
+from .equi_snr import Allocation
+
+__all__ = [
+    "StreamAllocation",
+    "StreamAllocator",
+    "ConcurrentContext",
+    "ConcurrentAllocation",
+    "radiated_powers",
+    "allocate_single",
+    "allocate_concurrent",
+]
+
+
+@dataclass
+class StreamAllocation:
+    """Power allocation for all streams of one AP's transmission."""
+
+    #: (n_sc, n_streams) transmit powers in mW.
+    powers: np.ndarray
+    #: (n_sc, n_streams) data-carrying mask.
+    used: np.ndarray
+    #: Per-stream Algorithm-1 results.
+    per_stream: List[Allocation]
+
+    @property
+    def predicted_goodput_bps(self) -> float:
+        return float(sum(a.goodput_bps for a in self.per_stream))
+
+    @property
+    def n_streams(self) -> int:
+        return self.powers.shape[1]
+
+
+def radiated_powers(powers: np.ndarray, used: np.ndarray, leakage_linear: float) -> np.ndarray:
+    """Actual radiated power per (subcarrier, stream), leakage included.
+
+    A dropped subcarrier cannot radiate exactly zero (§3.2): it leaks
+    ``leakage_linear`` times the mean power of its nearest active
+    neighbours (the adjacent-carrier leakage of real transceivers).
+    """
+    powers = np.asarray(powers, dtype=float)
+    used = np.asarray(used, dtype=bool)
+    radiated = np.where(used, powers, 0.0)
+    for s in range(powers.shape[1]):
+        dropped = ~used[:, s]
+        if not dropped.any() or used[:, s].sum() == 0:
+            continue
+        column = powers[:, s]
+        above = np.roll(column, -1)
+        below = np.roll(column, 1)
+        above_used = np.roll(used[:, s], -1)
+        below_used = np.roll(used[:, s], 1)
+        neighbour_sum = np.where(above_used, above, 0.0) + np.where(below_used, below, 0.0)
+        neighbour_count = above_used.astype(float) + below_used.astype(float)
+        fallback = float(column[used[:, s]].mean())
+        neighbour_mean = np.where(neighbour_count > 0, neighbour_sum / np.maximum(neighbour_count, 1), fallback)
+        radiated[dropped, s] = leakage_linear * neighbour_mean[dropped]
+    return radiated
+
+
+#: A per-stream allocator: (effective gains, power budget) → Allocation.
+#: ``equi_snr.allocate`` implements Equi-S(I)NR; ``mercury.mercury_allocate``
+#: implements the COPA+ mercury/water-filling variant.
+StreamAllocator = Callable[[np.ndarray, float], Allocation]
+
+
+def _stream_budgets(gains: np.ndarray, total_power: float, split: str) -> np.ndarray:
+    """Divide the power budget between streams.
+
+    ``"equal"`` is the paper's choice (each stream optimized independently,
+    Fig. 6).  ``"proportional"`` weights budgets by each stream's mean gain
+    — a waterfilling-flavoured alternative benchmarked as an ablation.
+    """
+    n_streams = gains.shape[1]
+    if split == "equal":
+        return np.full(n_streams, total_power / n_streams)
+    if split == "proportional":
+        weights = gains.mean(axis=0)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            return np.full(n_streams, total_power / n_streams)
+        return total_power * weights / total_weight
+    raise ValueError(f"unknown stream split {split!r}")
+
+
+def allocate_single(
+    gains: np.ndarray,
+    total_power: float,
+    interference: Optional[np.ndarray] = None,
+    noise_mw: float = 1.0,
+    allocator: StreamAllocator = equi_snr.allocate,
+    stream_split: str = "equal",
+) -> StreamAllocation:
+    """Allocate each stream of one transmission with no concurrent sender.
+
+    ``gains`` has shape (n_sc, n_streams): the matched-filter signal gain.
+    The power budget is split between streams per ``stream_split`` (each
+    stream is then optimized independently per Fig. 6).  ``interference``
+    (n_sc,) optional per-subcarrier interference power at the client.
+    """
+    gains = np.asarray(gains, dtype=float)
+    if gains.ndim != 2:
+        raise ValueError("gains must have shape (n_subcarriers, n_streams)")
+    n_sc, n_streams = gains.shape
+    denominator = noise_mw + (np.zeros(n_sc) if interference is None else np.asarray(interference, dtype=float))
+    budgets = _stream_budgets(gains, total_power, stream_split)
+    empty = Allocation(
+        powers=np.zeros(n_sc),
+        used=np.zeros(n_sc, dtype=bool),
+        equalized_snr=0.0,
+        mcs=None,
+        goodput_bps=0.0,
+    )
+    allocations = [
+        allocator(gains[:, s] / denominator, float(budgets[s])) if budgets[s] > 0 else empty
+        for s in range(n_streams)
+    ]
+    powers = np.stack([a.powers for a in allocations], axis=1)
+    used = np.stack([a.used for a in allocations], axis=1)
+    return StreamAllocation(powers=powers, used=used, per_stream=allocations)
+
+
+@dataclass
+class ConcurrentContext:
+    """Everything the concurrent allocator needs about the two transmissions.
+
+    Index 0/1 identifies the two APs.  ``gains[a]`` is AP a's signal gain
+    at its *own* client, shape (n_sc, n_streams_a).  ``coupling[a]`` is the
+    per-antenna interference gain of AP a's streams at the *other* AP's
+    client, same shape.  All gains are per unit transmit power.
+    """
+
+    gains: Sequence[np.ndarray]
+    coupling: Sequence[np.ndarray]
+    budgets: Sequence[float]
+    noise_mw: Sequence[float]
+    leakage_linear: float = 10.0 ** (-27.0 / 10.0)
+
+    def __post_init__(self):
+        if len(self.gains) != 2 or len(self.coupling) != 2:
+            raise ValueError("exactly two APs are supported")
+        for a in range(2):
+            if self.gains[a].shape != self.coupling[a].shape:
+                raise ValueError("gains and coupling must have matching shapes")
+
+
+@dataclass
+class ConcurrentAllocation:
+    """Joint allocation for the two concurrent transmissions."""
+
+    allocations: List[StreamAllocation]
+    iterations: int
+    converged: bool
+
+    @property
+    def predicted_aggregate_bps(self) -> float:
+        return float(sum(a.predicted_goodput_bps for a in self.allocations))
+
+
+def _interference_at(context: ConcurrentContext, victim: int, other_radiated: np.ndarray) -> np.ndarray:
+    """Interference power (n_sc,) at client ``victim`` given the other AP's radiated powers."""
+    other = 1 - victim
+    return np.sum(context.coupling[other] * other_radiated, axis=1)
+
+
+def allocate_concurrent(
+    context: ConcurrentContext,
+    max_iterations: int = 8,
+    tolerance: float = 1e-3,
+    allocator: StreamAllocator = equi_snr.allocate,
+    on_iteration: Optional[Callable[[int, ConcurrentAllocation], None]] = None,
+) -> ConcurrentAllocation:
+    """Run the Figure-6 iteration and return the best allocation found."""
+    n_sc = context.gains[0].shape[0]
+
+    # Step 1: the other sender is assumed to spread power equally.
+    radiated = [
+        np.full(context.gains[a].shape, context.budgets[a] / (context.gains[a].shape[1] * n_sc))
+        for a in range(2)
+    ]
+
+    best: Optional[ConcurrentAllocation] = None
+    previous_powers: Optional[List[np.ndarray]] = None
+    converged = False
+    iterations_run = 0
+
+    for iteration in range(1, max_iterations + 1):
+        iterations_run = iteration
+        allocations: List[StreamAllocation] = []
+        for a in range(2):
+            interference = _interference_at(context, victim=a, other_radiated=radiated[1 - a])
+            allocations.append(
+                allocate_single(
+                    context.gains[a],
+                    context.budgets[a],
+                    interference=interference,
+                    noise_mw=context.noise_mw[a],
+                    allocator=allocator,
+                )
+            )
+        candidate = ConcurrentAllocation(allocations=allocations, iterations=iteration, converged=False)
+        if on_iteration is not None:
+            on_iteration(iteration, candidate)
+        if best is None or candidate.predicted_aggregate_bps > best.predicted_aggregate_bps:
+            best = candidate
+
+        new_radiated = [
+            radiated_powers(allocations[a].powers, allocations[a].used, context.leakage_linear)
+            for a in range(2)
+        ]
+        if previous_powers is not None:
+            scale = sum(context.budgets)
+            change = sum(
+                float(np.abs(new_radiated[a] - previous_powers[a]).sum()) for a in range(2)
+            )
+            if change <= tolerance * scale:
+                converged = True
+                radiated = new_radiated
+                break
+        previous_powers = new_radiated
+        radiated = new_radiated
+
+    assert best is not None
+    return ConcurrentAllocation(
+        allocations=best.allocations,
+        iterations=iterations_run,
+        converged=converged,
+    )

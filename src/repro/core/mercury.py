@@ -1,0 +1,248 @@
+"""Mercury/water-filling power allocation (Lozano, Tulino & Verdú 2006).
+
+Classic water-filling is optimal for Gaussian inputs; Wi-Fi transmits
+discrete QAM constellations, for which the optimal per-subcarrier powers
+follow the *mercury/water-filling* rule: with channel gains ``g_k`` and
+water level ``1/η``,
+
+    p_k = (1/g_k) · mmse⁻¹(η / g_k)   if g_k > η,   else 0,
+
+where ``mmse(γ)`` is the minimum mean-square error of estimating the
+constellation symbol at SNR γ.  The mercury (the ``mmse⁻¹`` correction)
+pours *under* the water and reduces how much power a strong subcarrier
+soaks up once its constellation is nearly saturated.
+
+The paper uses iterated mercury/water-filling (plus explicit subcarrier
+selection) as the impractical-but-better "COPA+" upper bound (§3.3, §4);
+it reports 30–50 s of compute per allocation on their platform, which is
+why COPA+ is evaluated in trace-driven emulation only.  Our NumPy
+implementation is fast enough to run everywhere.
+
+MMSE functions are computed numerically by Gauss–Hermite quadrature on the
+per-dimension PAM decomposition of square QAM, then cached as monotone
+interpolation tables.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..phy.constants import MCS_TABLE, MODULATIONS, Modulation
+from ..phy.rates import best_rate
+from .equi_snr import Allocation
+
+__all__ = [
+    "mmse_pam",
+    "mmse_curve",
+    "mmse_of_snr",
+    "mmse_inverse",
+    "mercury_waterfilling",
+    "mercury_allocate",
+]
+
+#: Gauss–Hermite order for the MMSE integrals.
+_GH_ORDER = 81
+#: SNR grid for the cached MMSE tables (linear, log-spaced).
+_SNR_GRID = np.logspace(-6, 8, 561)
+
+
+def _pam_points(points_per_dim: int) -> np.ndarray:
+    levels = 2.0 * np.arange(points_per_dim) - (points_per_dim - 1)
+    return levels / np.sqrt(np.mean(levels**2))
+
+
+def mmse_pam(snr_linear, points_per_dim: int) -> np.ndarray:
+    """MMSE of unit-energy PAM in real AWGN with noise variance 1/snr.
+
+    Computed exactly (to quadrature accuracy) as
+    ``1 − E_y[(E[x|y])²]`` with the expectation over ``y = x + n`` taken by
+    Gauss–Hermite quadrature around each constellation point.
+    """
+    snr = np.atleast_1d(np.asarray(snr_linear, dtype=float))
+    x = _pam_points(points_per_dim)
+    nodes, weights = np.polynomial.hermite.hermgauss(_GH_ORDER)
+    weights = weights / np.sqrt(np.pi)
+
+    out = np.empty_like(snr)
+    for idx, gamma in enumerate(snr):
+        if gamma <= 0:
+            out[idx] = 1.0
+            continue
+        sigma = 1.0 / np.sqrt(gamma)
+        # y samples: x_i + sigma * sqrt(2) * node  (Gauss-Hermite for N(0, σ²)).
+        y = x[:, None] + sigma * np.sqrt(2.0) * nodes[None, :]
+        # posterior mean of x given each y
+        diff = y[:, :, None] - x[None, None, :]
+        log_like = -(diff**2) * gamma / 2.0
+        log_like -= log_like.max(axis=2, keepdims=True)
+        like = np.exp(log_like)
+        posterior_mean = (like * x[None, None, :]).sum(axis=2) / like.sum(axis=2)
+        second_moment = ((posterior_mean**2) * weights[None, :]).sum(axis=1).mean()
+        out[idx] = max(1.0 - second_moment, 0.0)
+    return out if np.ndim(snr_linear) else float(out[0])
+
+
+def _points_per_dim(modulation: Modulation) -> Tuple[int, float]:
+    """PAM order per dimension and the SNR scale factor for the modulation.
+
+    BPSK puts all its energy in one real dimension, so the effective
+    per-dimension SNR is doubled; square QAM splits evenly, giving per-dim
+    SNR equal to the complex-symbol SNR.
+    """
+    if modulation.bits_per_symbol == 1:
+        return 2, 2.0
+    if modulation.bits_per_symbol % 2:
+        raise ValueError(f"unsupported modulation {modulation!r}")
+    return 2 ** (modulation.bits_per_symbol // 2), 1.0
+
+
+@lru_cache(maxsize=None)
+def mmse_curve(bits_per_symbol: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached (snr_grid, mmse values) table for a constellation."""
+    modulation = next(m for m in MODULATIONS if m.bits_per_symbol == bits_per_symbol)
+    per_dim, scale = _points_per_dim(modulation)
+    values = mmse_pam(_SNR_GRID * scale, per_dim)
+    return _SNR_GRID.copy(), np.asarray(values)
+
+
+def mmse_of_snr(snr_linear, modulation: Modulation) -> np.ndarray:
+    """MMSE of the complex constellation at the given symbol SNR."""
+    grid, values = mmse_curve(modulation.bits_per_symbol)
+    snr = np.asarray(snr_linear, dtype=float)
+    return np.interp(snr, grid, values, left=1.0, right=0.0)
+
+
+def mmse_inverse(target, modulation: Modulation) -> np.ndarray:
+    """SNR at which the constellation's MMSE equals ``target`` ∈ (0, 1].
+
+    Targets at or above 1 map to SNR 0; targets at or below the table
+    floor map to the top of the SNR grid (effectively "unbounded power",
+    which the water-level bisection in :func:`mercury_waterfilling` never
+    actually requests).
+    """
+    grid, values = mmse_curve(modulation.bits_per_symbol)
+    target = np.asarray(target, dtype=float)
+    # values are decreasing in snr; np.interp needs increasing x.
+    return np.interp(target, values[::-1], grid[::-1], left=grid[-1], right=0.0)
+
+
+def mercury_waterfilling(
+    gains,
+    total_power: float,
+    modulation: Modulation,
+    tolerance: float = 1e-9,
+    max_bisections: int = 80,
+) -> np.ndarray:
+    """Optimal powers for a discrete constellation over parallel channels.
+
+    ``gains[k]`` is the SINR per unit power on subcarrier k.  Returns the
+    per-subcarrier powers summing to ``total_power`` (within tolerance).
+    """
+    gains = np.asarray(gains, dtype=float)
+    if total_power <= 0:
+        raise ValueError("total_power must be positive")
+    positive = gains > 0
+    if not positive.any():
+        return np.zeros_like(gains)
+
+    def powers_for(eta: float) -> np.ndarray:
+        powers = np.zeros_like(gains)
+        active = gains > eta
+        if active.any():
+            ratio = eta / gains[active]
+            powers[active] = mmse_inverse(ratio, modulation) / gains[active]
+        return powers
+
+    # Total power decreases monotonically in eta; bisect in log space.
+    eta_high = float(gains[positive].max())
+    eta_low = eta_high * 1e-12
+    # Expand the lower bracket until it yields at least the requested power.
+    for _ in range(60):
+        if powers_for(eta_low).sum() >= total_power:
+            break
+        eta_low /= 1e3
+    else:
+        # MMSE saturation: even "infinite water" can't absorb the budget on
+        # this grid; fall back to proportional scaling of the max solution.
+        powers = powers_for(eta_low)
+        return powers * (total_power / max(powers.sum(), 1e-300))
+
+    for _ in range(max_bisections):
+        eta_mid = np.sqrt(eta_low * eta_high)
+        total = powers_for(eta_mid).sum()
+        if abs(total - total_power) <= tolerance * total_power:
+            eta_low = eta_mid
+            break
+        if total > total_power:
+            eta_low = eta_mid
+        else:
+            eta_high = eta_mid
+    powers = powers_for(eta_low)
+    scale = total_power / max(powers.sum(), 1e-300)
+    return powers * scale
+
+
+#: Default drop-count candidates for the subcarrier-selection loop.  The
+#: mercury rule already zeroes hopeless subcarriers, so a coarse sweep of
+#: explicit drops (which also shrink the decoder's codeword) suffices.
+_DEFAULT_DROPS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 26, 32, 40)
+
+
+def mercury_allocate(
+    gains,
+    total_power: float,
+    drop_candidates: Optional[Sequence[int]] = None,
+    modulations: Sequence[Modulation] = MODULATIONS,
+) -> Allocation:
+    """Mercury/water-filling with explicit subcarrier selection.
+
+    A drop-in replacement for :func:`repro.core.equi_snr.allocate` (same
+    signature contract: ``gains`` is S(I)NR per unit power).  For each
+    candidate drop count and constellation, allocate the remaining
+    subcarriers by mercury/water-filling and predict goodput with the
+    single-decoder rate model; keep the best.
+    """
+    gains = np.asarray(gains, dtype=float)
+    n = gains.size
+    order = np.argsort(gains)
+    drops = _DEFAULT_DROPS if drop_candidates is None else tuple(drop_candidates)
+
+    best_goodput = 0.0
+    best_powers = np.zeros(n)
+    best_used = np.zeros(n, dtype=bool)
+    best_mcs = None
+    for drop in drops:
+        if drop >= n:
+            continue
+        kept = order[drop:]
+        kept = kept[gains[kept] > 0]
+        if kept.size == 0:
+            continue
+        sub_gains = gains[kept]
+        for modulation in modulations:
+            powers_kept = mercury_waterfilling(sub_gains, total_power, modulation)
+            sinr = np.zeros(n)
+            sinr[kept] = powers_kept * sub_gains
+            used = np.zeros(n, dtype=bool)
+            used[kept] = powers_kept > 0
+            if not used.any():
+                continue
+            table = [m for m in MCS_TABLE if m.modulation == modulation]
+            selection = best_rate(sinr, used=used, mcs_table=table)
+            if selection.goodput_bps > best_goodput:
+                best_goodput = selection.goodput_bps
+                best_powers = np.zeros(n)
+                best_powers[kept] = powers_kept
+                best_used = used
+                best_mcs = selection.mcs
+
+    return Allocation(
+        powers=best_powers,
+        used=best_used,
+        equalized_snr=0.0,  # mercury does not equalize; field unused here
+        mcs=best_mcs,
+        goodput_bps=float(best_goodput),
+    )

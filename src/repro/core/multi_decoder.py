@@ -1,0 +1,125 @@
+"""§4.6: per-subcarrier bit-rates with one decoder per coding rate.
+
+Current hardware forces one modulation/code across all subcarriers, so the
+weakest subcarriers cap the whole link.  If a receiver instead ran one
+decoder per 802.11 coding rate (four), each subcarrier could use the MCS
+its own SINR supports: subcarriers sharing a coding rate are concatenated
+into one codeword per rate and decoded together.
+
+Figure 14 compares this against single-decoder CSMA: with a single
+antenna, multiple decoders mostly help CSMA (which cannot drop subcarriers
+and so has high SINR spread); in the 4×2/3×2 MIMO cases COPA's subcarrier
+selection has already flattened the SINR distribution, so the extra gain
+is only ~5–10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..phy.ber import uncoded_ber
+from ..phy.coding import coded_ber, frame_error_rate
+from ..phy.constants import MCS_TABLE, MPDU_PAYLOAD_BYTES, N_DATA_SUBCARRIERS, Mcs
+
+__all__ = ["MultiDecoderSelection", "per_subcarrier_rates"]
+
+
+@dataclass(frozen=True)
+class MultiDecoderSelection:
+    """Outcome of per-subcarrier rate selection."""
+
+    #: MCS index per (subcarrier, stream) cell, −1 where the cell is unused.
+    mcs_indices: np.ndarray
+    #: Expected goodput in bit/s summed over all per-rate decoders.
+    goodput_bps: float
+    #: Goodput contributed by each coding rate's decoder.
+    per_code_rate_bps: Dict[Tuple[int, int], float]
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.goodput_bps / 1e6
+
+
+def _cell_mcs(sinr: np.ndarray, payload_bytes: int, mcs_table: Sequence[Mcs]) -> np.ndarray:
+    """Best MCS per cell judged on that cell's own SINR.
+
+    Each cell is scored by ``per-cell rate × (1 − FER)`` with the FER of a
+    full MPDU at the cell's BER — a pessimistic proxy that keeps marginal
+    cells from joining a decoder group they would poison.
+    """
+    flat = sinr.ravel()
+    best_rate = np.zeros(flat.size)
+    best_index = np.full(flat.size, -1)
+    for mcs in mcs_table:
+        ber = uncoded_ber(flat, mcs.modulation)
+        post = coded_ber(ber, mcs.code_rate)
+        fer = frame_error_rate(post, payload_bytes * 8)
+        rate = (mcs.rate_bps / N_DATA_SUBCARRIERS) * (1.0 - fer)
+        better = rate > best_rate
+        best_rate = np.where(better, rate, best_rate)
+        best_index = np.where(better, mcs.index, best_index)
+    return best_index.reshape(sinr.shape)
+
+
+def per_subcarrier_rates(
+    sinr_linear,
+    used=None,
+    payload_bytes: int = MPDU_PAYLOAD_BYTES,
+    mcs_table: Sequence[Mcs] = MCS_TABLE,
+) -> MultiDecoderSelection:
+    """Select an MCS per (subcarrier, stream) cell and score the result.
+
+    ``sinr_linear`` has shape (n_subcarriers,) or (n_subcarriers,
+    n_streams).  Cells masked out by ``used`` (or with an SINR too poor for
+    even the lowest MCS) carry nothing.  Cells that picked modulations
+    sharing a coding rate form one decoder group: the group's codeword
+    error rate is driven by the mean BER of its members, mirroring how a
+    per-rate decoder would interleave them.
+    """
+    sinr = np.asarray(sinr_linear, dtype=float)
+    if sinr.ndim == 1:
+        sinr = sinr[:, None]
+    if used is None:
+        mask = np.ones(sinr.shape, dtype=bool)
+    else:
+        mask = np.asarray(used, dtype=bool)
+        if mask.ndim == 1:
+            mask = mask[:, None]
+        if mask.shape != sinr.shape:
+            raise ValueError(f"used mask shape {mask.shape} != sinr shape {sinr.shape}")
+
+    indices = _cell_mcs(sinr, payload_bytes, mcs_table)
+    indices = np.where(mask, indices, -1)
+
+    by_index = {mcs.index: mcs for mcs in mcs_table}
+    per_code_rate: Dict[Tuple[int, int], float] = {}
+    total = 0.0
+    for code_rate in sorted({mcs.code_rate for mcs in mcs_table}):
+        members = [
+            (k, s)
+            for k in range(sinr.shape[0])
+            for s in range(sinr.shape[1])
+            if indices[k, s] >= 0 and by_index[int(indices[k, s])].code_rate == code_rate
+        ]
+        if not members:
+            continue
+        bers = []
+        rate = 0.0
+        for k, s in members:
+            mcs = by_index[int(indices[k, s])]
+            bers.append(float(uncoded_ber(sinr[k, s], mcs.modulation)))
+            rate += mcs.rate_bps / N_DATA_SUBCARRIERS
+        post = float(coded_ber(float(np.mean(bers)), code_rate))
+        fer = float(frame_error_rate(post, payload_bytes * 8))
+        contribution = rate * (1.0 - fer)
+        per_code_rate[code_rate] = contribution
+        total += contribution
+
+    return MultiDecoderSelection(
+        mcs_indices=indices,
+        goodput_bps=float(total),
+        per_code_rate_bps=per_code_rate,
+    )

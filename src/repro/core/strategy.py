@@ -1,0 +1,525 @@
+"""§3.3: predicting the best strategy and §3.5: incentive compatibility.
+
+For one pair of interfering (AP, client) networks, this module builds the
+whole strategy menu of Figure 8, predicts each strategy's throughput from
+the (noisy) CSI the APs actually have, and picks:
+
+* **COPA** — the aggregate-throughput-maximizing strategy, and
+* **COPA fair** — the best strategy under the incentive-compatibility
+  constraint that neither client does worse than sequential transmission
+  with power allocation (COPA-SEQ), the paper's "simple tweak".
+
+Reported throughputs are then *measured* on the true channels (CSI error,
+TX noise and subcarrier leakage included), so a strategy the leader
+mispredicts really does cost throughput, exactly as on the testbed.
+
+Scheme names follow the paper:
+
+``csma``       sequential, equal power, no subcarrier selection (baseline);
+``copa_seq``   sequential + Equi-SNR power allocation & selection;
+``null``       concurrent vanilla nulling, equal power (baseline; in the
+               overconstrained case this is the paper's "Null+SDA");
+``conc_bf``    concurrent, beamforming precoders + Equi-SINR (no nulling);
+``conc_null``  concurrent, nulling precoders + Equi-SINR;
+``conc_sda``   concurrent, shut-down-antenna nulling + Equi-SINR (§3.4),
+               reported as the average over the two leader roles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mac.timing import MacOverheadModel, MacOverheads
+from ..phy.channel import ChannelSet
+from ..phy.constants import TX_POWER_DBM
+from ..phy.mimo import interference_covariance, max_nulled_streams, mmse_sinr, tx_noise_covariance
+from ..phy.noise import ImperfectionModel
+from ..phy.rates import RateSelection, best_rate
+from ..util import dbm_to_mw
+from . import equi_snr
+from .equi_sinr import (
+    ConcurrentContext,
+    StreamAllocation,
+    StreamAllocator,
+    allocate_concurrent,
+    allocate_single,
+    radiated_powers,
+)
+from .precoding import (
+    TransmissionDesign,
+    beamforming_design,
+    cross_coupling,
+    nulling_design,
+    sda_designs,
+    stream_gains,
+)
+
+__all__ = [
+    "SCHEME_CSMA",
+    "SCHEME_COPA_SEQ",
+    "SCHEME_NULL",
+    "SCHEME_CONC_BF",
+    "SCHEME_CONC_NULL",
+    "SCHEME_CONC_SDA",
+    "SchemeResult",
+    "StrategyOutcome",
+    "StrategyEngine",
+]
+
+SCHEME_CSMA = "csma"
+SCHEME_COPA_SEQ = "copa_seq"
+SCHEME_NULL = "null"
+SCHEME_CONC_BF = "conc_bf"
+SCHEME_CONC_NULL = "conc_null"
+SCHEME_CONC_SDA = "conc_sda"
+
+#: Tolerance for the fairness constraint: a client "loses" only if its
+#: predicted throughput drops more than this fraction below COPA-SEQ's.
+_FAIRNESS_SLACK = 1e-3
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Throughput of one strategy in one topology."""
+
+    name: str
+    concurrent: bool
+    #: Per-client throughput in bit/s, MAC overhead and airtime share applied.
+    client_throughput_bps: Tuple[float, float]
+    #: Rate selections of the two transmissions (PHY-level detail).
+    rates: Tuple[RateSelection, RateSelection]
+    #: The power allocations behind the result (per AP), when applicable —
+    #: lets analyses inspect subcarrier usage (e.g. §4.2's OFDMA effect).
+    allocations: Optional[Tuple[StreamAllocation, StreamAllocation]] = None
+
+    @property
+    def aggregate_bps(self) -> float:
+        return float(sum(self.client_throughput_bps))
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return self.aggregate_bps / 1e6
+
+
+@dataclass
+class StrategyOutcome:
+    """Everything the engine learned about one topology."""
+
+    #: Measured (true-channel) results per scheme.
+    schemes: Dict[str, SchemeResult]
+    #: CSI-predicted results per scheme (what the leader AP believes).
+    predictions: Dict[str, SchemeResult]
+    #: Scheme the throughput-maximizing COPA picks (from predictions).
+    copa_choice: str
+    #: Scheme the incentive-compatible COPA picks.
+    copa_fair_choice: str
+
+    @property
+    def copa(self) -> SchemeResult:
+        return self.schemes[self.copa_choice]
+
+    @property
+    def copa_fair(self) -> SchemeResult:
+        return self.schemes[self.copa_fair_choice]
+
+
+class StrategyEngine:
+    """Evaluates the strategy menu for one channel realization.
+
+    Parameters
+    ----------
+    channels:
+        True channels of the topology (what physics does).
+    imperfections:
+        CSI error / TX EVM / leakage model (what separates belief from
+        physics).
+    coherence_s:
+        Coherence time used for the MAC overhead accounting (the paper
+        charges CSI dissemination once per 30 ms).
+    allocator:
+        Per-stream power allocator; :func:`repro.core.equi_snr.allocate`
+        gives COPA, :func:`repro.core.mercury.mercury_allocate` gives the
+        COPA+ upper bound.
+    rate_selector:
+        Rate-selection model: :func:`repro.phy.rates.best_rate` (default)
+        enforces 802.11's single decoder;
+        :func:`repro.core.multi_decoder.per_subcarrier_rates` evaluates the
+        §4.6 one-decoder-per-coding-rate hardware.
+    """
+
+    def __init__(
+        self,
+        channels: ChannelSet,
+        imperfections: Optional[ImperfectionModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        overhead_model: Optional[MacOverheadModel] = None,
+        coherence_s: float = 0.030,
+        tx_power_dbm: float = TX_POWER_DBM,
+        allocator: StreamAllocator = equi_snr.allocate,
+        max_iterations: int = 8,
+        rate_selector=best_rate,
+    ):
+        self.channels = channels
+        self.imperfections = imperfections if imperfections is not None else ImperfectionModel()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.overhead_model = overhead_model if overhead_model is not None else MacOverheadModel()
+        self.overheads: MacOverheads = self.overhead_model.overheads(coherence_s)
+        self.tx_power_mw = float(dbm_to_mw(tx_power_dbm))
+        self.allocator = allocator
+        self.max_iterations = max_iterations
+        #: Maps per-cell SINRs to a rate selection; ``best_rate`` models the
+        #: single-decoder constraint, ``per_subcarrier_rates`` the §4.6
+        #: one-decoder-per-coding-rate hardware.
+        self.rate_selector = rate_selector
+
+        topology = channels.topology
+        self.ap_names = [ap.name for ap in topology.aps]
+        self.client_names = [c.name for c in topology.clients]
+        self.n_tx = topology.aps[0].n_antennas
+        self.n_rx = topology.clients[0].n_antennas
+
+        # What each AP knows: noisy CSI of its own and its cross link,
+        # measured once per coherence interval (§3.1).
+        self.csi: Dict[Tuple[str, str], np.ndarray] = {}
+        for ap in self.ap_names:
+            for client in self.client_names:
+                self.csi[(ap, client)] = channels.measured_csi(ap, client, self.imperfections, self.rng)
+
+    # ------------------------------------------------------------------
+    # channel access
+    # ------------------------------------------------------------------
+
+    def _channel(self, ap: str, client: str, true_channel: bool) -> np.ndarray:
+        if true_channel:
+            return self.channels.channel(ap, client)
+        return self.csi[(ap, client)]
+
+    # ------------------------------------------------------------------
+    # design construction (from CSI — what the APs can actually compute)
+    # ------------------------------------------------------------------
+
+    def _bf_designs(self) -> List[TransmissionDesign]:
+        return [
+            beamforming_design(
+                self.csi[(self.ap_names[i], self.client_names[i])],
+                ap=self.ap_names[i],
+                client=self.client_names[i],
+            )
+            for i in range(2)
+        ]
+
+    def _null_designs(self) -> List[TransmissionDesign]:
+        """Full (or reduced-rank) nulling designs for both APs."""
+        designs = []
+        for i in range(2):
+            ap = self.ap_names[i]
+            own = self.client_names[i]
+            victim = self.client_names[1 - i]
+            designs.append(
+                nulling_design(
+                    self.csi[(ap, own)],
+                    self.csi[(ap, victim)],
+                    ap=ap,
+                    client=own,
+                )
+            )
+        return designs
+
+    def _sda_design_pair(self, leader: int) -> List[TransmissionDesign]:
+        """SDA designs with AP ``leader`` leading; index order is [AP1, AP2]."""
+        follower = 1 - leader
+        lead_ap, lead_client = self.ap_names[leader], self.client_names[leader]
+        fol_ap, fol_client = self.ap_names[follower], self.client_names[follower]
+        lead_design, fol_design = sda_designs(
+            leader_csi_own=self.csi[(lead_ap, lead_client)],
+            leader_csi_cross=self.csi[(lead_ap, fol_client)],
+            follower_csi_own=self.csi[(fol_ap, fol_client)],
+            follower_csi_cross=self.csi[(fol_ap, lead_client)],
+            leader_ap=lead_ap,
+            leader_client=lead_client,
+            follower_ap=fol_ap,
+            follower_client=fol_client,
+        )
+        pair: List[Optional[TransmissionDesign]] = [None, None]
+        pair[leader] = lead_design
+        pair[follower] = fol_design
+        return pair  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # power allocation
+    # ------------------------------------------------------------------
+
+    def _equal_allocation(self, design: TransmissionDesign) -> StreamAllocation:
+        """Status-quo 802.11: the power budget spread evenly everywhere."""
+        n_sc, n_s = design.n_subcarriers, design.n_streams
+        powers = np.full((n_sc, n_s), self.tx_power_mw / (n_s * n_sc))
+        used = np.ones((n_sc, n_s), dtype=bool)
+        return StreamAllocation(powers=powers, used=used, per_stream=[])
+
+    def _sequential_allocation(self, design: TransmissionDesign) -> StreamAllocation:
+        """Equi-SNR (Algorithm 1) per stream, no concurrent interference."""
+        gains = stream_gains(self.csi[(design.ap, design.client)], design)
+        return allocate_single(
+            gains,
+            self.tx_power_mw,
+            noise_mw=self.channels.noise_floor_mw,
+            allocator=self.allocator,
+        )
+
+    def _concurrent_allocation(self, designs: Sequence[TransmissionDesign]) -> List[StreamAllocation]:
+        """The Fig. 6 iterative Equi-SINR joint allocation."""
+        gains = []
+        coupling = []
+        for i in range(2):
+            design = designs[i]
+            own_csi = self.csi[(design.ap, design.client)]
+            victim_name = designs[1 - i].client
+            victim_csi = self.csi[(design.ap, victim_name)]
+            gains.append(stream_gains(own_csi, design))
+            coupled = cross_coupling(victim_csi, design, victim_active_rx=designs[1 - i].active_rx)
+            # Nulls computed from noisy CSI bottom out at the estimation-error
+            # floor; the allocator must plan for that residual (§2.2).
+            residual = self.imperfections.csi_error_linear * float(
+                np.mean(np.abs(victim_csi) ** 2)
+            )
+            coupling.append(coupled + residual)
+        context = ConcurrentContext(
+            gains=gains,
+            coupling=coupling,
+            budgets=[self.tx_power_mw, self.tx_power_mw],
+            noise_mw=[self.channels.noise_floor_mw] * 2,
+            leakage_linear=self.imperfections.carrier_leakage_linear,
+        )
+        result = allocate_concurrent(
+            context,
+            max_iterations=self.max_iterations,
+            allocator=self.allocator,
+        )
+        return result.allocations
+
+    # ------------------------------------------------------------------
+    # throughput evaluation
+    # ------------------------------------------------------------------
+
+    def _rate_of(
+        self,
+        receiver: int,
+        designs: Sequence[TransmissionDesign],
+        allocations: Sequence[StreamAllocation],
+        concurrent: bool,
+        true_channel: bool,
+    ) -> RateSelection:
+        """Rate selection for client ``receiver`` under one scheme."""
+        design = designs[receiver]
+        alloc = allocations[receiver]
+        active = list(design.active_rx)
+        n_active = len(active)
+        n_sc = design.n_subcarriers
+
+        h_own = self._channel(design.ap, design.client, true_channel)[:, active, :]
+        effective = h_own @ design.precoder
+        data_powers = np.where(alloc.used, alloc.powers, 0.0)
+        own_radiated = radiated_powers(alloc.powers, alloc.used, self.imperfections.carrier_leakage_linear)
+
+        covariance = self.channels.noise_floor_mw * np.broadcast_to(
+            np.eye(n_active, dtype=complex), (n_sc, n_active, n_active)
+        ).copy()
+        # Own transmitter's EVM noise reaches the own client too.
+        covariance += tx_noise_covariance(
+            h_own, own_radiated.sum(axis=1), self.imperfections.tx_evm_linear
+        )
+        if concurrent:
+            other = designs[1 - receiver]
+            other_alloc = allocations[1 - receiver]
+            other_radiated = radiated_powers(
+                other_alloc.powers, other_alloc.used, self.imperfections.carrier_leakage_linear
+            )
+            h_cross = self._channel(other.ap, design.client, true_channel)[:, active, :]
+            eff_cross = h_cross @ other.precoder
+            covariance += interference_covariance(eff_cross, other_radiated)
+            covariance += tx_noise_covariance(
+                h_cross, other_radiated.sum(axis=1), self.imperfections.tx_evm_linear
+            )
+            if not true_channel:
+                # Prediction mode: through its own CSI the other AP's nulls
+                # look infinitely deep, but the AP knows its null depth is
+                # limited by CSI estimation error (§2.2).  Add the expected
+                # residual: per victim antenna, error variance × total power.
+                entry_power = float(np.mean(np.abs(h_cross) ** 2))
+                residual = (
+                    self.imperfections.csi_error_linear
+                    * entry_power
+                    * other_radiated.sum(axis=1)
+                )
+                covariance += residual[:, None, None] * np.eye(n_active)[None, :, :]
+
+        sinr = mmse_sinr(effective, data_powers, covariance)
+        return self.rate_selector(sinr, used=alloc.used)
+
+    def _scheme_result(
+        self,
+        name: str,
+        designs: Sequence[TransmissionDesign],
+        allocations: Sequence[StreamAllocation],
+        concurrent: bool,
+        overhead: float,
+        true_channel: bool,
+    ) -> SchemeResult:
+        rates = tuple(
+            self._rate_of(i, designs, allocations, concurrent, true_channel) for i in range(2)
+        )
+        factor = self.overhead_model.net_throughput_factor(overhead)
+        if concurrent:
+            throughput = tuple(r.goodput_bps * factor for r in rates)
+        else:
+            # Sequential senders take turns: each client gets half the airtime.
+            throughput = tuple(r.goodput_bps * factor / 2.0 for r in rates)
+        return SchemeResult(
+            name=name,
+            concurrent=concurrent,
+            client_throughput_bps=throughput,  # type: ignore[arg-type]
+            rates=rates,  # type: ignore[arg-type]
+            allocations=tuple(allocations),  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # scheme menu
+    # ------------------------------------------------------------------
+
+    def _full_nulling_feasible(self) -> bool:
+        """Can each AP send full rank while nulling every victim antenna?"""
+        full_rank = min(self.n_tx, self.n_rx)
+        return max_nulled_streams(self.n_tx, self.n_rx, self.n_rx) >= full_rank
+
+    def _reduced_nulling_feasible(self) -> bool:
+        return max_nulled_streams(self.n_tx, self.n_rx, self.n_rx) >= 1
+
+    def _sda_applicable(self) -> bool:
+        """SDA helps when full nulling is overconstrained but shutting one
+        victim antenna restores enough degrees of freedom (§3.4).
+
+        Both roles must be feasible: the leader nulls the follower client's
+        single remaining antenna, *and* the follower (reduced rank) must
+        still null all of the leader client's antennas — so e.g. two
+        2-antenna APs with 2-antenna clients cannot use SDA.
+        """
+        if self._full_nulling_feasible() or self.n_rx < 2:
+            return False
+        leader_ok = max_nulled_streams(self.n_tx, self.n_rx, 1) >= 1
+        follower_ok = max_nulled_streams(self.n_tx, 1, self.n_rx) >= 1
+        return leader_ok and follower_ok
+
+    def _average_results(self, name: str, results: Sequence[SchemeResult]) -> SchemeResult:
+        """Average per-client throughputs (used for the two SDA leader roles)."""
+        throughput = tuple(
+            float(np.mean([r.client_throughput_bps[i] for r in results])) for i in range(2)
+        )
+        return SchemeResult(
+            name=name,
+            concurrent=results[0].concurrent,
+            client_throughput_bps=throughput,  # type: ignore[arg-type]
+            rates=results[0].rates,
+        )
+
+    def _both(self, name, designs, allocations, concurrent, overhead):
+        """(measured, predicted) results of one scheme."""
+        actual = self._scheme_result(name, designs, allocations, concurrent, overhead, True)
+        predicted = self._scheme_result(name, designs, allocations, concurrent, overhead, False)
+        return actual, predicted
+
+    def run(self) -> StrategyOutcome:
+        """Evaluate the full menu and make the COPA / COPA-fair choices."""
+        schemes: Dict[str, SchemeResult] = {}
+        predictions: Dict[str, SchemeResult] = {}
+        ovh = self.overheads
+
+        bf = self._bf_designs()
+        equal_bf = [self._equal_allocation(d) for d in bf]
+        schemes[SCHEME_CSMA], predictions[SCHEME_CSMA] = self._both(
+            SCHEME_CSMA, bf, equal_bf, False, ovh.csma
+        )
+
+        seq_alloc = [self._sequential_allocation(bf[i]) for i in range(2)]
+        schemes[SCHEME_COPA_SEQ], predictions[SCHEME_COPA_SEQ] = self._both(
+            SCHEME_COPA_SEQ, bf, seq_alloc, False, ovh.copa_sequential
+        )
+
+        conc_bf_alloc = self._concurrent_allocation(bf)
+        schemes[SCHEME_CONC_BF], predictions[SCHEME_CONC_BF] = self._both(
+            SCHEME_CONC_BF, bf, conc_bf_alloc, True, ovh.copa_concurrent
+        )
+
+        if self._reduced_nulling_feasible():
+            null_designs = self._null_designs()
+            if self._full_nulling_feasible():
+                # Vanilla nulling baseline: equal power, no selection.
+                equal_null = [self._equal_allocation(d) for d in null_designs]
+                schemes[SCHEME_NULL], predictions[SCHEME_NULL] = self._both(
+                    SCHEME_NULL, null_designs, equal_null, True, ovh.copa_concurrent
+                )
+            conc_null_alloc = self._concurrent_allocation(null_designs)
+            schemes[SCHEME_CONC_NULL], predictions[SCHEME_CONC_NULL] = self._both(
+                SCHEME_CONC_NULL, null_designs, conc_null_alloc, True, ovh.copa_concurrent
+            )
+
+        if self._sda_applicable():
+            sda_actual, sda_predicted = [], []
+            for leader in range(2):
+                designs = self._sda_design_pair(leader)
+                # Vanilla Null+SDA baseline (equal power)...
+                equal = [self._equal_allocation(d) for d in designs]
+                a_eq, p_eq = self._both(SCHEME_NULL, designs, equal, True, ovh.copa_concurrent)
+                # ...and COPA's allocated SDA strategy.
+                alloc = self._concurrent_allocation(designs)
+                a, p = self._both(SCHEME_CONC_SDA, designs, alloc, True, ovh.copa_concurrent)
+                sda_actual.append((a_eq, a))
+                sda_predicted.append((p_eq, p))
+            schemes[SCHEME_NULL] = self._average_results(SCHEME_NULL, [x[0] for x in sda_actual])
+            predictions[SCHEME_NULL] = self._average_results(SCHEME_NULL, [x[0] for x in sda_predicted])
+            schemes[SCHEME_CONC_SDA] = self._average_results(SCHEME_CONC_SDA, [x[1] for x in sda_actual])
+            predictions[SCHEME_CONC_SDA] = self._average_results(SCHEME_CONC_SDA, [x[1] for x in sda_predicted])
+
+        copa_choice = self._choose(predictions, fair=False)
+        copa_fair_choice = self._choose(predictions, fair=True)
+        return StrategyOutcome(
+            schemes=schemes,
+            predictions=predictions,
+            copa_choice=copa_choice,
+            copa_fair_choice=copa_fair_choice,
+        )
+
+    # ------------------------------------------------------------------
+    # choice
+    # ------------------------------------------------------------------
+
+    _COPA_CANDIDATES = (SCHEME_COPA_SEQ, SCHEME_CONC_BF, SCHEME_CONC_NULL, SCHEME_CONC_SDA)
+
+    def _choose(self, predictions: Dict[str, SchemeResult], fair: bool) -> str:
+        """Pick the best strategy from predicted throughputs (Fig. 8).
+
+        With ``fair=True``, concurrent candidates are only admissible when
+        neither client is predicted to fall below its COPA-SEQ throughput
+        (§3.5's incentive-compatibility tweak).
+        """
+        baseline = predictions[SCHEME_COPA_SEQ]
+        best_name = SCHEME_COPA_SEQ
+        best_aggregate = baseline.aggregate_bps
+        for name in self._COPA_CANDIDATES:
+            if name not in predictions or name == SCHEME_COPA_SEQ:
+                continue
+            candidate = predictions[name]
+            if fair:
+                admissible = all(
+                    candidate.client_throughput_bps[i]
+                    >= baseline.client_throughput_bps[i] * (1.0 - _FAIRNESS_SLACK)
+                    for i in range(2)
+                )
+                if not admissible:
+                    continue
+            if candidate.aggregate_bps > best_aggregate:
+                best_aggregate = candidate.aggregate_bps
+                best_name = name
+        return best_name

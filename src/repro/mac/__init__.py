@@ -1,0 +1,41 @@
+"""The MAC substrate: ITS coordination, CSI compression, DCF contention."""
+
+from .compression import (
+    compress_csi,
+    compression_ratio,
+    decompress_csi,
+    lzw_compress,
+    lzw_decompress,
+)
+from .csi_cache import CsiCache, CsiEntry
+from .csma import DcfSimulator, DcfStats, Station, jain_fairness
+from .frames import Decision, ItsAck, ItsInit, ItsReq, parse_frame
+from .its import ItsPhase, ItsRunStats, ItsSimulator, TimelineEvent
+from .timing import MacOverheadModel, MacOverheads, coherence_time_s, table1_rows
+
+__all__ = [
+    "CsiCache",
+    "CsiEntry",
+    "DcfSimulator",
+    "DcfStats",
+    "Decision",
+    "ItsAck",
+    "ItsInit",
+    "ItsPhase",
+    "ItsReq",
+    "ItsRunStats",
+    "ItsSimulator",
+    "MacOverheadModel",
+    "MacOverheads",
+    "Station",
+    "TimelineEvent",
+    "coherence_time_s",
+    "compress_csi",
+    "compression_ratio",
+    "decompress_csi",
+    "jain_fairness",
+    "lzw_compress",
+    "lzw_decompress",
+    "parse_frame",
+    "table1_rows",
+]

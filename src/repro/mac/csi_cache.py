@@ -1,0 +1,75 @@
+"""Per-sender CSI cache with coherence-time expiry (§3.1, step ①).
+
+A COPA AP overhears frames from nearby clients and APs, measures the
+channel from each sender (reciprocity makes the reverse channel equal to
+the transpose), and caches the result indexed by sender address.  Entries
+are only trustworthy for one coherence time; after that the AP must
+re-measure (or probe with an NDP) before using them for nulling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["CsiEntry", "CsiCache"]
+
+
+@dataclass(frozen=True)
+class CsiEntry:
+    """One cached measurement: the channel *from* the sender to us."""
+
+    sender: str
+    channel: np.ndarray
+    measured_at_s: float
+
+    def age_s(self, now_s: float) -> float:
+        return now_s - self.measured_at_s
+
+
+class CsiCache:
+    """Keyed by sender address; entries expire after one coherence time."""
+
+    def __init__(self, coherence_s: float = 0.030):
+        if coherence_s <= 0:
+            raise ValueError("coherence time must be positive")
+        self.coherence_s = coherence_s
+        self._entries: Dict[str, CsiEntry] = {}
+
+    def update(self, sender: str, channel: np.ndarray, now_s: float) -> None:
+        """Record a fresh measurement overheard from ``sender``."""
+        self._entries[sender] = CsiEntry(sender=sender, channel=np.asarray(channel), measured_at_s=now_s)
+
+    def get(self, sender: str, now_s: float) -> Optional[CsiEntry]:
+        """The cached entry if it is still within its coherence window."""
+        entry = self._entries.get(sender)
+        if entry is None:
+            return None
+        if entry.age_s(now_s) > self.coherence_s:
+            return None
+        return entry
+
+    def reverse_channel(self, sender: str, now_s: float) -> Optional[np.ndarray]:
+        """The channel *to* the sender, by reciprocity (transposed antennas)."""
+        entry = self.get(sender, now_s)
+        if entry is None:
+            return None
+        return np.swapaxes(entry.channel, -1, -2)
+
+    def is_fresh(self, sender: str, now_s: float) -> bool:
+        return self.get(sender, now_s) is not None
+
+    def evict_stale(self, now_s: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        stale = [k for k, e in self._entries.items() if e.age_s(now_s) > self.coherence_s]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sender: str) -> bool:
+        return sender in self._entries

@@ -1,0 +1,164 @@
+"""ITS control frames (Fig. 5) and their wire encoding.
+
+COPA coordinates entirely over the air with three control frames:
+
+* ``ITS INIT`` — the contention winner (Leader) announces which client it
+  is about to serve and for how long (the airtime field doubles as an
+  RTS/CTS-style NAV for non-participating radios).
+* ``ITS REQ``  — a Follower asks to join the transmit opportunity and
+  attaches the compressed CSI from itself to *both* clients.
+* ``ITS ACK``  — the Leader announces the joint decision (concurrent or
+  sequential) and, when concurrent, ships the Follower's precoding matrix.
+
+Frames serialize to bytes with ``struct`` so the MAC simulation charges
+real airtime for real payload sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "Decision",
+    "ItsInit",
+    "ItsReq",
+    "ItsAck",
+    "parse_frame",
+    "MAC_ADDRESS_BYTES",
+]
+
+MAC_ADDRESS_BYTES = 6
+_HEADER = struct.Struct("!BH")  # frame type, payload length
+_INIT_BODY = struct.Struct("!6s6sI")  # leader, client, airtime (µs)
+_REQ_FIXED = struct.Struct("!6s6s6s6sI")  # leader, follower, c1, c2, csi length
+_ACK_FIXED = struct.Struct("!6s6s6s6sBI")  # ids, decision, precoder length
+
+_TYPE_INIT = 1
+_TYPE_REQ = 2
+_TYPE_ACK = 3
+
+
+class Decision(Enum):
+    """The Leader's verdict in the ITS ACK (§3.1)."""
+
+    SEQUENTIAL = 0
+    CONCURRENT = 1
+
+
+def _addr(value: str) -> bytes:
+    """Encode a node name as a fixed-width pseudo-MAC address."""
+    raw = value.encode("utf-8")
+    if len(raw) > MAC_ADDRESS_BYTES:
+        raise ValueError(f"node name {value!r} too long for an address field")
+    return raw.ljust(MAC_ADDRESS_BYTES, b"\x00")
+
+
+def _unaddr(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("utf-8")
+
+
+@dataclass(frozen=True)
+class ItsInit:
+    """Intention-to-send announcement from the elected Leader."""
+
+    leader: str
+    client: str
+    airtime_us: int
+
+    def to_bytes(self) -> bytes:
+        body = _INIT_BODY.pack(_addr(self.leader), _addr(self.client), self.airtime_us)
+        return _HEADER.pack(_TYPE_INIT, len(body)) + body
+
+    @property
+    def byte_size(self) -> int:
+        return _HEADER.size + _INIT_BODY.size
+
+
+@dataclass(frozen=True)
+class ItsReq:
+    """Follower's request to join, carrying compressed CSI to both clients."""
+
+    leader: str
+    follower: str
+    client1: str
+    client2: str
+    compressed_csi: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        body = _REQ_FIXED.pack(
+            _addr(self.leader),
+            _addr(self.follower),
+            _addr(self.client1),
+            _addr(self.client2),
+            len(self.compressed_csi),
+        )
+        body += self.compressed_csi
+        return _HEADER.pack(_TYPE_REQ, len(body)) + body
+
+    @property
+    def byte_size(self) -> int:
+        return _HEADER.size + _REQ_FIXED.size + len(self.compressed_csi)
+
+
+@dataclass(frozen=True)
+class ItsAck:
+    """Leader's decision, optionally carrying the Follower's precoder."""
+
+    leader: str
+    follower: str
+    client1: str
+    client2: str
+    decision: Decision
+    precoder_blob: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        body = _ACK_FIXED.pack(
+            _addr(self.leader),
+            _addr(self.follower),
+            _addr(self.client1),
+            _addr(self.client2),
+            self.decision.value,
+            len(self.precoder_blob),
+        )
+        body += self.precoder_blob
+        return _HEADER.pack(_TYPE_ACK, len(body)) + body
+
+    @property
+    def byte_size(self) -> int:
+        return _HEADER.size + _ACK_FIXED.size + len(self.precoder_blob)
+
+
+def parse_frame(data: bytes):
+    """Decode a frame produced by any of the ``to_bytes`` methods."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated frame header")
+    frame_type, length = _HEADER.unpack_from(data)
+    body = data[_HEADER.size : _HEADER.size + length]
+    if len(body) != length:
+        raise ValueError("truncated frame body")
+    if frame_type == _TYPE_INIT:
+        leader, client, airtime = _INIT_BODY.unpack(body)
+        return ItsInit(_unaddr(leader), _unaddr(client), airtime)
+    if frame_type == _TYPE_REQ:
+        leader, follower, c1, c2, csi_len = _REQ_FIXED.unpack_from(body)
+        csi = body[_REQ_FIXED.size : _REQ_FIXED.size + csi_len]
+        if len(csi) != csi_len:
+            raise ValueError("truncated CSI payload")
+        return ItsReq(_unaddr(leader), _unaddr(follower), _unaddr(c1), _unaddr(c2), csi)
+    if frame_type == _TYPE_ACK:
+        leader, follower, c1, c2, decision, blob_len = _ACK_FIXED.unpack_from(body)
+        blob = body[_ACK_FIXED.size : _ACK_FIXED.size + blob_len]
+        if len(blob) != blob_len:
+            raise ValueError("truncated precoder payload")
+        return ItsAck(
+            _unaddr(leader),
+            _unaddr(follower),
+            _unaddr(c1),
+            _unaddr(c2),
+            Decision(decision),
+            blob,
+        )
+    raise ValueError(f"unknown frame type {frame_type}")

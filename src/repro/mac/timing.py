@@ -1,0 +1,182 @@
+"""802.11 timing and the analytic MAC-overhead model behind Table 1.
+
+The paper charges every scheme its medium-access overhead on top of the
+4 ms transmit opportunity: CSMA pays a CTS-to-self (or RTS/CTS), COPA pays
+the ITS INIT/REQ/ACK exchange plus the CSI and precoding-matrix payloads.
+CSI only has to be refreshed once per *coherence time*, so COPA's overhead
+falls as the environment gets more static — Table 1 tabulates the
+percentages for coherence times of 4, 30 and 1000 ms.
+
+Conventions (matching the numbers in the paper's Table 1): contention
+overhead (DIFS + backoff) is common to every scheme and excluded;
+control frames ride the 24 Mbit/s basic rate behind a legacy preamble;
+the data transmission itself pays an HT preamble and a block-ACK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..phy.constants import (
+    BASIC_RATE_BPS,
+    CTS_BYTES,
+    CW_MIN,
+    DIFS_S,
+    PLCP_PREAMBLE_HT_S,
+    PLCP_PREAMBLE_LEGACY_S,
+    RTS_BYTES,
+    SIFS_S,
+    SLOT_TIME_S,
+    TXOP_DURATION_S,
+)
+
+__all__ = [
+    "coherence_time_s",
+    "MacOverheadModel",
+    "MacOverheads",
+    "table1_rows",
+]
+
+#: Default compressed CSI payload carried in an ITS REQ: two client links'
+#: worth of per-subcarrier amplitude+phase after ~2× compression (§3.1).
+DEFAULT_CSI_BITS = 6400
+#: Precoding matrix for the follower, carried in the ITS ACK.
+DEFAULT_PRECODER_BITS = 3200
+#: ITS control frames: MAC header + identities + airtime field (+ FCS).
+ITS_INIT_BYTES = 24
+ITS_REQ_HEADER_BYTES = 30
+ITS_ACK_HEADER_BYTES = 30
+#: Block-ACK for the A-MPDU.
+BLOCK_ACK_BYTES = 32
+
+
+def coherence_time_s(speed_m_per_s: float, wavelength_m: float, m: float = 0.25) -> float:
+    """Channel coherence time t_c = m·λ/v (§3.1; m = 0.25 is conservative).
+
+    For λ ≈ 12.3 cm this gives ≈28 ms at walking speed (4 km/h) and
+    ≈112 ms at 1 km/h, the figures quoted in the paper.
+    """
+    if speed_m_per_s <= 0:
+        raise ValueError("speed must be positive")
+    return m * wavelength_m / speed_m_per_s
+
+
+@dataclass(frozen=True)
+class MacOverheads:
+    """Per-scheme throughput-cost fractions in [0, 1)."""
+
+    csma: float
+    rts_cts: float
+    copa_sequential: float
+    copa_concurrent: float
+
+
+@dataclass(frozen=True)
+class MacOverheadModel:
+    """Computes the throughput fraction each scheme loses to MAC overhead."""
+
+    txop_s: float = TXOP_DURATION_S
+    basic_rate_bps: float = BASIC_RATE_BPS
+    #: Bulk payloads (CSI, precoding matrices) ride a mid-range data rate
+    #: rather than the basic rate; control headers stay at the basic rate.
+    payload_rate_bps: float = 54e6
+    sifs_s: float = SIFS_S
+    csi_bits: int = DEFAULT_CSI_BITS
+    precoder_bits: int = DEFAULT_PRECODER_BITS
+    #: DIFS + mean backoff (CWmin/2 slots), the contention cost every
+    #: scheme pays per TXOP.  Excluded from Table 1 (it is common to all
+    #: schemes) but included in end-to-end throughput accounting.
+    contention_s: float = DIFS_S + (CW_MIN / 2.0) * SLOT_TIME_S
+    #: A-MPDU framing efficiency: payload / (payload + MAC header + FCS +
+    #: MPDU delimiter + padding) for 1500-byte MPDUs.
+    mpdu_efficiency: float = 1500.0 / 1540.0
+
+    def control_airtime_s(self, n_bytes: int, extra_bits: int = 0) -> float:
+        """Airtime of a control frame: legacy preamble, header at the basic
+        rate, bulk payload (``extra_bits``) at the payload rate."""
+        header = n_bytes * 8 / self.basic_rate_bps
+        payload = extra_bits / self.payload_rate_bps
+        return PLCP_PREAMBLE_LEGACY_S + header + payload
+
+    @property
+    def data_fixed_overhead_s(self) -> float:
+        """Overhead every data transmission pays: HT preamble, SIFS, block-ACK."""
+        return PLCP_PREAMBLE_HT_S + self.sifs_s + self.control_airtime_s(BLOCK_ACK_BYTES)
+
+    @property
+    def cts_to_self_s(self) -> float:
+        return self.control_airtime_s(CTS_BYTES) + self.sifs_s
+
+    @property
+    def rts_cts_s(self) -> float:
+        return self.control_airtime_s(RTS_BYTES) + self.sifs_s + self.cts_to_self_s
+
+    def its_exchange_s(self, include_csi: bool) -> float:
+        """ITS INIT + REQ + ACK with SIFS gaps; CSI/precoder payloads optional.
+
+        The CSI rides in the REQ and the follower's precoding matrix in the
+        ACK (Fig. 5); both are only present when the coherence clock says
+        the cached values have gone stale.
+        """
+        init = self.control_airtime_s(ITS_INIT_BYTES)
+        req = self.control_airtime_s(ITS_REQ_HEADER_BYTES, self.csi_bits if include_csi else 0)
+        ack = self.control_airtime_s(ITS_ACK_HEADER_BYTES, self.precoder_bits if include_csi else 0)
+        return init + req + ack + 3 * self.sifs_s
+
+    @staticmethod
+    def _fraction(overhead_s: float, useful_s: float) -> float:
+        return overhead_s / (overhead_s + useful_s)
+
+    def csma_overhead(self) -> float:
+        """CTS-to-self CSMA: constant, coherence-independent."""
+        return self._fraction(self.cts_to_self_s + self.data_fixed_overhead_s, self.txop_s)
+
+    def rts_cts_overhead(self) -> float:
+        return self._fraction(self.rts_cts_s + self.data_fixed_overhead_s, self.txop_s)
+
+    def copa_overhead(self, coherence_s: float, concurrent: bool) -> float:
+        """COPA's overhead at a given coherence time.
+
+        Concurrent rounds run a (short) ITS exchange per TXOP and ship
+        CSI + precoder once per coherence time.  Sequential rounds need no
+        per-TXOP exchange after the first one of a coherence interval
+        ("the other does not send an ITS REQ back for the rest of the
+        coherence time", §3.1).
+        """
+        if coherence_s <= 0:
+            raise ValueError("coherence time must be positive")
+        txops_per_coherence = max(coherence_s / self.txop_s, 1.0)
+        full_exchange = self.its_exchange_s(include_csi=True)
+        short_exchange = self.its_exchange_s(include_csi=False)
+        if concurrent:
+            per_txop = short_exchange + (full_exchange - short_exchange) / txops_per_coherence
+        else:
+            per_txop = full_exchange / txops_per_coherence
+        return self._fraction(per_txop + self.data_fixed_overhead_s, self.txop_s)
+
+    def net_throughput_factor(self, scheme_overhead: float) -> float:
+        """Fraction of the PHY goodput that survives all MAC costs.
+
+        Combines the scheme's Table-1 overhead with the contention cost
+        and A-MPDU framing efficiency common to every scheme.
+        """
+        contention_factor = self.txop_s / (self.txop_s + self.contention_s)
+        return (1.0 - scheme_overhead) * contention_factor * self.mpdu_efficiency
+
+    def overheads(self, coherence_s: float) -> MacOverheads:
+        """All four schemes' overhead fractions at one coherence time."""
+        return MacOverheads(
+            csma=self.csma_overhead(),
+            rts_cts=self.rts_cts_overhead(),
+            copa_sequential=self.copa_overhead(coherence_s, concurrent=False),
+            copa_concurrent=self.copa_overhead(coherence_s, concurrent=True),
+        )
+
+
+def table1_rows(
+    coherence_times_ms: Sequence[float] = (4.0, 30.0, 1000.0),
+    model: MacOverheadModel = MacOverheadModel(),
+) -> Dict[float, MacOverheads]:
+    """Reproduce Table 1: overhead percentages per coherence time."""
+    return {tc: model.overheads(tc / 1e3) for tc in coherence_times_ms}

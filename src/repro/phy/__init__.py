@@ -1,0 +1,71 @@
+"""The PHY substrate: 802.11n OFDM/MIMO channel simulation and link models.
+
+This subpackage replaces the paper's WARP v2 testbed: frequency-selective
+indoor MIMO channels, radio imperfections, MIMO precoding/reception
+primitives, and the SINR → BER → FER → throughput pipeline of §4.1.
+"""
+
+from .channel import ChannelModel, ChannelSet
+from .doppler import ChannelTrack, doppler_frequency_hz, temporal_correlation
+from .effective_snr import best_rate_eesm, effective_snr
+from .estimation import EstimationResult, estimate_mimo_channel, estimation_error_power
+from .constants import (
+    MCS_TABLE,
+    N_DATA_SUBCARRIERS,
+    NOISE_FLOOR_DBM,
+    TX_POWER_DBM,
+    Mcs,
+    Modulation,
+)
+from .fading import PowerDelayProfile, TappedDelayLine, exponential_pdp, frequency_response
+from .llr import llr_demodulate, llrs_to_hard_bits
+from .mimo import mmse_sinr, nulling_precoder, nullspace_basis, svd_beamformer
+from .mimo_transceiver import MimoFrame, MimoReception, MimoTransceiver
+from .noise import ImperfectionModel
+from .rates import RateSelection, best_rate, evaluate_mcs
+from .topology import Node, PathLossModel, Topology, TopologyGenerator
+from .transceiver import Agc, FrameConfig, FrameTransceiver, detect_frame_start
+
+__all__ = [
+    "Agc",
+    "ChannelModel",
+    "ChannelSet",
+    "ChannelTrack",
+    "EstimationResult",
+    "FrameConfig",
+    "FrameTransceiver",
+    "MimoFrame",
+    "MimoReception",
+    "MimoTransceiver",
+    "ImperfectionModel",
+    "MCS_TABLE",
+    "Mcs",
+    "Modulation",
+    "N_DATA_SUBCARRIERS",
+    "NOISE_FLOOR_DBM",
+    "Node",
+    "PathLossModel",
+    "PowerDelayProfile",
+    "RateSelection",
+    "TappedDelayLine",
+    "Topology",
+    "TopologyGenerator",
+    "TX_POWER_DBM",
+    "best_rate",
+    "best_rate_eesm",
+    "detect_frame_start",
+    "effective_snr",
+    "doppler_frequency_hz",
+    "estimate_mimo_channel",
+    "estimation_error_power",
+    "evaluate_mcs",
+    "llr_demodulate",
+    "llrs_to_hard_bits",
+    "temporal_correlation",
+    "exponential_pdp",
+    "frequency_response",
+    "mmse_sinr",
+    "nulling_precoder",
+    "nullspace_basis",
+    "svd_beamformer",
+]

@@ -1,0 +1,115 @@
+"""Per-subcarrier MIMO channels for a whole topology.
+
+Combines the large-scale link gains from :mod:`repro.phy.topology` with the
+small-scale tapped-delay-line fading from :mod:`repro.phy.fading` to give,
+for every (transmitter, receiver) pair, an array ``H`` of shape
+``(n_subcarriers, n_rx, n_tx)`` of complex amplitude gains.  Received power
+on subcarrier ``k`` for a transmit vector ``x`` is ``|H[k] @ x|^2`` in mW
+when ``|x|^2`` is in mW.
+
+The channel is reciprocal (§3.1): the matrix from B to A is the transpose
+of the matrix from A to B, which is how COPA APs learn the channel *to* a
+client by overhearing frames *from* it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..util import dbm_to_mw, db_to_linear
+from .constants import N_DATA_SUBCARRIERS, NOISE_FLOOR_DBM
+from .fading import PowerDelayProfile, TappedDelayLine, exponential_pdp, frequency_response
+from .noise import ImperfectionModel
+from .topology import Topology
+
+__all__ = ["ChannelModel", "ChannelSet"]
+
+
+@dataclass
+class ChannelSet:
+    """All pairwise channels of one topology realization.
+
+    ``channels[(tx_name, rx_name)]`` → complex array (n_sc, n_rx, n_tx).
+    Both directions are stored; reciprocity ties them together.
+    """
+
+    topology: Topology
+    channels: Dict[Tuple[str, str], np.ndarray]
+    noise_floor_mw: float = dbm_to_mw(NOISE_FLOOR_DBM)
+    n_subcarriers: int = N_DATA_SUBCARRIERS
+
+    def channel(self, tx: str, rx: str) -> np.ndarray:
+        """True channel from ``tx`` to ``rx``; shape (n_sc, n_rx, n_tx)."""
+        try:
+            return self.channels[(tx, rx)]
+        except KeyError:
+            raise KeyError(f"no channel from {tx!r} to {rx!r}") from None
+
+    def measured_csi(self, tx: str, rx: str, imperfections: ImperfectionModel, rng: np.random.Generator) -> np.ndarray:
+        """What a COPA AP *believes* the channel is (noisy estimate)."""
+        return imperfections.measure_csi(self.channel(tx, rx), rng)
+
+    def scaled_interference(self, factor_db: float) -> "ChannelSet":
+        """A copy with every cross link (APi → Cj, i≠j) scaled by ``factor_db``.
+
+        This is the paper's §4.4 trace-driven emulation: interference is
+        made 10 dB weaker while the signal of interest is left unchanged.
+        """
+        scale = np.sqrt(db_to_linear(factor_db))
+        new_channels = dict(self.channels)
+        ap_names = [ap.name for ap in self.topology.aps]
+        client_names = [c.name for c in self.topology.clients]
+        for i, ap in enumerate(ap_names):
+            cross_client = client_names[1 - i]
+            for key in [(ap, cross_client), (cross_client, ap)]:
+                new_channels[key] = self.channels[key] * scale
+        return ChannelSet(
+            topology=self.topology,
+            channels=new_channels,
+            noise_floor_mw=self.noise_floor_mw,
+            n_subcarriers=self.n_subcarriers,
+        )
+
+
+@dataclass
+class ChannelModel:
+    """Draws :class:`ChannelSet` realizations for a topology.
+
+    Parameters are shared across all links; the per-link mean power comes
+    from the topology's path-loss gains.
+    """
+
+    pdp: PowerDelayProfile = field(default_factory=exponential_pdp)
+    tx_correlation: float = 0.65
+    rx_correlation: float = 0.65
+    noise_floor_dbm: float = NOISE_FLOOR_DBM
+    n_subcarriers: int = N_DATA_SUBCARRIERS
+
+    def realize(self, topology: Topology, rng: np.random.Generator) -> ChannelSet:
+        """Sample small-scale fading for every node pair in the topology."""
+        nodes = topology.aps + topology.clients
+        channels: Dict[Tuple[str, str], np.ndarray] = {}
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                gain = db_to_linear(topology.gain_db(a.name, b.name))
+                tdl = TappedDelayLine.sample(
+                    n_rx=b.n_antennas,
+                    n_tx=a.n_antennas,
+                    pdp=self.pdp,
+                    rng=rng,
+                    tx_correlation=self.tx_correlation,
+                    rx_correlation=self.rx_correlation,
+                )
+                h_ab = np.sqrt(gain) * frequency_response(tdl, self.n_subcarriers)
+                channels[(a.name, b.name)] = h_ab
+                # Reciprocity: swap the antenna axes.
+                channels[(b.name, a.name)] = np.swapaxes(h_ab, 1, 2)
+        return ChannelSet(
+            topology=topology,
+            channels=channels,
+            noise_floor_mw=float(dbm_to_mw(self.noise_floor_dbm)),
+            n_subcarriers=self.n_subcarriers,
+        )

@@ -1,0 +1,175 @@
+"""802.11n PHY/MAC numerology used throughout the reproduction.
+
+Values follow the 20 MHz, 2.4 GHz, long-guard-interval operating point the
+paper's WARP testbed uses (§4.1): 52 data subcarriers, 4 µs OFDM symbols,
+800 ns cyclic prefix, 15 dBm total transmit power and the eight
+single-stream HT (802.11n) bit-rates 6.5–65 Mbit/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Modulation",
+    "Mcs",
+    "MCS_TABLE",
+    "N_FFT",
+    "N_DATA_SUBCARRIERS",
+    "N_PILOT_SUBCARRIERS",
+    "SUBCARRIER_SPACING_HZ",
+    "SYMBOL_DURATION_S",
+    "USEFUL_SYMBOL_DURATION_S",
+    "CYCLIC_PREFIX_S",
+    "CHANNEL_WIDTH_HZ",
+    "CARRIER_FREQUENCY_HZ",
+    "CARRIER_WAVELENGTH_M",
+    "TX_POWER_DBM",
+    "NOISE_FLOOR_DBM",
+    "SLOT_TIME_S",
+    "SIFS_S",
+    "DIFS_S",
+    "CW_MIN",
+    "CW_MAX",
+    "TXOP_DURATION_S",
+    "PLCP_PREAMBLE_HT_S",
+    "PLCP_PREAMBLE_LEGACY_S",
+    "BASIC_RATE_BPS",
+    "ACK_BYTES",
+    "CTS_BYTES",
+    "RTS_BYTES",
+    "MPDU_PAYLOAD_BYTES",
+    "phy_rate_bps",
+]
+
+# ---------------------------------------------------------------------------
+# OFDM numerology (802.11n HT20).
+# ---------------------------------------------------------------------------
+
+#: FFT size of a 20 MHz 802.11n channel.
+N_FFT = 64
+#: Data subcarriers per OFDM symbol (HT20: 52 data + 4 pilots).
+N_DATA_SUBCARRIERS = 52
+#: Pilot subcarriers per OFDM symbol.
+N_PILOT_SUBCARRIERS = 4
+#: Subcarrier spacing: 20 MHz / 64.
+SUBCARRIER_SPACING_HZ = 312_500.0
+#: Useful (FFT) portion of an OFDM symbol.
+USEFUL_SYMBOL_DURATION_S = 3.2e-6
+#: Long guard interval; also the synchronization budget for concurrency (§3.1).
+CYCLIC_PREFIX_S = 0.8e-6
+#: Total OFDM symbol duration with long GI.
+SYMBOL_DURATION_S = USEFUL_SYMBOL_DURATION_S + CYCLIC_PREFIX_S
+#: Occupied channel width.
+CHANNEL_WIDTH_HZ = 20e6
+#: 2.4 GHz band centre used by the testbed.
+CARRIER_FREQUENCY_HZ = 2.437e9
+#: Wavelength at the carrier (≈12.3 cm; the paper's "one radio wavelength").
+CARRIER_WAVELENGTH_M = 299_792_458.0 / CARRIER_FREQUENCY_HZ
+
+# ---------------------------------------------------------------------------
+# Power budget and noise.
+# ---------------------------------------------------------------------------
+
+#: Maximum total transmit power of the WARP testbed (§4.1).
+TX_POWER_DBM = 15.0
+#: Thermal noise floor for a 20 MHz channel (kTB at room temperature).
+#: Receiver imperfections are modelled separately (CSI error, TX EVM), so
+#: the noise floor itself carries no extra noise figure; calibrated so the
+#: CSMA ceiling of the 4×2 scenario matches the paper's §4.3.
+NOISE_FLOOR_DBM = -101.0
+
+# ---------------------------------------------------------------------------
+# 802.11 timing (OFDM PHY, 2.4 GHz 802.11n values).
+# ---------------------------------------------------------------------------
+
+SLOT_TIME_S = 9e-6
+SIFS_S = 16e-6
+#: DIFS = SIFS + 2 × slot.
+DIFS_S = SIFS_S + 2 * SLOT_TIME_S
+CW_MIN = 15
+CW_MAX = 1023
+#: Transmit-opportunity duration the paper uses for throughput accounting.
+TXOP_DURATION_S = 4e-3
+#: HT mixed-mode PLCP preamble (L-STF..HT-LTFs for up to 4 streams).
+PLCP_PREAMBLE_HT_S = 36e-6
+#: Legacy OFDM preamble + SIGNAL field, used for control frames.
+PLCP_PREAMBLE_LEGACY_S = 20e-6
+#: Basic rate used for control frames (24 Mbit/s OFDM).
+BASIC_RATE_BPS = 24e6
+ACK_BYTES = 14
+CTS_BYTES = 14
+RTS_BYTES = 20
+#: MPDU payload size used for frame-error-rate accounting.
+MPDU_PAYLOAD_BYTES = 1500
+
+# ---------------------------------------------------------------------------
+# Modulation and coding schemes.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """A square-QAM constellation used by 802.11."""
+
+    name: str
+    #: Bits carried per subcarrier per OFDM symbol.
+    bits_per_symbol: int
+    #: Constellation size (2 ** bits_per_symbol).
+    points: int
+
+
+BPSK = Modulation("BPSK", 1, 2)
+QPSK = Modulation("QPSK", 2, 4)
+QAM16 = Modulation("16-QAM", 4, 16)
+QAM64 = Modulation("64-QAM", 6, 64)
+
+MODULATIONS = (BPSK, QPSK, QAM16, QAM64)
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One 802.11n modulation-and-coding scheme (single spatial stream)."""
+
+    index: int
+    modulation: Modulation
+    #: Convolutional code rate as a (numerator, denominator) pair.
+    code_rate: tuple
+    #: Nominal PHY rate in bit/s over all 52 data subcarriers, long GI.
+    rate_bps: float
+
+    @property
+    def code_rate_float(self) -> float:
+        return self.code_rate[0] / self.code_rate[1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MCS{self.index} ({self.modulation.name} "
+            f"{self.code_rate[0]}/{self.code_rate[1]}, "
+            f"{self.rate_bps / 1e6:g} Mbps)"
+        )
+
+
+def phy_rate_bps(modulation: Modulation, code_rate: tuple, n_subcarriers: int = N_DATA_SUBCARRIERS) -> float:
+    """PHY bit-rate for one stream over ``n_subcarriers`` data subcarriers."""
+    bits_per_ofdm_symbol = n_subcarriers * modulation.bits_per_symbol
+    coded = bits_per_ofdm_symbol * code_rate[0] / code_rate[1]
+    return coded / SYMBOL_DURATION_S
+
+
+#: The eight HT20 single-stream rates: 6.5 … 65 Mbit/s.
+MCS_TABLE = tuple(
+    Mcs(i, modulation, code_rate, phy_rate_bps(modulation, code_rate))
+    for i, (modulation, code_rate) in enumerate(
+        [
+            (BPSK, (1, 2)),
+            (QPSK, (1, 2)),
+            (QPSK, (3, 4)),
+            (QAM16, (1, 2)),
+            (QAM16, (3, 4)),
+            (QAM64, (2, 3)),
+            (QAM64, (3, 4)),
+            (QAM64, (5, 6)),
+        ]
+    )
+)

@@ -1,0 +1,69 @@
+"""Soft demapping: per-bit log-likelihood ratios for Gray-coded QAM.
+
+Hard demapping throws away reliability information; real 802.11 receivers
+feed the Viterbi decoder soft bit metrics, worth ~2 dB of SNR.  This
+module computes exact max-log LLRs for every constellation in
+:mod:`repro.phy.qam` and is consumed by the soft path of
+:mod:`repro.phy.viterbi` — the second, higher-fidelity leg of the
+signal-level validation chain.
+
+Convention: LLR(b) = log P(b = 0 | y) − log P(b = 1 | y), so positive
+LLRs favour a 0 bit and the hard decision is ``llr < 0``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from .constants import Modulation
+from .qam import constellation
+
+__all__ = ["llr_demodulate", "llrs_to_hard_bits"]
+
+
+@lru_cache(maxsize=None)
+def _bit_partitions(bits_per_symbol: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Constellation points partitioned by each bit's value.
+
+    Returns two arrays of shape (bits_per_symbol, points/2): the points
+    whose label has bit b equal to 0, and those with bit b equal to 1
+    (bit 0 is the most significant, matching the mapper).
+    """
+    points = constellation(bits_per_symbol)
+    n = points.size
+    zeros = np.empty((bits_per_symbol, n // 2), dtype=complex)
+    ones = np.empty((bits_per_symbol, n // 2), dtype=complex)
+    for bit in range(bits_per_symbol):
+        shift = bits_per_symbol - 1 - bit
+        mask = (np.arange(n) >> shift) & 1
+        zeros[bit] = points[mask == 0]
+        ones[bit] = points[mask == 1]
+    return zeros, ones
+
+
+def llr_demodulate(symbols, modulation: Modulation, noise_variance: float = 1.0) -> np.ndarray:
+    """Max-log LLR per transmitted bit (MSB-first within each symbol).
+
+    ``noise_variance`` is the total complex noise power per symbol; the
+    max-log approximation uses the nearest point of each bit partition:
+
+        LLR(b) ≈ (min_{s: b=1} |y − s|² − min_{s: b=0} |y − s|²) / σ²
+    """
+    if noise_variance <= 0:
+        raise ValueError("noise_variance must be positive")
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    zeros, ones = _bit_partitions(modulation.bits_per_symbol)
+
+    # distances: (n_symbols, bits, points/2)
+    d_zero = np.abs(symbols[:, None, None] - zeros[None, :, :]) ** 2
+    d_one = np.abs(symbols[:, None, None] - ones[None, :, :]) ** 2
+    llrs = (d_one.min(axis=2) - d_zero.min(axis=2)) / noise_variance
+    return llrs.reshape(-1)
+
+
+def llrs_to_hard_bits(llrs) -> np.ndarray:
+    """Hard decisions from LLRs (ties resolve to 0)."""
+    return (np.asarray(llrs, dtype=float) < 0).astype(np.int8)

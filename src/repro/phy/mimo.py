@@ -1,0 +1,168 @@
+"""MIMO linear algebra: SVD beamforming, nullspace nulling, MMSE reception.
+
+All functions are vectorized over subcarriers: channel arguments have shape
+``(n_sc, n_rx, n_tx)`` and precoders ``(n_sc, n_tx, n_streams)``.  Precoder
+columns are unit-norm, so the power transmitted on stream ``s`` of
+subcarrier ``k`` is exactly the allocation ``p[k, s]``.
+
+These are the primitives the paper's §4.1 describes: "To send multiple
+streams, hosts use the singular value decomposition of the channel and to
+null we project onto the appropriate nullspace.  On the receiving side,
+hosts use a Minimum Mean Square Error filter."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import hermitian
+
+__all__ = [
+    "svd_beamformer",
+    "nullspace_basis",
+    "nulling_precoder",
+    "max_nulled_streams",
+    "interference_covariance",
+    "tx_noise_covariance",
+    "mmse_sinr",
+    "effective_channel",
+]
+
+
+def svd_beamformer(channel: np.ndarray, n_streams: int) -> np.ndarray:
+    """Transmit-beamforming precoder: top right-singular vectors per subcarrier.
+
+    Maximizes power delivered to the intended receiver (§3.3's "transmit
+    beamforming" precoding matrices).  Returns shape (n_sc, n_tx, n_streams).
+    """
+    channel = np.asarray(channel)
+    n_sc, n_rx, n_tx = channel.shape
+    if not 1 <= n_streams <= min(n_rx, n_tx):
+        raise ValueError(
+            f"n_streams={n_streams} must be in [1, min(n_rx={n_rx}, n_tx={n_tx})]"
+        )
+    _, _, vh = np.linalg.svd(channel, full_matrices=False)
+    return hermitian(vh)[:, :, :n_streams]
+
+
+def nullspace_basis(cross_channel: np.ndarray) -> np.ndarray:
+    """Orthonormal basis of the nullspace of the cross channel, per subcarrier.
+
+    ``cross_channel`` is the channel toward the *unintended* receiver's
+    antennas, shape (n_sc, n_victim_antennas, n_tx).  Any transmit vector in
+    the returned basis arrives as (ideally) zero at every victim antenna.
+    Returns shape (n_sc, n_tx, n_tx - n_victim_antennas).
+    """
+    cross = np.asarray(cross_channel)
+    n_sc, n_victim, n_tx = cross.shape
+    null_dim = n_tx - n_victim
+    if null_dim < 1:
+        raise ValueError(
+            f"no nullspace: {n_tx} TX antennas cannot null {n_victim} victim antennas"
+        )
+    # Full SVD: the last (n_tx - n_victim) right-singular vectors span the
+    # nullspace (the victim channel has full row rank almost surely).
+    _, _, vh = np.linalg.svd(cross, full_matrices=True)
+    return hermitian(vh)[:, :, n_victim:]
+
+
+def max_nulled_streams(n_tx: int, n_own_antennas: int, n_victim_antennas: int) -> int:
+    """How many streams can be sent while fully nulling the victim.
+
+    The nullspace of the victim channel has dimension n_tx − n_victim; the
+    own client can separate at most n_own streams.  A value ≤ 0 means the
+    problem is overconstrained (§3.4).
+    """
+    return min(n_tx - n_victim_antennas, n_own_antennas)
+
+
+def nulling_precoder(own_channel: np.ndarray, cross_channel: np.ndarray, n_streams: int) -> np.ndarray:
+    """Nulling precoder: beamform to the own client inside the cross nullspace.
+
+    Projects onto the nullspace of ``cross_channel`` and then applies SVD
+    beamforming of the own channel restricted to that subspace — §3.3's
+    "combination of nullspace projection and the SVD to null interference
+    at the unintended receiver while maximizing power at each AP's own
+    client".  Returns (n_sc, n_tx, n_streams) with unit-norm columns.
+    """
+    own = np.asarray(own_channel)
+    basis = nullspace_basis(cross_channel)  # (n_sc, n_tx, null_dim)
+    null_dim = basis.shape[2]
+    if n_streams > null_dim:
+        raise ValueError(
+            f"cannot send {n_streams} nulled streams with nullspace dimension {null_dim}"
+        )
+    projected = own @ basis  # (n_sc, n_rx, null_dim)
+    _, _, vh = np.linalg.svd(projected, full_matrices=False)
+    inner = hermitian(vh)[:, :, :n_streams]  # (n_sc, null_dim, n_streams)
+    return basis @ inner
+
+
+def effective_channel(channel: np.ndarray, precoder: np.ndarray) -> np.ndarray:
+    """Per-subcarrier effective channel H @ W, shape (n_sc, n_rx, n_streams)."""
+    return np.asarray(channel) @ np.asarray(precoder)
+
+
+def interference_covariance(effective: np.ndarray, powers: np.ndarray) -> np.ndarray:
+    """Covariance of interfering streams at a receiver.
+
+    ``effective`` is the interferer's effective channel (n_sc, n_rx, n_s)
+    and ``powers`` the per-subcarrier per-stream powers (n_sc, n_s).
+    Returns (n_sc, n_rx, n_rx).
+    """
+    effective = np.asarray(effective)
+    powers = np.asarray(powers, dtype=float)
+    weighted = effective * powers[:, None, :]
+    return weighted @ hermitian(effective)
+
+
+def tx_noise_covariance(channel: np.ndarray, total_power: np.ndarray, evm_linear: float) -> np.ndarray:
+    """Covariance of a transmitter's EVM noise at a receiver.
+
+    TX noise is radiated equally from all transmit antennas and does *not*
+    pass through the precoder, so it cannot be nulled — one of the noise
+    sources the paper blames for imperfect nulling (§2.2).  ``total_power``
+    is the per-subcarrier total transmit power (n_sc,).
+    """
+    channel = np.asarray(channel)
+    n_tx = channel.shape[2]
+    per_antenna = np.asarray(total_power, dtype=float) * evm_linear / n_tx
+    return (channel * per_antenna[:, None, None]) @ hermitian(channel)
+
+
+def mmse_sinr(
+    effective: np.ndarray,
+    powers: np.ndarray,
+    noise_covariance: np.ndarray,
+) -> np.ndarray:
+    """Post-MMSE SINR of every intended stream on every subcarrier.
+
+    ``effective``: intended effective channel (n_sc, n_rx, n_s);
+    ``powers``: per-stream powers (n_sc, n_s);
+    ``noise_covariance``: everything else — interference + TX noise + thermal
+    noise — as (n_sc, n_rx, n_rx).
+
+    For stream ``i`` with column ``a_i`` and power ``p_i``:
+        SINR_i = p_i · a_i^H (R + Σ_{j≠i} p_j a_j a_j^H)^{-1} a_i
+    which is the SINR at the output of the MMSE filter for that stream.
+    Streams with zero power get SINR 0.
+    """
+    effective = np.asarray(effective)
+    powers = np.asarray(powers, dtype=float)
+    noise_covariance = np.asarray(noise_covariance)
+    n_sc, n_rx, n_s = effective.shape
+    if powers.shape != (n_sc, n_s):
+        raise ValueError(f"powers shape {powers.shape} != {(n_sc, n_s)}")
+
+    total = noise_covariance + interference_covariance(effective, powers)
+    sinr = np.zeros((n_sc, n_s))
+    for i in range(n_s):
+        a_i = effective[:, :, i]  # (n_sc, n_rx)
+        p_i = powers[:, i]
+        # Remove stream i's own contribution from the total covariance.
+        own = p_i[:, None, None] * (a_i[:, :, None] @ np.conj(a_i[:, None, :]))
+        r_i = total - own
+        solved = np.linalg.solve(r_i, a_i[:, :, None])[:, :, 0]
+        quad = np.real(np.einsum("ki,ki->k", np.conj(a_i), solved))
+        sinr[:, i] = p_i * np.maximum(quad, 0.0)
+    return sinr

@@ -1,0 +1,89 @@
+"""Radio-imperfection models: CSI estimation error, TX noise, leakage.
+
+The paper attributes imperfect nulling (§2.2) to "receiver noise when
+measuring the channel state in order to calculate the nulling phase and
+transmitter imperfections and noise when sending the nulled signal", and
+notes that dropped subcarriers still leak about −27 dB of adjacent-carrier
+power (the Maxim 2829 transceiver datasheet).  These three models are what
+turn ideal (infinitely deep) nulls into the ≈27 dB residual-interference
+reduction of Figure 3, which in turn is what creates the SINR variability
+COPA exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util import db_to_linear
+
+__all__ = ["ImperfectionModel", "CARRIER_LEAKAGE_DB"]
+
+#: Adjacent-subcarrier leakage of a "switched-off" subcarrier (Maxim 2829).
+CARRIER_LEAKAGE_DB = -27.0
+
+
+@dataclass(frozen=True)
+class ImperfectionModel:
+    """Noise knobs applied between 'what an AP knows' and 'what happens'.
+
+    csi_error_db
+        Power of the per-entry CSI estimation error relative to the channel
+        entry's mean power.  An error at −26 dB limits achievable null depth,
+        matching Fig. 3's ≈27 dB mean INR reduction.
+    tx_evm_db
+        Transmitter error-vector magnitude: per-sample TX noise relative to
+        the transmitted signal power, radiated isotropically (it does not
+        pass through the precoder, so it cannot be nulled).
+    carrier_leakage_db
+        Power that a dropped subcarrier still radiates, relative to the
+        mean power of its two neighbours.
+    """
+
+    csi_error_db: float = -26.0
+    tx_evm_db: float = -35.0
+    carrier_leakage_db: float = CARRIER_LEAKAGE_DB
+
+    @property
+    def csi_error_linear(self) -> float:
+        return float(db_to_linear(self.csi_error_db))
+
+    @property
+    def tx_evm_linear(self) -> float:
+        return float(db_to_linear(self.tx_evm_db))
+
+    @property
+    def carrier_leakage_linear(self) -> float:
+        return float(db_to_linear(self.carrier_leakage_db))
+
+    def measure_csi(self, true_channel: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """A noisy CSI estimate of ``true_channel``.
+
+        The error on each entry is complex Gaussian with power
+        ``csi_error_linear`` times the mean squared magnitude of the link's
+        entries, mimicking estimation noise that scales with the received
+        power of the sounding frames.
+        """
+        true_channel = np.asarray(true_channel)
+        mean_power = float(np.mean(np.abs(true_channel) ** 2))
+        if mean_power == 0.0:
+            return true_channel.copy()
+        sigma = np.sqrt(self.csi_error_linear * mean_power / 2.0)
+        error = sigma * (
+            rng.standard_normal(true_channel.shape)
+            + 1j * rng.standard_normal(true_channel.shape)
+        )
+        return true_channel + error
+
+    def leakage_power(self, neighbour_powers: np.ndarray) -> np.ndarray:
+        """Power a dropped subcarrier still radiates, per §3.2.
+
+        ``neighbour_powers`` is the mean allocated power of the adjacent
+        (still active) subcarriers.
+        """
+        return self.carrier_leakage_linear * np.asarray(neighbour_powers, dtype=float)
+
+
+#: A model with every imperfection disabled, for idealized unit tests.
+PERFECT = ImperfectionModel(csi_error_db=-400.0, tx_evm_db=-400.0, carrier_leakage_db=-400.0)

@@ -1,0 +1,88 @@
+"""Signal-level OFDM: subcarrier mapping, IFFT/FFT, cyclic prefix, equalize.
+
+A deliberately compact OFDM chain used by the examples and by the
+validation tests that exercise COPA's power allocation end-to-end at the
+sample level (QAM symbols → OFDM waveform → multipath channel → FFT →
+per-subcarrier equalization → demap).  The throughput experiments use the
+analytic SINR pipeline instead; this module exists to show the two agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import N_DATA_SUBCARRIERS, N_FFT
+
+__all__ = [
+    "data_subcarrier_bins",
+    "ofdm_modulate",
+    "ofdm_demodulate",
+    "apply_multipath",
+    "equalize",
+]
+
+#: Cyclic-prefix length in samples (800 ns at 20 Msample/s).
+CP_SAMPLES = 16
+
+
+def data_subcarrier_bins(n_data: int = N_DATA_SUBCARRIERS, n_fft: int = N_FFT) -> np.ndarray:
+    """FFT bin indices of the data subcarriers, DC and band edges skipped.
+
+    Bins are allocated symmetrically around (and excluding) DC, matching
+    802.11's occupied-tone layout closely enough for simulation.
+    """
+    half = n_data // 2
+    negative = np.arange(-half, 0)
+    positive = np.arange(1, n_data - half + 1)
+    return np.concatenate([negative % n_fft, positive])
+
+
+def ofdm_modulate(symbols: np.ndarray, n_fft: int = N_FFT, cp_samples: int = CP_SAMPLES) -> np.ndarray:
+    """OFDM-modulate symbols of shape (n_ofdm_symbols, n_data) to samples.
+
+    Returns time-domain samples of shape (n_ofdm_symbols, n_fft + cp)
+    normalized so the mean sample power equals the mean symbol power.
+    """
+    symbols = np.atleast_2d(np.asarray(symbols, dtype=complex))
+    n_sym, n_data = symbols.shape
+    bins = data_subcarrier_bins(n_data, n_fft)
+    grid = np.zeros((n_sym, n_fft), dtype=complex)
+    grid[:, bins] = symbols
+    # Orthonormal IFFT keeps per-subcarrier power comparable pre/post FFT.
+    time = np.fft.ifft(grid, n=n_fft, axis=1) * np.sqrt(n_fft)
+    with_cp = np.concatenate([time[:, -cp_samples:], time], axis=1)
+    return with_cp
+
+
+def ofdm_demodulate(samples: np.ndarray, n_data: int = N_DATA_SUBCARRIERS, n_fft: int = N_FFT, cp_samples: int = CP_SAMPLES) -> np.ndarray:
+    """Strip the CP and FFT back to per-subcarrier symbols."""
+    samples = np.atleast_2d(np.asarray(samples, dtype=complex))
+    if samples.shape[1] != n_fft + cp_samples:
+        raise ValueError(f"expected symbols of {n_fft + cp_samples} samples, got {samples.shape[1]}")
+    no_cp = samples[:, cp_samples:]
+    grid = np.fft.fft(no_cp, n=n_fft, axis=1) / np.sqrt(n_fft)
+    return grid[:, data_subcarrier_bins(n_data, n_fft)]
+
+
+def apply_multipath(samples: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Convolve a per-symbol sample stream with a (short) channel response.
+
+    ``taps`` is a 1-D complex impulse response no longer than the cyclic
+    prefix, so inter-symbol interference stays inside the CP and each OFDM
+    symbol sees a circular convolution (the standard OFDM property).
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=complex))
+    taps = np.asarray(taps, dtype=complex).ravel()
+    if taps.size > CP_SAMPLES:
+        raise ValueError("impulse response longer than the cyclic prefix")
+    stream = samples.ravel()
+    convolved = np.convolve(stream, taps)[: stream.size]
+    return convolved.reshape(samples.shape)
+
+
+def equalize(received_symbols: np.ndarray, channel_per_subcarrier: np.ndarray) -> np.ndarray:
+    """One-tap zero-forcing equalization per subcarrier."""
+    received_symbols = np.asarray(received_symbols, dtype=complex)
+    h = np.asarray(channel_per_subcarrier, dtype=complex)
+    safe = np.where(np.abs(h) < 1e-12, 1.0, h)
+    return received_symbols / safe

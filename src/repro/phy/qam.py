@@ -1,0 +1,101 @@
+"""Signal-level Gray-coded square-QAM modulation and hard demapping.
+
+Used by the signal-level validation path (QAM → OFDM → AWGN → demap →
+Viterbi) that cross-checks the analytic BER formulas in
+:mod:`repro.phy.ber`.  Constellations are normalized to unit average
+energy, so a linear SNR of γ means noise variance 1/γ per complex symbol.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .constants import Modulation
+
+__all__ = [
+    "gray_code",
+    "constellation",
+    "modulate",
+    "demodulate_hard",
+    "awgn",
+]
+
+
+def gray_code(n_bits: int) -> np.ndarray:
+    """The n-bit Gray sequence: gray_code(2) -> [0, 1, 3, 2]."""
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    values = np.arange(2**n_bits)
+    return values ^ (values >> 1)
+
+
+@lru_cache(maxsize=None)
+def _pam_levels(bits_per_dim: int) -> np.ndarray:
+    """Gray-labelled PAM levels indexed by the bit pattern they carry."""
+    m = 2**bits_per_dim
+    levels = 2 * np.arange(m) - (m - 1)  # -(m-1), ..., (m-1)
+    labelled = np.empty(m, dtype=float)
+    labelled[gray_code(bits_per_dim)] = levels
+    return labelled
+
+
+@lru_cache(maxsize=None)
+def constellation(bits_per_symbol: int) -> np.ndarray:
+    """Unit-energy constellation points indexed by their bit label.
+
+    BPSK (1 bit) is real antipodal; even bit counts are square QAM with the
+    first half of the bits on I and the second half on Q, each Gray-coded
+    per dimension (the 802.11 mapping).
+    """
+    if bits_per_symbol == 1:
+        return np.array([-1.0 + 0j, 1.0 + 0j])
+    if bits_per_symbol % 2:
+        raise ValueError("only BPSK or square QAM (even bit counts) supported")
+    half = bits_per_symbol // 2
+    pam = _pam_levels(half)
+    labels = np.arange(2**bits_per_symbol)
+    i_bits = labels >> half
+    q_bits = labels & (2**half - 1)
+    points = pam[i_bits] + 1j * pam[q_bits]
+    energy = np.mean(np.abs(points) ** 2)
+    return points / np.sqrt(energy)
+
+
+def _bits_to_labels(bits: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    if bits.size % bits_per_symbol:
+        raise ValueError(f"bit count {bits.size} not divisible by {bits_per_symbol}")
+    grouped = bits.reshape(-1, bits_per_symbol)
+    weights = 2 ** np.arange(bits_per_symbol - 1, -1, -1)
+    return grouped @ weights
+
+
+def modulate(bits, modulation: Modulation) -> np.ndarray:
+    """Map a bit array (MSB-first per symbol) to constellation symbols."""
+    points = constellation(modulation.bits_per_symbol)
+    return points[_bits_to_labels(bits, modulation.bits_per_symbol)]
+
+
+def demodulate_hard(symbols, modulation: Modulation) -> np.ndarray:
+    """Nearest-point hard demapping back to bits."""
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    points = constellation(modulation.bits_per_symbol)
+    distances = np.abs(symbols[:, None] - points[None, :])
+    labels = np.argmin(distances, axis=1)
+    n_bits = modulation.bits_per_symbol
+    shifts = np.arange(n_bits - 1, -1, -1)
+    return ((labels[:, None] >> shifts[None, :]) & 1).astype(np.int8).ravel()
+
+
+def awgn(symbols, snr_linear: float, rng: np.random.Generator) -> np.ndarray:
+    """Add complex white Gaussian noise for a target per-symbol SNR."""
+    if snr_linear <= 0:
+        raise ValueError("snr_linear must be positive")
+    symbols = np.asarray(symbols, dtype=complex)
+    sigma = np.sqrt(1.0 / (2.0 * snr_linear))
+    noise = sigma * (rng.standard_normal(symbols.shape) + 1j * rng.standard_normal(symbols.shape))
+    return symbols + noise

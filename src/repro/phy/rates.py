@@ -1,0 +1,105 @@
+"""802.11n rate selection: pick the MCS that maximizes predicted goodput.
+
+Because a Wi-Fi sender must use one modulation and one convolutional code
+across every subcarrier and stream of a transmission ("current hardware
+constrains us to using a single decoder at the receiver", §3.2), the rate
+decision couples all subcarriers: the weakest ones drive the channel BER
+the decoder sees, so a handful of faded subcarriers can force the whole
+link down to a low MCS.  That coupling is precisely the problem COPA's
+subcarrier dropping attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .ber import uncoded_ber
+from .coding import coded_ber, frame_error_rate
+from .constants import MCS_TABLE, MPDU_PAYLOAD_BYTES, N_DATA_SUBCARRIERS, Mcs
+
+__all__ = ["RateSelection", "evaluate_mcs", "best_rate"]
+
+
+@dataclass(frozen=True)
+class RateSelection:
+    """Outcome of rate selection for one transmission."""
+
+    mcs: Optional[Mcs]
+    #: Expected PHY-layer goodput in bit/s, before MAC/airtime overheads.
+    goodput_bps: float
+    #: Frame (MPDU) error rate at the chosen MCS.
+    fer: float
+    #: Mean uncoded BER the decoder sees at the chosen MCS.
+    channel_ber: float
+    #: Number of used (subcarrier, stream) cells out of 52 × n_streams.
+    n_used: int
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.goodput_bps / 1e6
+
+
+_ZERO = RateSelection(mcs=None, goodput_bps=0.0, fer=1.0, channel_ber=0.5, n_used=0)
+
+
+def _as_2d(sinr) -> np.ndarray:
+    sinr = np.asarray(sinr, dtype=float)
+    if sinr.ndim == 1:
+        sinr = sinr[:, None]
+    if sinr.ndim != 2:
+        raise ValueError("sinr must have shape (n_subcarriers,) or (n_subcarriers, n_streams)")
+    return sinr
+
+
+def evaluate_mcs(
+    sinr_linear,
+    mcs: Mcs,
+    used=None,
+    payload_bytes: int = MPDU_PAYLOAD_BYTES,
+) -> RateSelection:
+    """Predicted goodput for a specific MCS.
+
+    ``sinr_linear`` has shape (n_subcarriers, n_streams) (a 1-D array is
+    treated as one stream); ``used`` is an optional boolean mask of the
+    same shape — dropped cells carry no data and contribute nothing to the
+    decoder's BER.  The PHY rate scales with the fraction of used cells,
+    so e.g. two full streams give 2× the single-stream MCS rate.
+    """
+    sinr = _as_2d(sinr_linear)
+    if used is None:
+        mask = np.ones(sinr.shape, dtype=bool)
+    else:
+        mask = np.asarray(used, dtype=bool)
+        if mask.ndim == 1:
+            mask = mask[:, None]
+        if mask.shape != sinr.shape:
+            raise ValueError(f"used mask shape {mask.shape} != sinr shape {sinr.shape}")
+    n_used = int(mask.sum())
+    if n_used == 0:
+        return _ZERO
+
+    bers = uncoded_ber(sinr[mask], mcs.modulation)
+    channel_ber = float(np.mean(bers))
+    post = float(coded_ber(channel_ber, mcs.code_rate))
+    fer = float(frame_error_rate(post, payload_bytes * 8))
+    phy_rate = mcs.rate_bps * n_used / N_DATA_SUBCARRIERS
+    goodput = phy_rate * (1.0 - fer)
+    return RateSelection(mcs=mcs, goodput_bps=goodput, fer=fer, channel_ber=channel_ber, n_used=n_used)
+
+
+def best_rate(
+    sinr_linear,
+    used=None,
+    payload_bytes: int = MPDU_PAYLOAD_BYTES,
+    mcs_table: Sequence[Mcs] = MCS_TABLE,
+) -> RateSelection:
+    """The goodput-maximizing MCS for the given per-cell SINRs."""
+    best = _ZERO
+    for mcs in mcs_table:
+        candidate = evaluate_mcs(sinr_linear, mcs, used, payload_bytes)
+        if candidate.goodput_bps > best.goodput_bps:
+            best = candidate
+    return best

@@ -1,0 +1,181 @@
+"""Indoor topology generation: node placement, path loss, shadowing.
+
+The paper evaluates 30 hand-placed topologies in an office building, chosen
+so the signal of interest is usually (not always) stronger than the
+interference, with a handful of deliberately-obstructed links (a metal
+filing cabinet in the line of sight).  Figure 9 scatters each receiver's
+signal power against its interference power: signal spans roughly −70 to
+−30 dBm with most points below the x = y line.
+
+We reproduce that distribution with a log-distance path-loss model on
+randomly placed AP/client pairs in a rectangular floor, log-normal
+shadowing, and a configurable probability of an obstructed link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .constants import TX_POWER_DBM
+
+__all__ = [
+    "PathLossModel",
+    "Node",
+    "Topology",
+    "TopologyGenerator",
+]
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss: PL(d) = pl0 + 10·n·log10(d / 1 m) + X_shadow."""
+
+    #: Path loss at the 1 m reference distance (free space at 2.4 GHz ≈ 40 dB).
+    pl0_db: float = 40.0
+    #: Path-loss exponent; ~3.1 fits office environments with interior walls.
+    exponent: float = 3.1
+    #: Standard deviation of log-normal shadowing.
+    shadowing_sigma_db: float = 4.0
+    #: Extra attenuation of an obstructed (blocked line-of-sight) link.
+    obstruction_db: float = 12.0
+
+    def path_loss_db(self, distance_m: float, shadowing_db: float = 0.0, obstructed: bool = False) -> float:
+        """Total path loss for one link."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        distance_m = max(distance_m, 1.0)
+        loss = self.pl0_db + 10.0 * self.exponent * np.log10(distance_m) + shadowing_db
+        if obstructed:
+            loss += self.obstruction_db
+        return float(loss)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One radio: an AP or a client, at a planar position."""
+
+    name: str
+    position_m: Tuple[float, float]
+    n_antennas: int
+
+    def distance_to(self, other: "Node") -> float:
+        dx = self.position_m[0] - other.position_m[0]
+        dy = self.position_m[1] - other.position_m[1]
+        return float(np.hypot(dx, dy))
+
+
+@dataclass
+class Topology:
+    """Two AP/client pairs plus the average received power of every link.
+
+    ``link_gain_db[(a, b)]`` is the mean channel gain in dB (i.e. minus the
+    path loss) from node ``a`` to node ``b``; the channel layer multiplies
+    the small-scale fading by this.  Reciprocity holds: the gain is stored
+    once per unordered pair.
+    """
+
+    aps: List[Node]
+    clients: List[Node]
+    link_gain_db: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def gain_db(self, a: str, b: str) -> float:
+        """Mean gain between two nodes by name (order-insensitive)."""
+        if (a, b) in self.link_gain_db:
+            return self.link_gain_db[(a, b)]
+        if (b, a) in self.link_gain_db:
+            return self.link_gain_db[(b, a)]
+        raise KeyError(f"no link between {a!r} and {b!r}")
+
+    def mean_rx_power_dbm(self, a: str, b: str, tx_power_dbm: float = TX_POWER_DBM) -> float:
+        """Mean received power for a transmission at ``tx_power_dbm``."""
+        return tx_power_dbm + self.gain_db(a, b)
+
+    def signal_and_interference_dbm(self, tx_power_dbm: float = TX_POWER_DBM):
+        """Figure 9's quantities: per client, (signal dBm, interference dBm).
+
+        Signal is from the client's own AP, interference from the other AP,
+        both at full, equally-split transmit power.
+        """
+        pairs = []
+        for i, client in enumerate(self.clients):
+            own_ap = self.aps[i]
+            other_ap = self.aps[1 - i]
+            signal = self.mean_rx_power_dbm(own_ap.name, client.name, tx_power_dbm)
+            interference = self.mean_rx_power_dbm(other_ap.name, client.name, tx_power_dbm)
+            pairs.append((signal, interference))
+        return pairs
+
+
+@dataclass
+class TopologyGenerator:
+    """Random office topologies shaped like the paper's testbed (Fig. 9).
+
+    Two APs are dropped in a rectangular floor with a minimum separation;
+    each client is placed within ``client_radius_m`` of its own AP (hosts
+    are "normally, but not always, closer to their own AP").  Each link
+    independently suffers log-normal shadowing and, with a small
+    probability, a blocked line of sight.
+    """
+
+    floor_m: Tuple[float, float] = (20.0, 13.0)
+    ap_min_separation_m: float = 4.5
+    client_radius_m: Tuple[float, float] = (1.5, 7.0)
+    obstruction_probability: float = 0.1
+    path_loss: PathLossModel = field(default_factory=PathLossModel)
+
+    def _place_aps(self, rng: np.random.Generator) -> List[Tuple[float, float]]:
+        width, height = self.floor_m
+        for _ in range(1000):
+            positions = [(rng.uniform(0, width), rng.uniform(0, height)) for _ in range(2)]
+            dx = positions[0][0] - positions[1][0]
+            dy = positions[0][1] - positions[1][1]
+            if np.hypot(dx, dy) >= self.ap_min_separation_m:
+                return positions
+        raise RuntimeError("could not place APs with the requested separation")
+
+    def _place_client(self, ap_xy: Tuple[float, float], rng: np.random.Generator) -> Tuple[float, float]:
+        width, height = self.floor_m
+        r_lo, r_hi = self.client_radius_m
+        for _ in range(1000):
+            radius = rng.uniform(r_lo, r_hi)
+            angle = rng.uniform(0, 2 * np.pi)
+            x = ap_xy[0] + radius * np.cos(angle)
+            y = ap_xy[1] + radius * np.sin(angle)
+            if 0 <= x <= width and 0 <= y <= height:
+                return (float(x), float(y))
+        # Fall back to clamping inside the floor.
+        return (
+            float(np.clip(ap_xy[0] + r_lo, 0, width)),
+            float(np.clip(ap_xy[1] + r_lo, 0, height)),
+        )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        ap_antennas: int = 4,
+        client_antennas: int = 2,
+    ) -> Topology:
+        """Draw one topology with the given antenna counts."""
+        ap_positions = self._place_aps(rng)
+        aps = [Node(f"AP{i + 1}", ap_positions[i], ap_antennas) for i in range(2)]
+        clients = [
+            Node(f"C{i + 1}", self._place_client(ap_positions[i], rng), client_antennas)
+            for i in range(2)
+        ]
+        topology = Topology(aps=aps, clients=clients)
+
+        nodes = aps + clients
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                shadowing = rng.normal(0.0, self.path_loss.shadowing_sigma_db)
+                obstructed = rng.uniform() < self.obstruction_probability
+                loss = self.path_loss.path_loss_db(a.distance_to(b), shadowing, obstructed)
+                topology.link_gain_db[(a.name, b.name)] = -loss
+        return topology
+
+    def sample_many(self, n: int, rng: np.random.Generator, ap_antennas: int = 4, client_antennas: int = 2) -> List[Topology]:
+        """Draw ``n`` independent topologies (the paper uses 30)."""
+        return [self.sample(rng, ap_antennas, client_antennas) for _ in range(n)]

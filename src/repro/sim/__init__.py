@@ -1,0 +1,74 @@
+"""Experiment harness: scenarios, runners, metrics, trace emulation."""
+
+from .analysis import SubcarrierSharing, power_concentration, sharing_across_topologies, sharing_of
+from .config import DEFAULT_CONFIG, SimConfig
+from .emulation import run_emulated_experiment, scaled_traces, load_trace, save_trace
+from .experiment import (
+    CONSTRAINED_4X2,
+    OVERCONSTRAINED_3X2,
+    SINGLE_ANTENNA,
+    ExperimentResult,
+    ScenarioSpec,
+    TopologyRecord,
+    generate_channel_sets,
+    run_experiment,
+)
+from .metrics import ComparisonStats, Summary, cdf, compare, summarize
+from .network import (
+    BerComparison,
+    NullingEffect,
+    copa_vs_nopa_example,
+    measure_nulling_effect,
+    per_subcarrier_rx_power_dbm,
+)
+from .plots import ascii_bars, ascii_cdf, ascii_series
+from .reporting import experiment_report, headline_section, scheme_table
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    sweep_antenna_configurations,
+    sweep_coherence_time,
+    sweep_interference,
+)
+
+__all__ = [
+    "BerComparison",
+    "CONSTRAINED_4X2",
+    "ComparisonStats",
+    "DEFAULT_CONFIG",
+    "ExperimentResult",
+    "NullingEffect",
+    "OVERCONSTRAINED_3X2",
+    "SINGLE_ANTENNA",
+    "ScenarioSpec",
+    "SimConfig",
+    "Summary",
+    "TopologyRecord",
+    "SubcarrierSharing",
+    "SweepPoint",
+    "SweepResult",
+    "ascii_bars",
+    "ascii_cdf",
+    "ascii_series",
+    "cdf",
+    "compare",
+    "copa_vs_nopa_example",
+    "experiment_report",
+    "headline_section",
+    "power_concentration",
+    "scheme_table",
+    "sharing_across_topologies",
+    "sharing_of",
+    "sweep_antenna_configurations",
+    "sweep_coherence_time",
+    "sweep_interference",
+    "generate_channel_sets",
+    "load_trace",
+    "measure_nulling_effect",
+    "per_subcarrier_rx_power_dbm",
+    "run_emulated_experiment",
+    "run_experiment",
+    "save_trace",
+    "scaled_traces",
+    "summarize",
+]

@@ -1,0 +1,107 @@
+"""Allocation analyses: what COPA actually does with the subcarriers.
+
+§4.2 observes that in the single-antenna scenario "COPA has selected a
+form of OFDMA, with some subcarriers being used by only one AP at a time
+... each subcarrier is used by the AP that can best make use of it", and
+§3.2 argues dropped subcarriers free capacity for the other sender.
+These functions quantify that behaviour from the allocations the strategy
+engine records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.strategy import SchemeResult, StrategyOutcome
+
+__all__ = [
+    "SubcarrierSharing",
+    "sharing_of",
+    "sharing_across_topologies",
+    "power_concentration",
+]
+
+
+@dataclass(frozen=True)
+class SubcarrierSharing:
+    """How two concurrent transmissions divide the band."""
+
+    #: Number of subcarriers carrying data for both APs.
+    shared: int
+    #: Used by exactly one AP (the paper's "form of OFDMA").
+    exclusive: int
+    #: Abandoned by both.
+    unused: int
+    n_subcarriers: int
+
+    @property
+    def shared_fraction(self) -> float:
+        return self.shared / self.n_subcarriers
+
+    @property
+    def exclusive_fraction(self) -> float:
+        return self.exclusive / self.n_subcarriers
+
+    @property
+    def unused_fraction(self) -> float:
+        return self.unused / self.n_subcarriers
+
+
+def sharing_of(result: SchemeResult) -> SubcarrierSharing:
+    """Subcarrier-usage breakdown of one concurrent scheme result.
+
+    A subcarrier counts as used by an AP when any of its streams carries
+    data there.  Raises for sequential schemes or results without recorded
+    allocations (sharing is only meaningful for concurrent transmission).
+    """
+    if not result.concurrent:
+        raise ValueError("subcarrier sharing is defined for concurrent schemes only")
+    if result.allocations is None:
+        raise ValueError("this result does not carry its allocations")
+    used = [allocation.used.any(axis=1) for allocation in result.allocations]
+    both = int(np.sum(used[0] & used[1]))
+    either = int(np.sum(used[0] | used[1]))
+    n = used[0].size
+    return SubcarrierSharing(
+        shared=both,
+        exclusive=either - both,
+        unused=n - either,
+        n_subcarriers=n,
+    )
+
+
+def sharing_across_topologies(
+    outcomes: Sequence[StrategyOutcome],
+    fair: bool = False,
+) -> List[SubcarrierSharing]:
+    """Sharing breakdowns for every topology where COPA chose concurrency."""
+    results = []
+    for outcome in outcomes:
+        chosen = outcome.copa_fair if fair else outcome.copa
+        if not chosen.concurrent or chosen.allocations is None:
+            continue
+        results.append(sharing_of(chosen))
+    return results
+
+
+def power_concentration(result: SchemeResult) -> Dict[str, float]:
+    """How unevenly each AP spreads its power (Jain index over used cells).
+
+    1.0 means equal power everywhere (CSMA-style); smaller values mean the
+    allocator concentrated power on a subset of subcarriers.
+    """
+    if result.allocations is None:
+        raise ValueError("this result does not carry its allocations")
+    out: Dict[str, float] = {}
+    for index, allocation in enumerate(result.allocations):
+        powers = allocation.powers[allocation.used]
+        if powers.size == 0:
+            out[f"ap{index + 1}"] = 1.0
+            continue
+        out[f"ap{index + 1}"] = float(
+            powers.sum() ** 2 / (powers.size * np.sum(powers**2))
+        )
+    return out

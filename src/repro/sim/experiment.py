@@ -1,0 +1,200 @@
+"""The §4 evaluation loop: run the strategy engine across many topologies.
+
+One :class:`ScenarioSpec` corresponds to one of the paper's evaluation
+scenarios (single-antenna, 4×2 constrained, 3×2 overconstrained, 4×2 with
+weakened interference); :func:`run_experiment` plays 30 topologies through
+the COPA strategy engine (and optionally the mercury/water-filling COPA+
+variant) and returns per-topology series ready for CDF plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.mercury import mercury_allocate
+from ..core.strategy import (
+    SCHEME_COPA_SEQ,
+    SCHEME_CSMA,
+    SCHEME_NULL,
+    StrategyEngine,
+    StrategyOutcome,
+)
+from ..phy.channel import ChannelSet
+from .config import DEFAULT_CONFIG, SimConfig
+from .metrics import Summary, summarize
+
+__all__ = [
+    "ScenarioSpec",
+    "SINGLE_ANTENNA",
+    "CONSTRAINED_4X2",
+    "OVERCONSTRAINED_3X2",
+    "TopologyRecord",
+    "ExperimentResult",
+    "generate_channel_sets",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation scenario (§4.1's bullet list)."""
+
+    name: str
+    ap_antennas: int
+    client_antennas: int
+    #: Scale applied to the cross links (Fig. 12 uses −10 dB).
+    interference_offset_db: float = 0.0
+    #: Also run the impractical mercury/water-filling COPA+ variant.
+    include_copa_plus: bool = True
+
+
+SINGLE_ANTENNA = ScenarioSpec("1x1", ap_antennas=1, client_antennas=1)
+CONSTRAINED_4X2 = ScenarioSpec("4x2", ap_antennas=4, client_antennas=2)
+OVERCONSTRAINED_3X2 = ScenarioSpec("3x2", ap_antennas=3, client_antennas=2)
+
+
+@dataclass
+class TopologyRecord:
+    """Everything measured in one topology."""
+
+    index: int
+    channels: ChannelSet
+    outcome: StrategyOutcome
+    plus_outcome: Optional[StrategyOutcome] = None
+
+
+#: Series names accepted by :meth:`ExperimentResult.series`.
+SERIES_KEYS = (
+    "csma",
+    "copa_seq",
+    "null",
+    "copa",
+    "copa_fair",
+    "copa_plus",
+    "copa_plus_fair",
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Per-topology aggregate throughputs for every scheme of interest."""
+
+    spec: ScenarioSpec
+    records: List[TopologyRecord]
+
+    def _aggregate(self, record: TopologyRecord, key: str) -> Optional[float]:
+        outcome = record.outcome
+        if key == "csma":
+            return outcome.schemes[SCHEME_CSMA].aggregate_bps
+        if key == "copa_seq":
+            return outcome.schemes[SCHEME_COPA_SEQ].aggregate_bps
+        if key == "null":
+            scheme = outcome.schemes.get(SCHEME_NULL)
+            return None if scheme is None else scheme.aggregate_bps
+        if key == "copa":
+            return outcome.copa.aggregate_bps
+        if key == "copa_fair":
+            return outcome.copa_fair.aggregate_bps
+        if key == "copa_plus":
+            return None if record.plus_outcome is None else record.plus_outcome.copa.aggregate_bps
+        if key == "copa_plus_fair":
+            return (
+                None
+                if record.plus_outcome is None
+                else record.plus_outcome.copa_fair.aggregate_bps
+            )
+        raise KeyError(f"unknown series {key!r}; known: {SERIES_KEYS}")
+
+    def series_mbps(self, key: str) -> np.ndarray:
+        """Aggregate throughput (Mbit/s) per topology for one scheme."""
+        values = [self._aggregate(record, key) for record in self.records]
+        if any(v is None for v in values):
+            raise KeyError(f"series {key!r} was not measured in this experiment")
+        return np.asarray(values, dtype=float) / 1e6
+
+    def summary(self, key: str) -> Summary:
+        return summarize(self.series_mbps(key))
+
+    def available_series(self) -> List[str]:
+        available = []
+        for key in SERIES_KEYS:
+            try:
+                self.series_mbps(key)
+            except KeyError:
+                continue
+            available.append(key)
+        return available
+
+    def mean_table_mbps(self) -> Dict[str, float]:
+        """Scheme → mean aggregate Mbit/s (the numbers in the CDF legends)."""
+        return {key: float(self.series_mbps(key).mean()) for key in self.available_series()}
+
+
+def generate_channel_sets(
+    spec: ScenarioSpec,
+    config: SimConfig = DEFAULT_CONFIG,
+) -> List[ChannelSet]:
+    """Draw the scenario's channel realizations (its "traces").
+
+    Separated from :func:`run_experiment` so trace-driven emulation
+    (§4.4 / Fig. 12) can transform recorded channels before replaying.
+    """
+    generator = config.topology_generator()
+    model = config.channel_model()
+    sets = []
+    for index in range(config.n_topologies):
+        rng = config.rng_for_topology(index)
+        topology = generator.sample(rng, spec.ap_antennas, spec.client_antennas)
+        channels = model.realize(topology, rng)
+        if spec.interference_offset_db:
+            channels = channels.scaled_interference(spec.interference_offset_db)
+        sets.append(channels)
+    return sets
+
+
+def run_experiment(
+    spec: ScenarioSpec,
+    config: SimConfig = DEFAULT_CONFIG,
+    channel_sets: Optional[Sequence[ChannelSet]] = None,
+    engine_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run the full strategy evaluation over a scenario's topologies.
+
+    ``channel_sets`` overrides trace generation (used by the emulation
+    path); the CSI-measurement RNG is re-seeded per topology so COPA and
+    COPA+ see identical noisy CSI.  ``engine_kwargs`` are forwarded to the
+    :class:`StrategyEngine` (e.g. ``rate_selector`` for §4.6's
+    multi-decoder evaluation).
+    """
+    if channel_sets is None:
+        channel_sets = generate_channel_sets(spec, config)
+    engine_kwargs = dict(engine_kwargs or {})
+    imperfections = config.imperfections()
+    records: List[TopologyRecord] = []
+    for index, channels in enumerate(channel_sets):
+        outcome = StrategyEngine(
+            channels,
+            imperfections=imperfections,
+            rng=np.random.default_rng(config.seed + 10_000 + index),
+            coherence_s=config.coherence_s,
+            **engine_kwargs,
+        ).run()
+        plus_outcome = None
+        if spec.include_copa_plus:
+            plus_outcome = StrategyEngine(
+                channels,
+                imperfections=imperfections,
+                rng=np.random.default_rng(config.seed + 10_000 + index),
+                coherence_s=config.coherence_s,
+                allocator=mercury_allocate,
+                **engine_kwargs,
+            ).run()
+        records.append(
+            TopologyRecord(
+                index=index, channels=channels, outcome=outcome, plus_outcome=plus_outcome
+            )
+        )
+    return ExperimentResult(spec=spec, records=records)

@@ -1,0 +1,85 @@
+"""Statistics helpers for the evaluation: CDFs, summaries, comparisons.
+
+The paper reports its results as across-topology CDFs with the mean in the
+legend (Figs. 10–13), plus headline comparisons like "nulling
+underperforms CSMA in 83% of topologies" and "COPA improves nulling's
+throughput by a mean of 64%".  These helpers compute exactly those
+quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Summary", "cdf", "summarize", "ComparisonStats", "compare"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one scheme's across-topology results."""
+
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+
+def summarize(values) -> Summary:
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    return Summary(
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        std=float(values.std()),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        n=int(values.size),
+    )
+
+
+def cdf(values) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, P(X <= value))."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from an empty series")
+    probabilities = np.arange(1, values.size + 1) / values.size
+    return values, probabilities
+
+
+@dataclass(frozen=True)
+class ComparisonStats:
+    """How scheme A compares to scheme B across topologies."""
+
+    #: Fraction of topologies where A strictly beats B.
+    win_fraction: float
+    #: Mean of (A − B) / B over all topologies.
+    mean_improvement: float
+    #: Median of (A − B) / B over all topologies.
+    median_improvement: float
+    #: Mean improvement restricted to topologies where A wins.
+    mean_improvement_when_winning: float
+
+
+def compare(a, b) -> ComparisonStats:
+    """Per-topology relative comparison of two paired series."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("series must be non-empty and the same length")
+    if np.any(b <= 0):
+        raise ValueError("the baseline series must be positive")
+    improvement = (a - b) / b
+    wins = a > b
+    when_winning = float(improvement[wins].mean()) if wins.any() else 0.0
+    return ComparisonStats(
+        win_fraction=float(wins.mean()),
+        mean_improvement=float(improvement.mean()),
+        median_improvement=float(np.median(improvement)),
+        mean_improvement_when_winning=when_winning,
+    )

@@ -1,0 +1,144 @@
+"""Terminal plotting: ASCII renderings of the paper's figure types.
+
+The evaluation environment is headless, so the benchmarks and CLI render
+their figures as text: CDF staircases (Figs. 10–13), per-subcarrier line
+plots (Figs. 2, 4, 7) and grouped bar charts (Figs. 3, 14).  Every
+function returns a string; nothing writes to stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .metrics import cdf
+
+__all__ = ["ascii_cdf", "ascii_series", "ascii_bars"]
+
+#: Glyphs assigned to series, in order.
+_GLYPHS = "*o+x#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, width: int) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(values.size, dtype=int)
+    positions = (values - lo) / (hi - lo) * (width - 1)
+    return np.clip(np.round(positions).astype(int), 0, width - 1)
+
+
+def ascii_cdf(
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "Mbps",
+) -> str:
+    """Render empirical CDFs of several series on one set of axes.
+
+    ``series`` maps a name to its sample values; each gets a glyph.  The
+    y axis is cumulative probability 0→1, the x axis spans the pooled
+    range of all samples — the format of the paper's Figures 10–13.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    pooled = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(pooled.min()), float(pooled.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(series.items(), _GLYPHS):
+        xs, ps = cdf(values)
+        columns = _scale(xs, lo, hi, width)
+        rows = np.clip(((1.0 - ps) * (height - 1)).round().astype(int), 0, height - 1)
+        for column, row in zip(columns, rows):
+            grid[row][column] = glyph
+
+    lines = []
+    for i, row in enumerate(grid):
+        probability = 1.0 - i / (height - 1)
+        lines.append(f"{probability:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<10.1f}{'':^{max(width - 20, 0)}}{hi:>10.1f}  ({x_label})")
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    y_label: str = "dB",
+    x_label: str = "subcarrier",
+) -> str:
+    """Render per-index line series (the Figure 2/4/7 format).
+
+    All series share the x axis (their index) and the pooled y range.
+    NaN values (e.g. dropped subcarriers) are skipped.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    pooled = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    finite = pooled[np.isfinite(pooled)]
+    if finite.size == 0:
+        raise ValueError("no finite values to plot")
+    lo, hi = float(finite.min()), float(finite.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(series.items(), _GLYPHS):
+        values = np.asarray(values, dtype=float)
+        columns = _scale(np.arange(values.size).astype(float), 0, max(values.size - 1, 1), width)
+        for index, value in enumerate(values):
+            if not np.isfinite(value):
+                continue
+            row = height - 1 - int(_scale(np.array([value]), lo, hi, height)[0])
+            grid[row][columns[index]] = glyph
+
+    lines = [f"{hi:8.1f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{lo:8.1f} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          0{'':^{max(width - 12, 0)}}{x_label}")
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append("          " + legend + f"   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart (the Figure 3/14 format).
+
+    Bars are scaled to the largest magnitude; an optional ``baseline``
+    draws a marker column (e.g. the CSMA reference).
+    """
+    if not values:
+        raise ValueError("need at least one bar")
+    label_width = max(len(name) for name in values)
+    largest = max(abs(v) for v in values.values())
+    if baseline is not None:
+        largest = max(largest, abs(baseline))
+    largest = largest or 1.0
+
+    lines = []
+    for name, value in values.items():
+        length = int(round(abs(value) / largest * width))
+        bar = "#" * length
+        if baseline is not None:
+            marker = int(round(abs(baseline) / largest * width))
+            padded = list(bar.ljust(width))
+            if 0 <= marker < width:
+                padded[marker] = "|"
+            bar = "".join(padded).rstrip()
+        sign = "-" if value < 0 else ""
+        lines.append(f"{name:<{label_width}}  {sign}{bar}  {value:.1f}{unit}")
+    if baseline is not None:
+        lines.append(f"{'':<{label_width}}  (| marks {baseline:.1f}{unit})")
+    return "\n".join(lines)

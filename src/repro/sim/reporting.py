@@ -1,0 +1,134 @@
+"""Markdown report generation: one self-contained evaluation writeup.
+
+Turns experiment results into the kind of report EXPERIMENTS.md contains —
+scheme tables with paper reference values, headline comparisons, ASCII
+CDFs — so a user can rerun the evaluation under modified parameters and
+get a like-for-like document (``python -m repro.cli report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .experiment import ExperimentResult
+from .metrics import compare
+from .plots import ascii_cdf
+
+__all__ = ["PAPER_MEANS", "scheme_table", "headline_section", "experiment_report"]
+
+#: The paper's CDF-legend means (Mbit/s), for side-by-side columns.
+PAPER_MEANS: Dict[str, Dict[str, float]] = {
+    "1x1": {
+        "csma": 47.7,
+        "copa_seq": 51.6,
+        "copa_fair": 53.3,
+        "copa": 54.7,
+        "copa_plus_fair": 53.7,
+        "copa_plus": 55.0,
+    },
+    "4x2": {
+        "csma": 110.1,
+        "copa_seq": 110.4,
+        "null": 83.1,
+        "copa_fair": 123.9,
+        "copa": 128.1,
+        "copa_plus_fair": 132.0,
+        "copa_plus": 136.2,
+    },
+    "4x2-10dB": {
+        "csma": 110.1,
+        "copa_seq": 110.4,
+        "null": 131.7,
+        "copa_fair": 175.8,
+        "copa": 178.8,
+        "copa_plus_fair": 184.4,
+        "copa_plus": 185.9,
+    },
+    "3x2": {
+        "csma": 104.1,
+        "copa_seq": 108.9,
+        "null": 87.4,
+        "copa_fair": 117.8,
+        "copa": 121.6,
+        "copa_plus_fair": 122.9,
+        "copa_plus": 126.4,
+    },
+}
+
+
+def scheme_table(result: ExperimentResult, paper: Optional[Dict[str, float]] = None) -> str:
+    """A markdown table of per-scheme means (and medians), paper alongside."""
+    if paper is None:
+        paper = PAPER_MEANS.get(result.spec.name, {})
+    lines = ["| scheme | paper Mbps | measured Mbps | median | std |", "|---|---|---|---|---|"]
+    for key in result.available_series():
+        summary = result.summary(key)
+        reference = f"{paper[key]:.1f}" if key in paper else "—"
+        lines.append(
+            f"| {key} | {reference} | {summary.mean:.1f} | {summary.median:.1f} | {summary.std:.1f} |"
+        )
+    return "\n".join(lines)
+
+
+def headline_section(result: ExperimentResult) -> str:
+    """The §1-style headline comparisons, when nulling was measured."""
+    lines: List[str] = []
+    available = result.available_series()
+    if "null" in available:
+        null_vs_csma = compare(result.series_mbps("null"), result.series_mbps("csma"))
+        rescue = compare(result.series_mbps("copa"), result.series_mbps("null"))
+        lines.append(
+            f"- vanilla nulling underperforms CSMA in "
+            f"{1 - null_vs_csma.win_fraction:.0%} of topologies"
+        )
+        lines.append(
+            f"- COPA improves on vanilla nulling by {rescue.mean_improvement:.0%} mean"
+        )
+    copa_vs_csma = compare(result.series_mbps("copa"), result.series_mbps("csma"))
+    lines.append(
+        f"- COPA beats CSMA in {copa_vs_csma.win_fraction:.0%} of topologies "
+        f"({copa_vs_csma.mean_improvement:+.0%} mean aggregate)"
+    )
+    fair_cost = 1.0 - result.series_mbps("copa_fair").mean() / result.series_mbps("copa").mean()
+    lines.append(f"- the price of fairness: {fair_cost:.1%} of COPA's aggregate")
+    return "\n".join(lines)
+
+
+def experiment_report(
+    result: ExperimentResult,
+    title: Optional[str] = None,
+    include_cdf: bool = True,
+    cdf_keys: Sequence[str] = ("csma", "null", "copa_fair", "copa"),
+) -> str:
+    """A complete markdown section for one experiment."""
+    name = result.spec.name
+    lines = [f"## {title or f'Scenario {name}'}", ""]
+    lines.append(
+        f"{len(result.records)} topologies, "
+        f"{result.spec.ap_antennas}-antenna APs, "
+        f"{result.spec.client_antennas}-antenna clients"
+        + (
+            f", interference {result.spec.interference_offset_db:+g} dB"
+            if result.spec.interference_offset_db
+            else ""
+        )
+    )
+    lines.append("")
+    lines.append(scheme_table(result))
+    lines.append("")
+    lines.append(headline_section(result))
+    if include_cdf:
+        series = {
+            key: result.series_mbps(key)
+            for key in cdf_keys
+            if key in result.available_series()
+        }
+        if series:
+            lines.append("")
+            lines.append("```")
+            lines.append(ascii_cdf(series))
+            lines.append("```")
+    return "\n".join(lines) + "\n"

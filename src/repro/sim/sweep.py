@@ -1,0 +1,126 @@
+"""Parameter sweeps: how COPA's advantage moves with the environment.
+
+The paper evaluates fixed operating points (30 ms coherence, its one
+building's interference levels, three antenna configurations).  These
+sweeps generalize the evaluation along the axes the paper discusses:
+
+* **coherence time** — COPA's ITS/CSI overhead amortizes over the
+  coherence window (Table 1), so its net win over CSMA grows as the
+  environment gets more static;
+* **interference strength** — §4.4's −10 dB emulation, generalized to a
+  curve: where does concurrency stop paying?
+* **antenna configuration** — the 1×1 → 3×2 → 4×2 progression of §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .config import DEFAULT_CONFIG, SimConfig
+from .emulation import scaled_traces
+from .experiment import ExperimentResult, ScenarioSpec, generate_channel_sets, run_experiment
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_coherence_time",
+    "sweep_interference",
+    "sweep_antenna_configurations",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One operating point of a sweep."""
+
+    parameter: float
+    #: Scheme name → mean aggregate throughput in Mbit/s.
+    means_mbps: Dict[str, float]
+
+    def gain_over_csma(self, key: str = "copa") -> float:
+        return self.means_mbps[key] / self.means_mbps["csma"] - 1.0
+
+
+@dataclass
+class SweepResult:
+    """An ordered collection of sweep points."""
+
+    parameter_name: str
+    points: List[SweepPoint]
+
+    def series(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(parameter values, mean Mbps) arrays for one scheme."""
+        xs = np.array([p.parameter for p in self.points])
+        ys = np.array([p.means_mbps[key] for p in self.points])
+        return xs, ys
+
+    def gains(self, key: str = "copa") -> np.ndarray:
+        return np.array([p.gain_over_csma(key) for p in self.points])
+
+
+def _means(result: ExperimentResult) -> Dict[str, float]:
+    return result.mean_table_mbps()
+
+
+def sweep_coherence_time(
+    coherence_values_s: Sequence[float] = (0.004, 0.030, 0.120, 1.0),
+    spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
+    config: SimConfig = DEFAULT_CONFIG,
+) -> SweepResult:
+    """COPA vs CSMA as the channel gets more static.
+
+    Channels are held fixed across points (the same traces are replayed),
+    so only the MAC-overhead amortization varies — isolating Table 1's
+    effect on end-to-end throughput.
+    """
+    traces = generate_channel_sets(spec, config)
+    points = []
+    for coherence_s in coherence_values_s:
+        result = run_experiment(spec, config.with_(coherence_s=coherence_s), channel_sets=traces)
+        points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
+    return SweepResult(parameter_name="coherence_s", points=points)
+
+
+def sweep_interference(
+    offsets_db: Sequence[float] = (0.0, -5.0, -10.0, -20.0),
+    spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
+    config: SimConfig = DEFAULT_CONFIG,
+) -> SweepResult:
+    """§4.4 generalized: scale the cross links through a range of offsets."""
+    traces = generate_channel_sets(spec, config)
+    points = []
+    for offset in offsets_db:
+        emulated = scaled_traces(traces, offset) if offset else list(traces)
+        result = run_experiment(spec, config, channel_sets=emulated)
+        points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
+    return SweepResult(parameter_name="interference_offset_db", points=points)
+
+
+def sweep_antenna_configurations(
+    configurations: Sequence[Tuple[int, int]] = ((1, 1), (2, 2), (3, 2), (4, 2)),
+    config: SimConfig = DEFAULT_CONFIG,
+) -> SweepResult:
+    """The §4 progression: spatial degrees of freedom vs COPA's win.
+
+    The parameter value encodes the configuration as ``ap + client / 10``
+    (e.g. 4.2 for 4×2); use :meth:`SweepResult.series` labels accordingly.
+    """
+    points = []
+    for ap_antennas, client_antennas in configurations:
+        spec = ScenarioSpec(
+            f"{ap_antennas}x{client_antennas}",
+            ap_antennas,
+            client_antennas,
+            include_copa_plus=False,
+        )
+        result = run_experiment(spec, config)
+        points.append(
+            SweepPoint(
+                parameter=ap_antennas + client_antennas / 10.0,
+                means_mbps=_means(result),
+            )
+        )
+    return SweepResult(parameter_name="antennas", points=points)

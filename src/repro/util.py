@@ -1,0 +1,66 @@
+"""Small numeric helpers shared across the library.
+
+Power-unit conventions used throughout ``repro``:
+
+* Linear powers are in **milliwatts** (mW) unless a name says otherwise.
+* Logarithmic absolute powers are in **dBm**; logarithmic ratios are in dB.
+* Complex channel gains ``h`` are amplitude gains, so received power for
+  transmit power ``p`` is ``p * abs(h) ** 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "q_function",
+    "hermitian",
+    "is_unitary_columns",
+]
+
+#: Smallest linear power we represent, to keep logs finite (-400 dB).
+_POWER_FLOOR = 1e-40
+
+
+def db_to_linear(db):
+    """Convert a ratio in dB to a linear ratio."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear ratio to dB; values <= 0 are floored, not errors."""
+    return 10.0 * np.log10(np.maximum(np.asarray(linear, dtype=float), _POWER_FLOOR))
+
+
+def dbm_to_mw(dbm):
+    """Convert absolute power in dBm to milliwatts."""
+    return db_to_linear(dbm)
+
+
+def mw_to_dbm(mw):
+    """Convert absolute power in milliwatts to dBm."""
+    return linear_to_db(mw)
+
+
+def q_function(x):
+    """Gaussian tail probability Q(x) = P(N(0,1) > x)."""
+    from scipy.special import erfc
+
+    return 0.5 * erfc(np.asarray(x, dtype=float) / np.sqrt(2.0))
+
+
+def hermitian(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose, acting on the last two axes."""
+    return np.conj(np.swapaxes(matrix, -1, -2))
+
+
+def is_unitary_columns(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """True if the matrix has orthonormal columns (W^H W = I)."""
+    matrix = np.asarray(matrix)
+    gram = hermitian(matrix) @ matrix
+    identity = np.eye(matrix.shape[-1])
+    return bool(np.allclose(gram, identity, atol=tol))

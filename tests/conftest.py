@@ -1,0 +1,48 @@
+"""Shared fixtures: deterministic RNGs and cached channel realizations.
+
+Channel realizations are session-scoped — they are pure data and drawing
+them dominates test runtime otherwise.  Tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelModel, ChannelSet
+from repro.phy.noise import ImperfectionModel
+from repro.phy.topology import TopologyGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def imperfections() -> ImperfectionModel:
+    return ImperfectionModel()
+
+
+def _make_channels(ap_antennas: int, client_antennas: int, seed: int) -> ChannelSet:
+    sample_rng = np.random.default_rng(seed)
+    topology = TopologyGenerator().sample(sample_rng, ap_antennas, client_antennas)
+    return ChannelModel().realize(topology, sample_rng)
+
+
+@pytest.fixture(scope="session")
+def channels_4x2() -> ChannelSet:
+    """A 4-antenna-AP / 2-antenna-client topology realization."""
+    return _make_channels(4, 2, seed=42)
+
+
+@pytest.fixture(scope="session")
+def channels_3x2() -> ChannelSet:
+    """An overconstrained 3-antenna-AP / 2-antenna-client realization."""
+    return _make_channels(3, 2, seed=43)
+
+
+@pytest.fixture(scope="session")
+def channels_1x1() -> ChannelSet:
+    """A single-antenna realization."""
+    return _make_channels(1, 1, seed=44)

@@ -1,0 +1,107 @@
+"""The §4.2 ablation allocators: power-only and selection-only."""
+
+import numpy as np
+import pytest
+
+from repro.core.equi_snr import allocate, allocate_power_only, allocate_selection_only
+from repro.util import db_to_linear
+
+
+@pytest.fixture
+def faded_gains(rng):
+    """A channel with strong subcarriers and a handful of deep fades."""
+    gains = db_to_linear(rng.uniform(25, 35, 52)) * 52
+    gains[:7] = db_to_linear(rng.uniform(-5, 3, 7)) * 52
+    return gains
+
+
+class TestPowerOnly:
+    def test_never_drops(self, faded_gains):
+        result = allocate_power_only(faded_gains, 1.0)
+        assert result.n_dropped == 0
+
+    def test_budget_conserved(self, faded_gains):
+        result = allocate_power_only(faded_gains, 2.0)
+        assert result.powers.sum() == pytest.approx(2.0)
+
+    def test_equalizes(self, faded_gains):
+        result = allocate_power_only(faded_gains, 1.0)
+        received = result.powers * faded_gains
+        np.testing.assert_allclose(received, result.equalized_snr, rtol=1e-9)
+
+    def test_unusable_gains_excluded(self):
+        gains = np.zeros(52)
+        gains[10:] = 100.0
+        result = allocate_power_only(gains, 1.0)
+        assert not result.used[:10].any()
+
+    def test_all_zero(self):
+        result = allocate_power_only(np.zeros(52), 1.0)
+        assert result.goodput_bps == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            allocate_power_only(np.ones((2, 26)), 1.0)
+        with pytest.raises(ValueError):
+            allocate_power_only(np.ones(52), 0.0)
+
+
+class TestSelectionOnly:
+    def test_equal_power_on_kept(self, faded_gains):
+        result = allocate_selection_only(faded_gains, 1.0)
+        kept = result.powers[result.used]
+        np.testing.assert_allclose(kept, kept[0])
+
+    def test_budget_conserved(self, faded_gains):
+        result = allocate_selection_only(faded_gains, 3.0)
+        assert result.powers.sum() == pytest.approx(3.0)
+
+    def test_drops_deep_fades(self, faded_gains):
+        result = allocate_selection_only(faded_gains, 1.0)
+        assert result.n_dropped >= 5
+
+    def test_all_zero(self):
+        result = allocate_selection_only(np.zeros(52), 1.0)
+        assert result.goodput_bps == 0.0
+        assert result.mcs is None
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            allocate_selection_only(np.ones((2, 26)), 1.0)
+        with pytest.raises(ValueError):
+            allocate_selection_only(np.ones(52), -1.0)
+
+
+class TestOrdering:
+    def test_full_algorithm_dominates_both_halves(self, faded_gains):
+        """§4.2: both halves are needed for the full benefit."""
+        full = allocate(faded_gains, 1.0).goodput_bps
+        power_only = allocate_power_only(faded_gains, 1.0).goodput_bps
+        selection_only = allocate_selection_only(faded_gains, 1.0).goodput_bps
+        assert full >= power_only - 1e-6
+        assert full >= selection_only - 1e-6
+
+    def test_each_half_beats_equal_power(self, faded_gains):
+        from repro.phy.rates import best_rate
+
+        equal = best_rate((1.0 / 52) * faded_gains).goodput_bps
+        assert allocate_power_only(faded_gains, 1.0).goodput_bps >= equal * 0.99
+        assert allocate_selection_only(faded_gains, 1.0).goodput_bps >= equal * 0.99
+
+    def test_flat_channel_all_equal(self):
+        gains = np.full(52, 52 * db_to_linear(35.0))
+        results = [
+            f(gains, 1.0).goodput_bps
+            for f in (allocate, allocate_power_only, allocate_selection_only)
+        ]
+        assert max(results) == pytest.approx(min(results), rel=1e-6)
+
+    def test_drop_in_compatibility_with_engine(self, channels_4x2):
+        """Both ablation allocators slot into the strategy engine."""
+        from repro.core.strategy import StrategyEngine
+
+        for allocator in (allocate_power_only, allocate_selection_only):
+            outcome = StrategyEngine(
+                channels_4x2, rng=np.random.default_rng(1), allocator=allocator
+            ).run()
+            assert outcome.copa.aggregate_bps > 0

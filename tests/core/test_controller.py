@@ -1,0 +1,86 @@
+"""The per-AP controller and the two-AP session driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import CopaAccessPoint, CopaSession
+from repro.mac.frames import Decision
+
+
+class TestCopaAccessPoint:
+    def test_csi_bookkeeping(self):
+        ap = CopaAccessPoint("AP1", "C1", coherence_s=0.030)
+        ap.overhear("C1", np.ones((4, 2, 2)), now_s=0.0)
+        assert ap.has_fresh_csi(0.010, ["C1"])
+        assert not ap.has_fresh_csi(0.050, ["C1"])
+        assert not ap.has_fresh_csi(0.010, ["C1", "C2"])
+
+    def test_backlog_drain(self):
+        ap = CopaAccessPoint("AP1", "C1")
+        ap.backlog_bits = 1000.0
+        ap.drain(400.0)
+        assert ap.backlog_bits == 600.0
+        ap.drain(10_000.0)
+        assert ap.backlog_bits == 0.0
+
+    def test_infinite_backlog_stays_infinite(self):
+        ap = CopaAccessPoint("AP1", "C1")
+        ap.drain(1e12)
+        assert ap.backlogged()
+
+
+class TestCopaSession:
+    @pytest.fixture(scope="class")
+    def session_records(self, channels_4x2):
+        session = CopaSession(channels_4x2, rng=np.random.default_rng(8))
+        return session, session.run(0.15)
+
+    def test_records_cover_duration(self, session_records):
+        _, records = session_records
+        assert len(records) > 5
+        assert records[-1].start_s < 0.15
+
+    def test_csi_refresh_roughly_once_per_coherence(self, session_records):
+        """CSI is shipped once per 30 ms coherence window, not per TXOP."""
+        _, records = session_records
+        refreshes = sum(r.csi_refreshed for r in records)
+        total_time = records[-1].start_s + records[-1].airtime_s
+        expected = total_time / 0.030
+        assert refreshes == pytest.approx(expected, abs=2)
+
+    def test_refresh_txops_carry_more_control_bytes(self, session_records):
+        _, records = session_records
+        with_csi = [r.control_bytes for r in records if r.csi_refreshed]
+        without = [r.control_bytes for r in records if not r.csi_refreshed]
+        if with_csi and without:
+            assert min(with_csi) > max(without)
+
+    def test_decision_matches_scheme(self, session_records):
+        _, records = session_records
+        for record in records:
+            concurrent = record.decision == Decision.CONCURRENT
+            assert concurrent == (record.scheme not in ("csma", "copa_seq"))
+
+    def test_leader_roles_alternate_randomly(self, channels_4x2):
+        session = CopaSession(channels_4x2, rng=np.random.default_rng(8))
+        records = session.run(0.4)
+        leaders = {r.leader for r in records}
+        assert leaders == {"AP1", "AP2"}
+
+    def test_throughput_positive(self, session_records):
+        _, records = session_records
+        t1, t2 = CopaSession.throughput_mbps(records)
+        assert t1 > 0 and t2 > 0
+
+    def test_fair_session_uses_fair_choice(self, channels_4x2):
+        fair = CopaSession(channels_4x2, fair=True, rng=np.random.default_rng(8))
+        greedy = CopaSession(channels_4x2, fair=False, rng=np.random.default_rng(8))
+        fair_records = fair.run(0.05)
+        greedy_records = greedy.run(0.05)
+        fair_total = sum(CopaSession.throughput_mbps(fair_records))
+        greedy_total = sum(CopaSession.throughput_mbps(greedy_records))
+        # Fairness can only cost aggregate throughput, never gain.
+        assert fair_total <= greedy_total * 1.05
+
+    def test_empty_run(self, channels_4x2):
+        assert CopaSession.throughput_mbps([]) == (0.0, 0.0)

@@ -1,0 +1,158 @@
+"""Algorithm 1: Equi-SNR allocation and subcarrier selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.equi_snr import allocate, equalizing_powers, uniform_goodput
+from repro.phy.constants import MCS_TABLE
+from repro.util import db_to_linear
+
+
+class TestEqualizingPowers:
+    def test_equalizes(self, rng):
+        gains = rng.uniform(0.5, 5.0, 20)
+        used = np.ones(20, dtype=bool)
+        powers, snr = equalizing_powers(gains, used, total_power=10.0)
+        np.testing.assert_allclose(powers * gains, snr)
+
+    def test_budget_conserved(self, rng):
+        gains = rng.uniform(0.5, 5.0, 20)
+        used = rng.uniform(size=20) > 0.3
+        powers, _ = equalizing_powers(gains, used, total_power=7.0)
+        assert powers.sum() == pytest.approx(7.0)
+
+    def test_unused_get_zero(self, rng):
+        gains = rng.uniform(0.5, 5.0, 10)
+        used = np.array([True] * 5 + [False] * 5)
+        powers, _ = equalizing_powers(gains, used, total_power=1.0)
+        np.testing.assert_array_equal(powers[5:], 0.0)
+
+    def test_empty_mask(self):
+        powers, snr = equalizing_powers(np.ones(4), np.zeros(4, dtype=bool), 1.0)
+        assert snr == 0.0
+        np.testing.assert_array_equal(powers, 0.0)
+
+    def test_weak_subcarriers_get_more_power(self):
+        gains = np.array([1.0, 4.0])
+        powers, _ = equalizing_powers(gains, np.ones(2, dtype=bool), 1.0)
+        assert powers[0] == pytest.approx(4 * powers[1])
+
+
+class TestUniformGoodput:
+    def test_scales_with_subcarrier_count(self):
+        snr = np.array([db_to_linear(40.0)] * 2)
+        n_used = np.array([52, 26])
+        out = uniform_goodput(snr, n_used, MCS_TABLE[7])
+        assert out[0] == pytest.approx(2 * out[1], rel=1e-6)
+
+    def test_zero_snr_zero_goodput(self):
+        out = uniform_goodput(np.array([0.0]), np.array([52]), MCS_TABLE[7])
+        assert out[0] == pytest.approx(0.0, abs=1.0)
+
+
+class TestAllocate:
+    def test_flat_strong_channel_keeps_everything(self):
+        """With equal gains and the top MCS already achievable, dropping a
+        subcarrier can only lose rate.  (On a *marginal* flat channel,
+        dropping can legitimately win by concentrating power across an MCS
+        boundary — see test_flat_marginal_channel_may_drop.)"""
+        gains = np.full(52, 52 * db_to_linear(35.0))  # 35 dB at equal split
+        result = allocate(gains, total_power=1.0)
+        assert result.n_dropped == 0
+        np.testing.assert_allclose(result.powers, 1.0 / 52)
+
+    def test_flat_marginal_channel_may_drop(self):
+        """Near an MCS threshold, sacrificing subcarriers to push the rest
+        over the boundary is allowed — the algorithm simply maximizes
+        predicted throughput, whatever the split."""
+        gains = np.full(52, 52 * db_to_linear(17.0))
+        result = allocate(gains, total_power=1.0)
+        received = result.powers[result.used] * gains[result.used]
+        np.testing.assert_allclose(received, result.equalized_snr, rtol=1e-9)
+        assert result.goodput_bps > 0
+
+    def test_budget_conserved(self, rng):
+        gains = db_to_linear(rng.uniform(5, 40, 52))
+        result = allocate(gains, total_power=0.03)
+        assert result.powers.sum() == pytest.approx(0.03)
+
+    def test_deep_fades_dropped(self):
+        """Algorithm 1's whole point: abandon catastrophic subcarriers."""
+        gains = np.full(52, db_to_linear(32.0))
+        gains[:6] = db_to_linear(-10.0)
+        result = allocate(gains, total_power=1.0)
+        assert result.n_dropped >= 6
+        assert not result.used[:6].any()
+
+    def test_dropping_improves_over_no_dropping(self):
+        gains = np.full(52, db_to_linear(32.0))
+        gains[:6] = db_to_linear(-10.0)
+        with_selection = allocate(gains, total_power=1.0)
+        # Forcing all subcarriers: equalize over everything.
+        from repro.core.equi_snr import equalizing_powers as eq
+        from repro.phy.rates import best_rate
+
+        powers_all, _ = eq(gains, np.ones(52, dtype=bool), 1.0)
+        no_selection = best_rate(powers_all * gains)
+        assert with_selection.goodput_bps > no_selection.goodput_bps
+
+    def test_dropped_subcarriers_have_zero_power(self, rng):
+        gains = db_to_linear(rng.uniform(-10, 35, 52))
+        result = allocate(gains, total_power=1.0)
+        np.testing.assert_array_equal(result.powers[~result.used], 0.0)
+
+    def test_equalized_snr_reported(self, rng):
+        gains = db_to_linear(rng.uniform(10, 35, 52))
+        result = allocate(gains, total_power=1.0)
+        received = result.powers[result.used] * gains[result.used]
+        np.testing.assert_allclose(received, result.equalized_snr, rtol=1e-9)
+
+    def test_all_zero_gains(self):
+        result = allocate(np.zeros(52), total_power=1.0)
+        assert result.goodput_bps == 0.0
+        assert result.mcs is None
+        assert result.n_used == 0
+
+    def test_single_good_subcarrier(self):
+        gains = np.zeros(52)
+        gains[20] = db_to_linear(30.0)
+        result = allocate(gains, total_power=1.0)
+        assert result.n_used == 1
+        assert result.used[20]
+        assert result.goodput_bps > 0
+
+    def test_goodput_monotone_in_gains(self, rng):
+        """Uniformly better channels can never hurt."""
+        gains = db_to_linear(rng.uniform(0, 30, 52))
+        worse = allocate(gains, total_power=1.0)
+        better = allocate(gains * 4.0, total_power=1.0)
+        assert better.goodput_bps >= worse.goodput_bps
+
+    def test_goodput_monotone_in_power(self, rng):
+        gains = db_to_linear(rng.uniform(0, 30, 52))
+        low = allocate(gains, total_power=0.5)
+        high = allocate(gains, total_power=2.0)
+        assert high.goodput_bps >= low.goodput_bps
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            allocate(np.ones((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            allocate(np.ones(52), 0.0)
+
+    def test_matches_paper_example_shape(self):
+        """Fig. 7's story: dropping ~8 subcarriers enables a higher bitrate.
+
+        Build a channel where most subcarriers are strong but a handful are
+        marginal; the selected MCS with dropping must exceed the best MCS
+        without dropping.
+        """
+        gains = np.full(52, db_to_linear(26.0))
+        gains[:8] = db_to_linear(3.0)
+        result = allocate(gains, total_power=1.0)
+
+        from repro.phy.rates import best_rate
+
+        no_pa = best_rate(np.full(52, 1.0 / 52) * gains)
+        assert result.mcs.index > (no_pa.mcs.index if no_pa.mcs else -1)
+        assert result.goodput_bps > no_pa.goodput_bps

@@ -1,0 +1,140 @@
+"""Mercury/water-filling: MMSE curves and the COPA+ allocator."""
+
+import numpy as np
+import pytest
+
+from repro.core.mercury import (
+    mercury_allocate,
+    mercury_waterfilling,
+    mmse_inverse,
+    mmse_of_snr,
+    mmse_pam,
+)
+from repro.phy.constants import BPSK, MODULATIONS, QAM16, QAM64, QPSK
+from repro.util import db_to_linear
+
+
+class TestMmsePam:
+    def test_zero_snr_is_one(self):
+        assert mmse_pam(0.0, 2) == pytest.approx(1.0)
+
+    def test_high_snr_vanishes(self):
+        assert mmse_pam(1e6, 2) < 1e-3
+
+    def test_monotone_decreasing(self):
+        snrs = np.logspace(-2, 5, 40)
+        values = mmse_pam(snrs, 4)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_bounded_by_unit_interval(self):
+        values = mmse_pam(np.logspace(-3, 6, 30), 8)
+        assert np.all(values >= 0) and np.all(values <= 1.0)
+
+    def test_gaussian_low_snr_limit(self):
+        """At low SNR every constellation looks Gaussian: MMSE ≈ 1/(1+γ)."""
+        for points in (2, 4, 8):
+            assert mmse_pam(0.05, points) == pytest.approx(1 / 1.05, rel=0.02)
+
+    def test_bpsk_closed_form_check(self):
+        """2-PAM MMSE at γ=1: the closed form 1 − E[tanh(γ + √γ·Z)] gives
+        0.44960 (verified independently with adaptive quadrature)."""
+        assert mmse_pam(1.0, 2) == pytest.approx(0.44960, abs=0.001)
+
+
+class TestMmseCurves:
+    @pytest.mark.parametrize("modulation", MODULATIONS)
+    def test_interp_matches_direct(self, modulation):
+        snr = db_to_linear(8.0)
+        assert 0.0 <= float(mmse_of_snr(snr, modulation)) <= 1.0
+
+    def test_denser_constellation_higher_mmse_at_high_snr(self):
+        """At 15 dB, BPSK is long decided but 64-QAM still has error."""
+        snr = db_to_linear(15.0)
+        assert mmse_of_snr(snr, BPSK) < mmse_of_snr(snr, QAM64)
+
+    def test_inverse_roundtrip(self):
+        for modulation in (QPSK, QAM16):
+            snr = db_to_linear(6.0)
+            value = float(mmse_of_snr(snr, modulation))
+            recovered = float(mmse_inverse(value, modulation))
+            assert recovered == pytest.approx(snr, rel=0.05)
+
+    def test_inverse_edges(self):
+        assert float(mmse_inverse(1.0, QPSK)) == pytest.approx(0.0, abs=1e-6)
+        assert float(mmse_inverse(2.0, QPSK)) == pytest.approx(0.0)
+
+
+class TestMercuryWaterfilling:
+    def test_budget_conserved(self, rng):
+        gains = db_to_linear(rng.uniform(0, 30, 52))
+        powers = mercury_waterfilling(gains, 2.5, QAM16)
+        assert powers.sum() == pytest.approx(2.5, rel=1e-6)
+
+    def test_nonnegative(self, rng):
+        gains = db_to_linear(rng.uniform(-10, 30, 52))
+        powers = mercury_waterfilling(gains, 1.0, QPSK)
+        assert np.all(powers >= 0)
+
+    def test_hopeless_subcarriers_get_nothing(self):
+        gains = np.array([1e3, 1e3, 1e-6, 1e3])
+        powers = mercury_waterfilling(gains, 0.01, QAM16)
+        assert powers[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_flat_channel_equal_split(self):
+        gains = np.full(10, 100.0)
+        powers = mercury_waterfilling(gains, 1.0, QAM16)
+        np.testing.assert_allclose(powers, 0.1, rtol=1e-6)
+
+    def test_saturation_diverts_power_to_weak_subcarriers(self):
+        """Unlike Gaussian water-filling, a saturated strong subcarrier
+        stops soaking power: with a huge budget the weak subcarrier gets
+        the larger share (the 'mercury' effect for discrete inputs)."""
+        gains = np.array([1000.0, 10.0])
+        powers = mercury_waterfilling(gains, 50.0, QPSK)
+        assert powers[1] > powers[0]
+
+    def test_zero_gain_everywhere(self):
+        powers = mercury_waterfilling(np.zeros(8), 1.0, QPSK)
+        np.testing.assert_array_equal(powers, 0.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            mercury_waterfilling(np.ones(4), 0.0, QPSK)
+
+
+class TestMercuryAllocate:
+    def test_budget_conserved(self, rng):
+        gains = db_to_linear(rng.uniform(5, 35, 52)) * 1e2
+        result = mercury_allocate(gains, 1.0)
+        if result.used.any():
+            assert result.powers.sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_beats_or_matches_equal_power(self, rng):
+        from repro.phy.rates import best_rate
+
+        gains = db_to_linear(rng.uniform(-5, 30, 52)) * 1e2
+        result = mercury_allocate(gains, 1.0)
+        equal = best_rate((1.0 / 52) * gains)
+        assert result.goodput_bps >= equal.goodput_bps * (1 - 1e-9)
+
+    def test_drops_deep_fades(self):
+        gains = np.full(52, db_to_linear(30.0))
+        gains[:5] = db_to_linear(-20.0)
+        result = mercury_allocate(gains, 1.0)
+        assert not result.used[:5].any()
+
+    def test_hopeless_channel(self):
+        result = mercury_allocate(np.full(52, 1e-12), 1.0)
+        assert result.goodput_bps == 0.0
+        assert result.mcs is None
+
+    def test_interface_compatible_with_equi_snr(self, rng):
+        """mercury_allocate is a drop-in StreamAllocator."""
+        from repro.core.equi_sinr import allocate_single
+
+        gains = db_to_linear(rng.uniform(15, 35, (52, 2))) * 1e-7
+        result = allocate_single(
+            gains, 10.0, noise_mw=1e-10, allocator=mercury_allocate
+        )
+        assert result.powers.shape == (52, 2)
+        assert result.predicted_goodput_bps > 0

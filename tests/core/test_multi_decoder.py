@@ -1,0 +1,79 @@
+"""§4.6: per-subcarrier rate selection with one decoder per coding rate."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_decoder import per_subcarrier_rates
+from repro.phy.rates import best_rate
+from repro.util import db_to_linear
+
+
+class TestPerSubcarrierRates:
+    def test_flat_channel_matches_single_decoder(self):
+        """With uniform SINR every subcarrier picks the same MCS, so the
+        multi-decoder result collapses to the single-decoder one."""
+        sinr = np.full(52, db_to_linear(40.0))
+        multi = per_subcarrier_rates(sinr)
+        single = best_rate(sinr)
+        assert multi.goodput_bps == pytest.approx(single.goodput_bps, rel=0.01)
+
+    def test_beats_single_decoder_on_spread_channel(self):
+        """High SINR spread is exactly where per-subcarrier rates win."""
+        rng = np.random.default_rng(3)
+        sinr = db_to_linear(rng.uniform(0, 40, 52))
+        multi = per_subcarrier_rates(sinr)
+        single = best_rate(sinr)
+        assert multi.goodput_bps > single.goodput_bps
+
+    def test_never_below_single_decoder_minus_epsilon(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            sinr = db_to_linear(rng.uniform(-5, 42, 52))
+            multi = per_subcarrier_rates(sinr)
+            single = best_rate(sinr)
+            assert multi.goodput_bps >= single.goodput_bps * 0.95
+
+    def test_unused_cells_carry_nothing(self):
+        sinr = np.full(52, db_to_linear(40.0))
+        used = np.zeros(52, dtype=bool)
+        used[:10] = True
+        result = per_subcarrier_rates(sinr, used=used)
+        assert np.all(result.mcs_indices[10:] == -1)
+        assert result.goodput_bps == pytest.approx(65e6 * 10 / 52, rel=0.02)
+
+    def test_hopeless_cells_excluded(self):
+        sinr = np.full(52, db_to_linear(40.0))
+        sinr[:5] = 1e-9
+        result = per_subcarrier_rates(sinr)
+        assert np.all(result.mcs_indices[:5, 0] == -1)
+
+    def test_per_code_rate_decomposition_sums(self):
+        rng = np.random.default_rng(4)
+        sinr = db_to_linear(rng.uniform(0, 40, 52))
+        result = per_subcarrier_rates(sinr)
+        assert sum(result.per_code_rate_bps.values()) == pytest.approx(
+            result.goodput_bps
+        )
+
+    def test_at_most_four_decoders(self):
+        rng = np.random.default_rng(5)
+        sinr = db_to_linear(rng.uniform(-5, 42, (52, 2)))
+        result = per_subcarrier_rates(sinr)
+        # 802.11 has exactly four coding rates (§4.6 footnote).
+        assert len(result.per_code_rate_bps) <= 4
+
+    def test_two_streams_shape(self):
+        sinr = np.full((52, 2), db_to_linear(35.0))
+        result = per_subcarrier_rates(sinr)
+        assert result.mcs_indices.shape == (52, 2)
+        assert result.goodput_bps > 65e6  # both streams carrying
+
+    def test_mask_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            per_subcarrier_rates(np.ones(52), used=np.ones(10, dtype=bool))
+
+    def test_graded_channel_uses_multiple_rates(self):
+        """A channel spanning weak to strong should engage ≥2 decoders."""
+        sinr = db_to_linear(np.linspace(3, 40, 52))
+        result = per_subcarrier_rates(sinr)
+        assert len(result.per_code_rate_bps) >= 2

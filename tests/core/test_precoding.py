@@ -1,0 +1,150 @@
+"""Transmit-design construction: beamforming, nulling, SDA."""
+
+import numpy as np
+import pytest
+
+from repro.core.precoding import (
+    beamforming_design,
+    cross_coupling,
+    nulling_design,
+    sda_designs,
+    stream_gains,
+)
+from repro.util import is_unitary_columns
+
+
+def _channel(rng, n_sc=16, n_rx=2, n_tx=4):
+    shape = (n_sc, n_rx, n_tx)
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+
+class TestBeamformingDesign:
+    def test_full_rank_by_default(self, rng):
+        design = beamforming_design(_channel(rng), "AP1", "C1")
+        assert design.n_streams == 2
+        assert design.active_rx == (0, 1)
+
+    def test_explicit_stream_count(self, rng):
+        design = beamforming_design(_channel(rng), "AP1", "C1", n_streams=1)
+        assert design.n_streams == 1
+
+    def test_active_rx_restriction(self, rng):
+        design = beamforming_design(_channel(rng), "AP1", "C1", active_rx=(1,))
+        assert design.n_streams == 1
+        assert design.active_rx == (1,)
+
+    def test_unit_columns(self, rng):
+        design = beamforming_design(_channel(rng), "AP1", "C1")
+        for k in range(design.n_subcarriers):
+            assert is_unitary_columns(design.precoder[k])
+
+
+class TestNullingDesign:
+    def test_nulls_victim(self, rng):
+        own, cross = _channel(rng), _channel(rng)
+        design = nulling_design(own, cross, "AP1", "C1")
+        assert np.max(np.abs(cross @ design.precoder)) < 1e-10
+
+    def test_overconstrained_raises(self, rng):
+        own = _channel(rng, n_tx=2)
+        cross = _channel(rng, n_tx=2)
+        with pytest.raises(ValueError, match="overconstrained"):
+            nulling_design(own, cross, "AP1", "C1")
+
+    def test_victim_antenna_restriction_restores_feasibility(self, rng):
+        """§3.4: a 3-antenna AP can null one victim antenna, not two."""
+        own = _channel(rng, n_tx=3)
+        cross = _channel(rng, n_tx=3)
+        with pytest.raises(ValueError):
+            nulling_design(own, cross, "AP1", "C1", n_streams=2)
+        design = nulling_design(
+            own, cross, "AP1", "C1", victim_active_rx=(0,), n_streams=2
+        )
+        assert design.n_streams == 2
+        leakage = cross[:, [0], :] @ design.precoder
+        assert np.max(np.abs(leakage)) < 1e-10
+
+    def test_reduced_rank_3x2(self, rng):
+        """3 TX antennas vs a 2-antenna victim: one nulled stream fits."""
+        own = _channel(rng, n_tx=3)
+        cross = _channel(rng, n_tx=3)
+        design = nulling_design(own, cross, "AP1", "C1")
+        assert design.n_streams == 1
+        assert np.max(np.abs(cross @ design.precoder)) < 1e-10
+
+
+class TestSdaDesigns:
+    def test_overconstrained_case_resolved(self, rng):
+        """Both APs regain enough freedom after shutting one antenna."""
+        leader_own = _channel(rng, n_tx=3)
+        leader_cross = _channel(rng, n_tx=3)
+        follower_own = _channel(rng, n_tx=3)
+        follower_cross = _channel(rng, n_tx=3)
+        leader, follower = sda_designs(
+            leader_own, leader_cross, follower_own, follower_cross,
+            "AP1", "C1", "AP2", "C2",
+        )
+        # Paper: leader sends 2 streams, follower 1 (reduced rank).
+        assert leader.n_streams == 2
+        assert follower.n_streams == 1
+        assert len(follower.active_rx) == 1
+
+    def test_follower_keeps_best_antenna(self, rng):
+        follower_own = _channel(rng, n_tx=3)
+        follower_own[:, 1, :] *= 10.0  # antenna 1 is clearly better
+        leader, follower = sda_designs(
+            _channel(rng, n_tx=3), _channel(rng, n_tx=3),
+            follower_own, _channel(rng, n_tx=3),
+            "AP1", "C1", "AP2", "C2",
+        )
+        assert follower.active_rx == (1,)
+
+    def test_leader_nulls_the_remaining_antenna(self, rng):
+        leader_own = _channel(rng, n_tx=3)
+        leader_cross = _channel(rng, n_tx=3)
+        follower_own = _channel(rng, n_tx=3)
+        follower_own[:, 0, :] *= 5.0
+        leader, follower = sda_designs(
+            leader_own, leader_cross, follower_own, _channel(rng, n_tx=3),
+            "AP1", "C1", "AP2", "C2",
+        )
+        kept = follower.active_rx[0]
+        leakage = leader_cross[:, [kept], :] @ leader.precoder
+        assert np.max(np.abs(leakage)) < 1e-10
+
+    def test_follower_nulls_both_leader_antennas(self, rng):
+        leader_own = _channel(rng, n_tx=3)
+        follower_cross = _channel(rng, n_tx=3)
+        leader, follower = sda_designs(
+            leader_own, _channel(rng, n_tx=3),
+            _channel(rng, n_tx=3), follower_cross,
+            "AP1", "C1", "AP2", "C2",
+        )
+        leakage = follower_cross @ follower.precoder
+        assert np.max(np.abs(leakage)) < 1e-10
+
+
+class TestGainsAndCoupling:
+    def test_stream_gains_shape_and_positivity(self, rng):
+        h = _channel(rng)
+        design = beamforming_design(h, "AP1", "C1")
+        gains = stream_gains(h, design)
+        assert gains.shape == (16, 2)
+        assert np.all(gains > 0)
+
+    def test_stream_gains_ordered_like_singular_values(self, rng):
+        h = _channel(rng)
+        design = beamforming_design(h, "AP1", "C1")
+        gains = stream_gains(h, design)
+        assert np.all(gains[:, 0] >= gains[:, 1] - 1e-12)
+
+    def test_cross_coupling_zero_for_nulled_design(self, rng):
+        own, cross = _channel(rng), _channel(rng)
+        design = nulling_design(own, cross, "AP1", "C1")
+        coupling = cross_coupling(cross, design)
+        assert np.max(coupling) < 1e-18
+
+    def test_cross_coupling_positive_for_beamforming(self, rng):
+        own, cross = _channel(rng), _channel(rng)
+        design = beamforming_design(own, "AP1", "C1")
+        assert np.all(cross_coupling(cross, design) > 0)

@@ -1,0 +1,91 @@
+"""The N-network COPA pairing scheduler (§3.1's >2-senders sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import MultiApScheduler, Neighbourhood
+
+
+@pytest.fixture(scope="module")
+def neighbourhood():
+    return Neighbourhood.sample(3, np.random.default_rng(77))
+
+
+@pytest.fixture(scope="module")
+def scheduler(neighbourhood):
+    return MultiApScheduler(neighbourhood, rng=np.random.default_rng(5))
+
+
+class TestNeighbourhood:
+    def test_sample_counts(self, neighbourhood):
+        assert neighbourhood.n_pairs == 3
+        # All pairwise channels between 6 nodes, both directions.
+        assert len(neighbourhood.channels) == 6 * 5
+
+    def test_pairwise_channels_structure(self, neighbourhood):
+        channels = neighbourhood.pairwise_channels(0, 2)
+        assert [ap.name for ap in channels.topology.aps] == ["AP1", "AP3"]
+        assert channels.channel("AP1", "C3").shape == (52, 2, 4)
+        assert channels.topology.gain_db("AP3", "C1") is not None
+
+    def test_pairwise_channels_views_share_data(self, neighbourhood):
+        sub = neighbourhood.pairwise_channels(0, 1)
+        np.testing.assert_array_equal(
+            sub.channel("AP1", "C1"), neighbourhood.channels[("AP1", "C1")]
+        )
+
+    def test_self_pairing_rejected(self, neighbourhood):
+        with pytest.raises(ValueError):
+            neighbourhood.pairwise_channels(1, 1)
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            Neighbourhood.sample(1, np.random.default_rng(0))
+
+
+class TestScheduler:
+    def test_copa_run_counts(self, scheduler):
+        result = scheduler.run(30, mode="copa")
+        assert len(result.rounds) == 30
+        assert set(result.throughput_bps) == {0, 1, 2}
+
+    def test_every_round_has_a_partner(self, scheduler):
+        result = scheduler.run(20, mode="copa")
+        for record in result.rounds:
+            assert record.partner is not None
+            assert record.partner != record.leader
+
+    def test_csma_rounds_are_solo(self, scheduler):
+        result = scheduler.run(20, mode="csma")
+        for record in result.rounds:
+            assert record.partner is None
+            assert list(record.delivered_bps) == [record.leader]
+
+    def test_copa_beats_csma_aggregate(self, scheduler):
+        """Pairing two senders per round reuses the medium the baseline
+        leaves idle, so COPA's neighbourhood aggregate must win."""
+        copa = scheduler.run(60, mode="copa")
+        csma = scheduler.run(60, mode="csma")
+        assert copa.aggregate_bps > csma.aggregate_bps
+
+    def test_fairness_metric_in_range(self, scheduler):
+        result = scheduler.run(40, mode="copa")
+        assert 1 / 3 <= result.fairness <= 1.0
+
+    def test_unknown_mode_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.run(5, mode="tdma")
+
+    def test_outcomes_cached(self, neighbourhood):
+        scheduler = MultiApScheduler(neighbourhood, rng=np.random.default_rng(1))
+        scheduler.run(10, mode="copa")
+        n_cached = len(scheduler._outcomes)
+        scheduler.run(10, mode="copa")
+        assert len(scheduler._outcomes) == n_cached  # no recomputation
+
+    def test_fair_variant_runs(self, neighbourhood):
+        scheduler = MultiApScheduler(
+            neighbourhood, rng=np.random.default_rng(2), fair=True
+        )
+        result = scheduler.run(15, mode="copa")
+        assert result.aggregate_bps > 0

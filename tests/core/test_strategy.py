@@ -1,0 +1,162 @@
+"""The Figure-8 strategy engine: scheme menus, choices, fairness."""
+
+import numpy as np
+import pytest
+
+from repro.core.mercury import mercury_allocate
+from repro.core.strategy import (
+    SCHEME_CONC_BF,
+    SCHEME_CONC_NULL,
+    SCHEME_CONC_SDA,
+    SCHEME_COPA_SEQ,
+    SCHEME_CSMA,
+    SCHEME_NULL,
+    StrategyEngine,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome_4x2(channels_4x2):
+    return StrategyEngine(channels_4x2, rng=np.random.default_rng(5)).run()
+
+
+@pytest.fixture(scope="module")
+def outcome_3x2(channels_3x2):
+    return StrategyEngine(channels_3x2, rng=np.random.default_rng(5)).run()
+
+
+@pytest.fixture(scope="module")
+def outcome_1x1(channels_1x1):
+    return StrategyEngine(channels_1x1, rng=np.random.default_rng(5)).run()
+
+
+class TestSchemeMenus:
+    def test_4x2_has_full_menu(self, outcome_4x2):
+        assert set(outcome_4x2.schemes) == {
+            SCHEME_CSMA,
+            SCHEME_COPA_SEQ,
+            SCHEME_CONC_BF,
+            SCHEME_NULL,
+            SCHEME_CONC_NULL,
+        }
+
+    def test_1x1_has_no_nulling(self, outcome_1x1):
+        """Nulling is impossible with a single antenna (§2.1)."""
+        assert SCHEME_NULL not in outcome_1x1.schemes
+        assert SCHEME_CONC_NULL not in outcome_1x1.schemes
+        assert SCHEME_CONC_SDA not in outcome_1x1.schemes
+        assert SCHEME_CONC_BF in outcome_1x1.schemes
+
+    def test_3x2_has_sda(self, outcome_3x2):
+        """The overconstrained case gets reduced-rank nulling + SDA."""
+        assert SCHEME_CONC_SDA in outcome_3x2.schemes
+        assert SCHEME_CONC_NULL in outcome_3x2.schemes
+        assert SCHEME_NULL in outcome_3x2.schemes  # the Null+SDA baseline
+
+    def test_predictions_cover_same_schemes(self, outcome_4x2):
+        assert set(outcome_4x2.predictions) == set(outcome_4x2.schemes)
+
+
+class TestSchemeResults:
+    def test_throughputs_nonnegative(self, outcome_4x2):
+        for result in outcome_4x2.schemes.values():
+            assert all(t >= 0 for t in result.client_throughput_bps)
+
+    def test_aggregate_is_sum(self, outcome_4x2):
+        for result in outcome_4x2.schemes.values():
+            assert result.aggregate_bps == pytest.approx(
+                sum(result.client_throughput_bps)
+            )
+
+    def test_sequential_flagged(self, outcome_4x2):
+        assert not outcome_4x2.schemes[SCHEME_CSMA].concurrent
+        assert not outcome_4x2.schemes[SCHEME_COPA_SEQ].concurrent
+        assert outcome_4x2.schemes[SCHEME_CONC_NULL].concurrent
+
+    def test_csma_bounded_by_two_full_streams(self, outcome_4x2):
+        # 2 streams × 65 Mbit/s, halved by turn-taking, per client.
+        for t in outcome_4x2.schemes[SCHEME_CSMA].client_throughput_bps:
+            assert t <= 65e6
+
+    def test_copa_seq_beats_csma(self, outcome_4x2, outcome_1x1, outcome_3x2):
+        """§3.3: 'COPA-SEQ always beats stock 802.11n without power
+        allocation, which is expected since the latter serves as its
+        starting point' — modulo the slightly higher ITS overhead."""
+        for outcome in (outcome_4x2, outcome_1x1, outcome_3x2):
+            seq = outcome.schemes[SCHEME_COPA_SEQ].aggregate_bps
+            csma = outcome.schemes[SCHEME_CSMA].aggregate_bps
+            assert seq >= csma * 0.97
+
+
+class TestChoices:
+    def test_choice_among_copa_candidates(self, outcome_4x2):
+        candidates = {SCHEME_COPA_SEQ, SCHEME_CONC_BF, SCHEME_CONC_NULL, SCHEME_CONC_SDA}
+        assert outcome_4x2.copa_choice in candidates
+        assert outcome_4x2.copa_fair_choice in candidates
+
+    def test_copa_predicted_at_least_fair(self, outcome_4x2):
+        """The unconstrained choice can only predict better or equal."""
+        predicted = outcome_4x2.predictions
+        assert (
+            predicted[outcome_4x2.copa_choice].aggregate_bps
+            >= predicted[outcome_4x2.copa_fair_choice].aggregate_bps - 1e-6
+        )
+
+    def test_fair_choice_honors_constraint(self, outcome_4x2):
+        """Predicted per-client throughput must not fall below COPA-SEQ."""
+        predicted = outcome_4x2.predictions
+        baseline = predicted[SCHEME_COPA_SEQ]
+        chosen = predicted[outcome_4x2.copa_fair_choice]
+        for i in range(2):
+            assert (
+                chosen.client_throughput_bps[i]
+                >= baseline.client_throughput_bps[i] * 0.99
+            )
+
+    def test_copa_property_accessors(self, outcome_4x2):
+        assert outcome_4x2.copa is outcome_4x2.schemes[outcome_4x2.copa_choice]
+        assert outcome_4x2.copa_fair is outcome_4x2.schemes[outcome_4x2.copa_fair_choice]
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, channels_4x2):
+        a = StrategyEngine(channels_4x2, rng=np.random.default_rng(7)).run()
+        b = StrategyEngine(channels_4x2, rng=np.random.default_rng(7)).run()
+        for name in a.schemes:
+            assert a.schemes[name].aggregate_bps == pytest.approx(
+                b.schemes[name].aggregate_bps
+            )
+        assert a.copa_choice == b.copa_choice
+
+    def test_different_csi_noise_changes_details(self, channels_4x2):
+        a = StrategyEngine(channels_4x2, rng=np.random.default_rng(1)).run()
+        b = StrategyEngine(channels_4x2, rng=np.random.default_rng(2)).run()
+        assert (
+            a.schemes[SCHEME_CONC_NULL].aggregate_bps
+            != b.schemes[SCHEME_CONC_NULL].aggregate_bps
+        )
+
+
+class TestMercuryVariant:
+    def test_copa_plus_runs(self, channels_4x2):
+        outcome = StrategyEngine(
+            channels_4x2,
+            rng=np.random.default_rng(5),
+            allocator=mercury_allocate,
+            max_iterations=3,
+        ).run()
+        assert outcome.copa.aggregate_bps > 0
+
+
+class TestOverheadSensitivity:
+    def test_longer_coherence_means_less_overhead(self, channels_4x2):
+        slow = StrategyEngine(
+            channels_4x2, rng=np.random.default_rng(5), coherence_s=1.0
+        ).run()
+        fast = StrategyEngine(
+            channels_4x2, rng=np.random.default_rng(5), coherence_s=0.004
+        ).run()
+        assert (
+            slow.schemes[SCHEME_COPA_SEQ].aggregate_bps
+            > fast.schemes[SCHEME_COPA_SEQ].aggregate_bps
+        )

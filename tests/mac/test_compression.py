@@ -1,0 +1,156 @@
+"""CSI compression: LZW, adaptive delta modulation, the full codec."""
+
+import numpy as np
+import pytest
+
+from repro.mac.compression import (
+    adm_decode,
+    adm_encode,
+    compress_csi,
+    compression_ratio,
+    decompress_csi,
+    lzw_compress,
+    lzw_decompress,
+    raw_csi_bytes,
+)
+
+
+class TestLzw:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abcabcabcabcabc" * 30,
+            bytes(range(256)),
+            b"\x00" * 2000,
+            b"the quick brown fox " * 100,
+        ],
+    )
+    def test_roundtrip(self, data):
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_random_data_roundtrip(self, rng):
+        data = bytes(rng.integers(0, 256, 1500, dtype=np.uint8))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_repetitive_data_compresses(self):
+        data = b"abcd" * 500
+        assert len(lzw_compress(data)) < len(data) / 3
+
+    def test_incompressible_data_stored_with_one_byte_overhead(self, rng):
+        data = bytes(rng.integers(0, 256, 300, dtype=np.uint8))
+        assert len(lzw_compress(data)) <= len(data) + 1
+
+    def test_corrupt_flag_rejected(self):
+        with pytest.raises(ValueError):
+            lzw_decompress(b"\x07whatever")
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(ValueError):
+            lzw_decompress(b"")
+
+
+class TestAdm:
+    def test_smooth_sequence_tracked_closely(self):
+        x = np.cumsum(np.full(52, 0.3)) + 5.0
+        params, codes = adm_encode(x)
+        reconstructed = adm_decode(params, codes)
+        assert np.max(np.abs(reconstructed - x)) < 0.2
+
+    def test_channel_like_sequence(self, rng):
+        """Amplitude-in-dB across subcarriers: smooth with occasional dips."""
+        x = 10 * np.sin(np.linspace(0, 3, 52)) - 50 + rng.normal(0, 0.5, 52)
+        params, codes = adm_encode(x)
+        reconstructed = adm_decode(params, codes)
+        assert np.sqrt(np.mean((reconstructed - x) ** 2)) < 2.0
+
+    def test_code_range(self, rng):
+        x = rng.normal(0, 5, 100)
+        _, codes = adm_encode(x)
+        assert codes.min() >= -7 and codes.max() <= 7
+
+    def test_constant_sequence(self):
+        params, codes = adm_encode(np.full(20, 3.0))
+        np.testing.assert_allclose(adm_decode(params, codes), 3.0, atol=1e-2)
+
+    def test_step_adapts_to_jumps(self):
+        """A sudden level shift is caught within a few samples."""
+        x = np.concatenate([np.zeros(26), np.full(26, 20.0)])
+        params, codes = adm_encode(x)
+        reconstructed = adm_decode(params, codes)
+        assert abs(reconstructed[-1] - 20.0) < 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            adm_encode(np.array([]))
+
+    def test_single_sample(self):
+        params, codes = adm_encode(np.array([4.2]))
+        assert codes.size == 0
+        assert adm_decode(params, codes)[0] == pytest.approx(4.2, abs=0.01)
+
+
+class TestCsiCodec:
+    @pytest.fixture(scope="class")
+    def csi(self, channels_4x2):
+        return channels_4x2.channel("AP1", "C1")
+
+    def test_roundtrip_accuracy(self, csi):
+        reconstructed = decompress_csi(compress_csi(csi))
+        relative = np.abs(reconstructed - csi) / np.mean(np.abs(csi))
+        assert relative.mean() < 0.1
+
+    def test_amplitude_accuracy_fraction_of_db(self, csi):
+        reconstructed = decompress_csi(compress_csi(csi))
+        amp_err_db = np.abs(
+            20 * np.log10(np.abs(reconstructed) + 1e-15)
+            - 20 * np.log10(np.abs(csi) + 1e-15)
+        )
+        assert np.median(amp_err_db) < 1.0
+
+    def test_shape_preserved(self, csi):
+        assert decompress_csi(compress_csi(csi)).shape == csi.shape
+
+    def test_compression_ratio_substantial(self, csi):
+        """§3.1 reports ≈2× on their testbed channels; we require ≥1.5×."""
+        assert compression_ratio(csi) > 1.5
+
+    def test_compressed_smaller_than_raw(self, csi):
+        assert len(compress_csi(csi)) < raw_csi_bytes(*csi.shape)
+
+    def test_various_antenna_configurations(self, rng):
+        for n_rx, n_tx in [(1, 1), (2, 3), (2, 4)]:
+            shape = (52, n_rx, n_tx)
+            smooth = np.cumsum(
+                0.05 * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)),
+                axis=0,
+            ) + (1 + 1j)
+            reconstructed = decompress_csi(compress_csi(smooth))
+            assert reconstructed.shape == shape
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            compress_csi(np.ones((4, 2), dtype=complex))
+
+
+class TestLzwDictionaryGrowth:
+    def test_code_width_boundaries_crossed(self, rng):
+        """A long mixed stream pushes the dictionary past the 512/1024
+        entry boundaries where the code width grows — the sync-sensitive
+        part of variable-width LZW."""
+        data = bytes(rng.integers(0, 256, 8000, dtype=np.uint8))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_dictionary_full_path(self):
+        """~200 KiB of structured data fills the 16-bit dictionary, after
+        which the coder must stop adding entries but keep decoding."""
+        block = bytes(range(256))
+        data = b"".join(block[i:] + block[:i] for i in range(256)) * 4  # 256 KiB
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_highly_repetitive_long_input(self):
+        data = b"COPA" * 50_000
+        compressed = lzw_compress(data)
+        assert len(compressed) < len(data) / 10
+        assert lzw_decompress(compressed) == data

@@ -1,0 +1,65 @@
+"""The coherence-limited CSI cache."""
+
+import numpy as np
+import pytest
+
+from repro.mac.csi_cache import CsiCache
+
+
+@pytest.fixture
+def cache():
+    return CsiCache(coherence_s=0.030)
+
+
+class TestFreshness:
+    def test_fresh_entry_returned(self, cache):
+        cache.update("C1", np.ones((4, 2, 2)), now_s=0.0)
+        entry = cache.get("C1", now_s=0.020)
+        assert entry is not None
+        assert entry.age_s(0.020) == pytest.approx(0.020)
+
+    def test_stale_entry_hidden(self, cache):
+        cache.update("C1", np.ones((4, 2, 2)), now_s=0.0)
+        assert cache.get("C1", now_s=0.031) is None
+        assert not cache.is_fresh("C1", 0.031)
+
+    def test_boundary_is_inclusive(self, cache):
+        cache.update("C1", np.ones((4, 2, 2)), now_s=0.0)
+        assert cache.get("C1", now_s=0.030) is not None
+
+    def test_unknown_sender(self, cache):
+        assert cache.get("mystery", 0.0) is None
+
+    def test_update_refreshes(self, cache):
+        cache.update("C1", np.ones((4, 2, 2)), now_s=0.0)
+        cache.update("C1", 2 * np.ones((4, 2, 2)), now_s=0.025)
+        entry = cache.get("C1", now_s=0.050)
+        assert entry is not None
+        np.testing.assert_array_equal(entry.channel, 2 * np.ones((4, 2, 2)))
+
+
+class TestReciprocity:
+    def test_reverse_channel_transposed(self, cache):
+        h = np.arange(24, dtype=complex).reshape(4, 3, 2)
+        cache.update("C1", h, now_s=0.0)
+        reverse = cache.reverse_channel("C1", 0.01)
+        np.testing.assert_array_equal(reverse, np.swapaxes(h, -1, -2))
+
+    def test_reverse_of_stale_is_none(self, cache):
+        cache.update("C1", np.ones((4, 2, 2)), now_s=0.0)
+        assert cache.reverse_channel("C1", 1.0) is None
+
+
+class TestEviction:
+    def test_evict_stale_counts(self, cache):
+        cache.update("C1", np.ones((4, 2, 2)), now_s=0.0)
+        cache.update("C2", np.ones((4, 2, 2)), now_s=0.025)
+        removed = cache.evict_stale(now_s=0.040)
+        assert removed == 1
+        assert "C1" not in cache
+        assert "C2" in cache
+        assert len(cache) == 1
+
+    def test_rejects_bad_coherence(self):
+        with pytest.raises(ValueError):
+            CsiCache(coherence_s=0.0)

@@ -1,0 +1,115 @@
+"""DCF contention and the §3.1 fairness-deference tweak."""
+
+import numpy as np
+import pytest
+
+from repro.mac.csma import DcfSimulator, Station, jain_fairness
+
+
+def _plain(n):
+    return [Station(f"S{i}") for i in range(n)]
+
+
+def _pair_plus_one():
+    return [
+        Station("AP1", copa_partner="AP2"),
+        Station("AP2", copa_partner="AP1"),
+        Station("X"),
+    ]
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_fairness([1, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+
+class TestPlainDcf:
+    def test_two_stations_split_evenly(self):
+        sim = DcfSimulator(_plain(2), np.random.default_rng(0), copa_mode=None)
+        stats = sim.run(4000)
+        assert stats.share("S0") == pytest.approx(0.5, abs=0.05)
+
+    def test_five_stations_split_evenly(self):
+        sim = DcfSimulator(_plain(5), np.random.default_rng(0), copa_mode=None)
+        stats = sim.run(6000)
+        for i in range(5):
+            assert stats.share(f"S{i}") == pytest.approx(0.2, abs=0.04)
+        assert stats.fairness > 0.99
+
+    def test_collisions_occur_and_are_bounded(self):
+        sim = DcfSimulator(_plain(4), np.random.default_rng(1), copa_mode=None)
+        stats = sim.run(5000)
+        assert 0.0 < stats.collision_rate < 0.4
+
+    def test_single_station_never_collides(self):
+        sim = DcfSimulator(_plain(1), np.random.default_rng(2), copa_mode=None)
+        stats = sim.run(500)
+        assert stats.collisions == 0
+        assert stats.txops_won["S0"] == 500
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DcfSimulator([Station("A"), Station("A")], np.random.default_rng(0))
+
+
+class TestCopaPairs:
+    def test_pair_wins_together_sequentially(self):
+        sim = DcfSimulator(_pair_plus_one(), np.random.default_rng(3), copa_mode="sequential")
+        stats = sim.run(3000)
+        # A win by either member credits both with a TXOP.
+        assert stats.txops_won["AP1"] == stats.txops_won["AP2"]
+
+    def test_pair_crowds_out_third_station(self):
+        """Without deference, the pair gets two TXOPs per won round, so the
+        third sender's TXOP share falls well below 1/3 — the unfairness
+        §3.1 worries about."""
+        sim = DcfSimulator(_pair_plus_one(), np.random.default_rng(4), copa_mode="sequential")
+        stats = sim.run(4000)
+        total = sum(stats.txops_won.values())
+        assert stats.txops_won["X"] / total < 0.28
+
+    def test_deference_restores_third_station_share(self):
+        """With the modified contention window, X's TXOP share rises to at
+        least its fair third."""
+        base = DcfSimulator(
+            _pair_plus_one(), np.random.default_rng(5), copa_mode="sequential"
+        ).run(4000)
+        deferred = DcfSimulator(
+            _pair_plus_one(),
+            np.random.default_rng(5),
+            copa_mode="sequential",
+            fairness_deference=True,
+        ).run(4000)
+        share = lambda s: s.txops_won["X"] / sum(s.txops_won.values())
+        assert share(deferred) > share(base)
+        assert share(deferred) >= 0.30
+
+    def test_concurrent_mode_counts_both(self):
+        sim = DcfSimulator(_pair_plus_one(), np.random.default_rng(6), copa_mode="concurrent")
+        stats = sim.run(2000)
+        assert stats.txops_won["AP1"] == stats.txops_won["AP2"] > 0
+
+    def test_disabled_pairing_behaves_like_csma(self):
+        sim = DcfSimulator(_pair_plus_one(), np.random.default_rng(7), copa_mode=None)
+        stats = sim.run(5000)
+        total = sum(stats.txops_won.values())
+        assert stats.txops_won["X"] / total == pytest.approx(1 / 3, abs=0.05)
+
+    def test_asymmetric_pairing_rejected(self):
+        stations = [Station("A", copa_partner="B"), Station("B")]
+        with pytest.raises(ValueError):
+            DcfSimulator(stations, np.random.default_rng(0))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DcfSimulator(_plain(2), np.random.default_rng(0), copa_mode="chaotic")

@@ -1,0 +1,79 @@
+"""ITS frame serialization and parsing."""
+
+import pytest
+
+from repro.mac.frames import Decision, ItsAck, ItsInit, ItsReq, parse_frame
+
+
+class TestItsInit:
+    def test_roundtrip(self):
+        frame = ItsInit("AP1", "C1", airtime_us=4000)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed == frame
+
+    def test_byte_size_matches_serialization(self):
+        frame = ItsInit("AP1", "C1", airtime_us=4000)
+        assert len(frame.to_bytes()) == frame.byte_size
+
+    def test_airtime_field_preserved(self):
+        parsed = parse_frame(ItsInit("AP2", "C2", airtime_us=12345).to_bytes())
+        assert parsed.airtime_us == 12345
+
+    def test_long_name_rejected(self):
+        with pytest.raises(ValueError):
+            ItsInit("AP-with-long-name", "C1", 4000).to_bytes()
+
+
+class TestItsReq:
+    def test_roundtrip_with_csi(self):
+        frame = ItsReq("AP1", "AP2", "C1", "C2", compressed_csi=b"\x01\x02\x03" * 50)
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed == frame
+        assert parsed.compressed_csi == b"\x01\x02\x03" * 50
+
+    def test_roundtrip_without_csi(self):
+        frame = ItsReq("AP1", "AP2", "C1", "C2")
+        assert parse_frame(frame.to_bytes()) == frame
+
+    def test_size_grows_with_csi(self):
+        small = ItsReq("AP1", "AP2", "C1", "C2", b"x" * 10)
+        big = ItsReq("AP1", "AP2", "C1", "C2", b"x" * 800)
+        assert big.byte_size == small.byte_size + 790
+
+    def test_identities_preserved(self):
+        parsed = parse_frame(ItsReq("AP1", "AP2", "C1", "C2").to_bytes())
+        assert (parsed.leader, parsed.follower) == ("AP1", "AP2")
+        assert (parsed.client1, parsed.client2) == ("C1", "C2")
+
+
+class TestItsAck:
+    @pytest.mark.parametrize("decision", list(Decision))
+    def test_roundtrip_decisions(self, decision):
+        frame = ItsAck("AP1", "AP2", "C1", "C2", decision, b"precoder-bytes")
+        parsed = parse_frame(frame.to_bytes())
+        assert parsed.decision == decision
+        assert parsed.precoder_blob == b"precoder-bytes"
+
+    def test_sequential_needs_no_precoder(self):
+        frame = ItsAck("AP1", "AP2", "C1", "C2", Decision.SEQUENTIAL)
+        assert parse_frame(frame.to_bytes()).precoder_blob == b""
+
+
+class TestParseErrors:
+    def test_truncated_header(self):
+        with pytest.raises(ValueError):
+            parse_frame(b"\x01")
+
+    def test_truncated_body(self):
+        data = ItsInit("AP1", "C1", 4000).to_bytes()
+        with pytest.raises(ValueError):
+            parse_frame(data[:-2])
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_frame(b"\x99\x00\x00")
+
+    def test_truncated_csi_payload(self):
+        data = bytearray(ItsReq("AP1", "AP2", "C1", "C2", b"abcdef").to_bytes())
+        with pytest.raises(ValueError):
+            parse_frame(bytes(data[:-3]))

@@ -1,0 +1,116 @@
+"""The ITS exchange state machine and its airtime accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mac.frames import Decision
+from repro.mac.its import ItsPhase, ItsSimulator
+from repro.mac.timing import MacOverheadModel
+
+
+def _simulator(**kwargs):
+    defaults = dict(
+        leader="AP1",
+        follower="AP2",
+        clients={"AP1": "C1", "AP2": "C2"},
+        coherence_s=0.030,
+    )
+    defaults.update(kwargs)
+    return ItsSimulator(**defaults)
+
+
+class TestSequence:
+    def test_one_txop_emits_full_exchange(self):
+        sim = _simulator()
+        decision = sim.run_txop()
+        assert decision == Decision.CONCURRENT
+        kinds = [e.kind for e in sim.events]
+        assert kinds.count("its") == 3  # INIT, REQ, ACK
+        assert "data" in kinds
+
+    def test_phase_returns_to_idle(self):
+        sim = _simulator()
+        sim.run_txop()
+        assert sim.phase == ItsPhase.IDLE
+
+    def test_sequential_decision_two_data_bursts(self):
+        sim = _simulator(decide=lambda: Decision.SEQUENTIAL)
+        sim.run_txop()
+        assert sum(e.kind == "data" for e in sim.events) == 2
+
+    def test_concurrent_decision_one_data_burst(self):
+        sim = _simulator()
+        sim.run_txop()
+        assert sum(e.kind == "data" for e in sim.events) == 1
+
+    def test_timeline_is_contiguous(self):
+        sim = _simulator()
+        sim.run(3)
+        events = sim.events
+        for a, b in zip(events, events[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+
+    def test_same_names_rejected(self):
+        with pytest.raises(ValueError):
+            _simulator(follower="AP1")
+
+    def test_wrong_client_map_rejected(self):
+        with pytest.raises(ValueError):
+            _simulator(clients={"AP1": "C1", "AP9": "C2"})
+
+
+class TestCsiRefreshCadence:
+    def test_first_txop_refreshes(self):
+        sim = _simulator()
+        stats = sim.run(1)
+        assert stats.csi_refreshes == 1
+
+    def test_refresh_once_per_coherence_window(self):
+        sim = _simulator()
+        stats = sim.run(40)
+        # Each TXOP spans ~4.3 ms, so a 30 ms window covers ~7 TXOPs.
+        duration = sim.now_s
+        expected = duration / 0.030
+        assert stats.csi_refreshes == pytest.approx(expected, abs=2)
+
+    def test_refresh_req_is_larger(self):
+        sim = _simulator()
+        sim.run(10)
+        req_events = [e for e in sim.events if e.kind == "its" and "REQ" in e.description]
+        with_csi = [e.duration_s for e in req_events if "CSI" in e.description]
+        without = [e.duration_s for e in req_events if "CSI" not in e.description]
+        assert min(with_csi) > max(without)
+
+
+class TestOverheadAccounting:
+    def test_measured_overhead_matches_analytic_model(self):
+        """The simulated airtime ledger must agree with Table 1's formula."""
+        model = MacOverheadModel()
+        sim = _simulator(timing=model)
+        stats = sim.run(100)
+        analytic = model.copa_overhead(0.030, concurrent=True)
+        assert stats.overhead_fraction == pytest.approx(analytic, abs=0.004)
+
+    def test_longer_coherence_lowers_measured_overhead(self):
+        fast = _simulator(coherence_s=0.004).run(60)
+        slow = _simulator(coherence_s=1.0).run(60)
+        assert slow.overhead_fraction < fast.overhead_fraction
+
+    def test_airtime_by_kind_sums_to_total(self):
+        sim = _simulator()
+        stats = sim.run(5)
+        assert sum(stats.airtime_by_kind().values()) == pytest.approx(sim.now_s)
+
+
+class TestChannelProvider:
+    def test_real_csi_flows_through(self, channels_4x2):
+        calls = []
+
+        def provider(tx, rx):
+            calls.append((tx, rx))
+            return channels_4x2.channel(tx, rx)
+
+        sim = _simulator(channel_provider=provider)
+        sim.run(1)
+        # The follower ships CSI to both clients in the REQ.
+        assert ("AP2", "C1") in calls and ("AP2", "C2") in calls

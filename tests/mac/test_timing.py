@@ -1,0 +1,95 @@
+"""The Table-1 overhead model and coherence-time arithmetic."""
+
+import pytest
+
+from repro.mac.timing import MacOverheadModel, coherence_time_s, table1_rows
+from repro.phy.constants import CARRIER_WAVELENGTH_M
+
+
+class TestCoherenceTime:
+    def test_paper_walking_speed(self):
+        """§3.1: ≈28 ms at 4 km/h with m = 0.25."""
+        t = coherence_time_s(4 / 3.6, CARRIER_WAVELENGTH_M)
+        assert t == pytest.approx(0.028, rel=0.03)
+
+    def test_paper_slow_speed(self):
+        """§3.1: ≈112 ms at 1 km/h."""
+        t = coherence_time_s(1 / 3.6, CARRIER_WAVELENGTH_M)
+        assert t == pytest.approx(0.112, rel=0.03)
+
+    def test_inverse_in_speed(self):
+        fast = coherence_time_s(2.0, CARRIER_WAVELENGTH_M)
+        slow = coherence_time_s(1.0, CARRIER_WAVELENGTH_M)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            coherence_time_s(0.0, CARRIER_WAVELENGTH_M)
+
+
+class TestOverheadModel:
+    def test_csma_independent_of_coherence(self):
+        model = MacOverheadModel()
+        rows = table1_rows((4.0, 30.0, 1000.0), model)
+        values = {tc: row.csma for tc, row in rows.items()}
+        assert len(set(values.values())) == 1
+
+    def test_rts_cts_exceeds_cts_to_self(self):
+        row = MacOverheadModel().overheads(0.030)
+        assert row.rts_cts > row.csma
+
+    def test_copa_overhead_decays_with_coherence(self):
+        """Table 1's key trend: CSI amortizes over the coherence time."""
+        model = MacOverheadModel()
+        conc = [model.copa_overhead(t, True) for t in (0.004, 0.030, 1.0)]
+        seq = [model.copa_overhead(t, False) for t in (0.004, 0.030, 1.0)]
+        assert conc[0] > conc[1] > conc[2]
+        assert seq[0] > seq[1] > seq[2]
+
+    def test_concurrent_costs_more_than_sequential(self):
+        """Concurrent rounds need a per-TXOP ITS exchange."""
+        model = MacOverheadModel()
+        for tc in (0.004, 0.030, 1.0):
+            assert model.copa_overhead(tc, True) >= model.copa_overhead(tc, False)
+
+    def test_table1_magnitudes(self):
+        """Within a couple of percentage points of the paper's Table 1."""
+        rows = table1_rows()
+        paper = {
+            4.0: (9.3, 7.7, 2.7, 3.7),
+            30.0: (5.1, 3.5, 2.7, 3.7),
+            1000.0: (4.5, 2.8, 2.7, 3.7),
+        }
+        for tc, (conc, seq, cts, rts) in paper.items():
+            row = rows[tc]
+            assert row.copa_concurrent * 100 == pytest.approx(conc, abs=1.5)
+            assert row.copa_sequential * 100 == pytest.approx(seq, abs=1.5)
+            assert row.csma * 100 == pytest.approx(cts, abs=0.5)
+            assert row.rts_cts * 100 == pytest.approx(rts, abs=0.5)
+
+    def test_long_coherence_sequential_approaches_data_only(self):
+        model = MacOverheadModel()
+        almost_free = model.copa_overhead(100.0, concurrent=False)
+        data_only = model._fraction(model.data_fixed_overhead_s, model.txop_s)
+        assert almost_free == pytest.approx(data_only, abs=0.001)
+
+    def test_rejects_bad_coherence(self):
+        with pytest.raises(ValueError):
+            MacOverheadModel().copa_overhead(0.0, True)
+
+    def test_control_airtime_includes_preamble(self):
+        model = MacOverheadModel()
+        assert model.control_airtime_s(0) == pytest.approx(20e-6)
+        # 24 bytes at 24 Mbit/s = 8 µs on top of the preamble.
+        assert model.control_airtime_s(24) == pytest.approx(28e-6)
+
+    def test_net_throughput_factor_below_table1_factor(self):
+        """Contention and MPDU framing always cost something extra."""
+        model = MacOverheadModel()
+        overhead = model.csma_overhead()
+        assert model.net_throughput_factor(overhead) < 1.0 - overhead
+
+    def test_bigger_csi_bigger_overhead(self):
+        small = MacOverheadModel(csi_bits=1000)
+        large = MacOverheadModel(csi_bits=20_000)
+        assert large.copa_overhead(0.030, True) > small.copa_overhead(0.030, True)

@@ -1,0 +1,73 @@
+"""Uncoded BER formulas, cross-validated against signal-level Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ber import MAX_BER, uncoded_ber
+from repro.phy.constants import BPSK, MODULATIONS, QAM16, QAM64, QPSK
+from repro.phy.qam import awgn, demodulate_hard, modulate
+from repro.util import db_to_linear
+
+
+class TestFormulas:
+    def test_bpsk_known_value(self):
+        # Q(sqrt(2·γ)) at γ = 1 (0 dB): Q(1.414) ≈ 0.0786.
+        assert uncoded_ber(1.0, BPSK) == pytest.approx(0.0786, abs=0.002)
+
+    def test_qpsk_is_bpsk_with_3db_shift(self):
+        # Gray QPSK per-bit BER equals BPSK at half the symbol SNR.
+        snr = db_to_linear(10.0)
+        assert uncoded_ber(snr, QPSK) == pytest.approx(uncoded_ber(snr / 2, BPSK), rel=1e-9)
+
+    def test_monotone_decreasing_in_snr(self):
+        snrs = np.logspace(-1, 4, 50)
+        for modulation in MODULATIONS:
+            bers = uncoded_ber(snrs, modulation)
+            assert np.all(np.diff(bers) <= 1e-15)
+
+    def test_modulation_ordering_at_fixed_snr(self):
+        """Denser constellations are always more fragile."""
+        snr = db_to_linear(12.0)
+        bers = [float(uncoded_ber(snr, m)) for m in MODULATIONS]
+        assert bers == sorted(bers)
+
+    def test_zero_snr_is_half(self):
+        for modulation in MODULATIONS:
+            assert uncoded_ber(0.0, modulation) == pytest.approx(MAX_BER, abs=0.02)
+
+    def test_negative_snr_clamped(self):
+        assert uncoded_ber(-5.0, BPSK) <= MAX_BER
+
+    def test_high_snr_vanishes(self):
+        for modulation in MODULATIONS:
+            assert uncoded_ber(db_to_linear(40.0), modulation) < 1e-9
+
+    def test_array_input(self):
+        out = uncoded_ber(np.array([1.0, 10.0, 100.0]), QPSK)
+        assert out.shape == (3,)
+
+    def test_unknown_modulation_raises(self):
+        from repro.phy.constants import Modulation
+
+        with pytest.raises(ValueError):
+            uncoded_ber(1.0, Modulation("8-PSK", 3, 8))
+
+
+class TestMonteCarloValidation:
+    """The analytic curves must match the signal-level QAM demapper."""
+
+    @pytest.mark.parametrize(
+        "modulation,snr_db",
+        [(BPSK, 5.0), (QPSK, 8.0), (QAM16, 14.0), (QAM64, 20.0)],
+    )
+    def test_formula_matches_simulation(self, modulation, snr_db):
+        rng = np.random.default_rng(2015)
+        n_bits = 120_000 - (120_000 % modulation.bits_per_symbol)
+        bits = rng.integers(0, 2, n_bits)
+        symbols = modulate(bits, modulation)
+        snr = float(db_to_linear(snr_db))
+        received = awgn(symbols, snr, rng)
+        decoded = demodulate_hard(received, modulation)
+        simulated = np.mean(bits != decoded)
+        predicted = float(uncoded_ber(snr, modulation))
+        assert simulated == pytest.approx(predicted, rel=0.25)

@@ -1,0 +1,92 @@
+"""Channel realization: shapes, reciprocity, scaling, CSI measurement."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelModel, ChannelSet
+from repro.phy.noise import ImperfectionModel
+from repro.phy.topology import TopologyGenerator
+from repro.util import db_to_linear, linear_to_db
+
+
+class TestRealize:
+    def test_shapes(self, channels_4x2):
+        assert channels_4x2.channel("AP1", "C1").shape == (52, 2, 4)
+        assert channels_4x2.channel("C1", "AP1").shape == (52, 4, 2)
+        assert channels_4x2.channel("AP1", "AP2").shape == (52, 4, 4)
+
+    def test_reciprocity(self, channels_4x2):
+        forward = channels_4x2.channel("AP1", "C2")
+        reverse = channels_4x2.channel("C2", "AP1")
+        np.testing.assert_allclose(forward, np.swapaxes(reverse, 1, 2))
+
+    def test_unknown_link_raises(self, channels_4x2):
+        with pytest.raises(KeyError):
+            channels_4x2.channel("AP1", "martian")
+
+    def test_mean_power_matches_link_gain(self):
+        """Per-entry mean |h|^2 equals the topology's path-loss gain."""
+        rng = np.random.default_rng(3)
+        topology = TopologyGenerator().sample(rng)
+        sets = [ChannelModel().realize(topology, np.random.default_rng(s)) for s in range(60)]
+        measured = np.mean(
+            [np.mean(np.abs(cs.channel("AP1", "C1")) ** 2) for cs in sets]
+        )
+        expected = db_to_linear(topology.gain_db("AP1", "C1"))
+        assert measured == pytest.approx(expected, rel=0.25)
+
+    def test_independent_realizations_differ(self):
+        rng = np.random.default_rng(3)
+        topology = TopologyGenerator().sample(rng)
+        a = ChannelModel().realize(topology, np.random.default_rng(1))
+        b = ChannelModel().realize(topology, np.random.default_rng(2))
+        assert not np.allclose(a.channel("AP1", "C1"), b.channel("AP1", "C1"))
+
+
+class TestScaledInterference:
+    def test_cross_links_scaled(self, channels_4x2):
+        scaled = channels_4x2.scaled_interference(-10.0)
+        original = channels_4x2.channel("AP1", "C2")
+        new = scaled.channel("AP1", "C2")
+        ratio = np.mean(np.abs(new) ** 2) / np.mean(np.abs(original) ** 2)
+        assert linear_to_db(ratio) == pytest.approx(-10.0, abs=0.01)
+
+    def test_own_links_untouched(self, channels_4x2):
+        scaled = channels_4x2.scaled_interference(-10.0)
+        np.testing.assert_array_equal(
+            scaled.channel("AP1", "C1"), channels_4x2.channel("AP1", "C1")
+        )
+        np.testing.assert_array_equal(
+            scaled.channel("AP2", "C2"), channels_4x2.channel("AP2", "C2")
+        )
+
+    def test_reciprocity_preserved(self, channels_4x2):
+        scaled = channels_4x2.scaled_interference(-10.0)
+        forward = scaled.channel("AP2", "C1")
+        reverse = scaled.channel("C1", "AP2")
+        np.testing.assert_allclose(forward, np.swapaxes(reverse, 1, 2))
+
+    def test_original_not_mutated(self, channels_4x2):
+        before = channels_4x2.channel("AP1", "C2").copy()
+        channels_4x2.scaled_interference(-10.0)
+        np.testing.assert_array_equal(channels_4x2.channel("AP1", "C2"), before)
+
+
+class TestMeasuredCsi:
+    def test_error_power_matches_model(self, channels_4x2):
+        imperfections = ImperfectionModel(csi_error_db=-20.0)
+        true = channels_4x2.channel("AP1", "C1")
+        errors = []
+        for seed in range(40):
+            measured = channels_4x2.measured_csi(
+                "AP1", "C1", imperfections, np.random.default_rng(seed)
+            )
+            errors.append(np.mean(np.abs(measured - true) ** 2))
+        relative = np.mean(errors) / np.mean(np.abs(true) ** 2)
+        assert linear_to_db(relative) == pytest.approx(-20.0, abs=1.0)
+
+    def test_perfect_model_returns_truth(self, channels_4x2, rng):
+        from repro.phy.noise import PERFECT
+
+        measured = channels_4x2.measured_csi("AP1", "C1", PERFECT, rng)
+        np.testing.assert_allclose(measured, channels_4x2.channel("AP1", "C1"), atol=1e-15)

@@ -1,0 +1,125 @@
+"""Convolutional-code union bound and frame error rates."""
+
+import numpy as np
+import pytest
+
+from repro.phy.coding import (
+    DISTANCE_SPECTRA,
+    coded_ber,
+    frame_error_rate,
+    mpdu_error_rate,
+    pairwise_error_probability,
+)
+
+
+class TestPairwiseErrorProbability:
+    def test_zero_channel_ber(self):
+        assert pairwise_error_probability(0.0, 10) == pytest.approx(0.0)
+
+    def test_half_channel_ber_odd(self):
+        # With p = 0.5 every coded bit is a coin flip: P_d = 0.5 for odd d.
+        assert pairwise_error_probability(0.5, 5) == pytest.approx(0.5)
+
+    def test_half_channel_ber_even_with_tie(self):
+        assert pairwise_error_probability(0.5, 4) == pytest.approx(0.5)
+
+    def test_monotone_in_p(self):
+        ps = np.linspace(0.0, 0.5, 30)
+        out = pairwise_error_probability(ps, 6)
+        assert np.all(np.diff(out) >= -1e-15)
+
+    def test_larger_distance_is_safer(self):
+        p = 0.02
+        assert pairwise_error_probability(p, 12) < pairwise_error_probability(p, 6)
+
+    def test_d1_equals_p(self):
+        # Distance 1: one bad bit loses the comparison outright.
+        assert pairwise_error_probability(0.07, 1) == pytest.approx(0.07)
+
+
+class TestDistanceSpectra:
+    def test_all_80211_rates_present(self):
+        assert set(DISTANCE_SPECTRA) == {(1, 2), (2, 3), (3, 4), (5, 6)}
+
+    def test_free_distances(self):
+        # Published free distances of the punctured 133/171 code.
+        assert DISTANCE_SPECTRA[(1, 2)][0] == 10
+        assert DISTANCE_SPECTRA[(2, 3)][0] == 6
+        assert DISTANCE_SPECTRA[(3, 4)][0] == 5
+        assert DISTANCE_SPECTRA[(5, 6)][0] == 4
+
+
+class TestCodedBer:
+    def test_stronger_code_wins(self):
+        """At equal channel BER, lower-rate codes decode better."""
+        p = 0.02
+        bers = [float(coded_ber(p, rate)) for rate in [(1, 2), (2, 3), (3, 4), (5, 6)]]
+        assert bers == sorted(bers)
+
+    def test_coding_gain_exists(self):
+        # At a moderate channel BER the decoder output is far cleaner.
+        assert coded_ber(0.005, (1, 2)) < 0.005 / 100
+
+    def test_saturates_at_half(self):
+        assert coded_ber(0.3, (1, 2)) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        ps = np.linspace(1e-5, 0.07, 40)
+        out = coded_ber(ps, (3, 4))
+        assert np.all(np.diff(out) >= -1e-18)
+
+    def test_clean_channel(self):
+        assert coded_ber(0.0, (5, 6)) == pytest.approx(0.0)
+
+    def test_unknown_rate_raises(self):
+        with pytest.raises(ValueError):
+            coded_ber(0.01, (7, 8))
+
+
+class TestFrameErrorRate:
+    def test_zero_ber_zero_fer(self):
+        assert frame_error_rate(0.0, 12000) == pytest.approx(0.0)
+
+    def test_matches_direct_formula(self):
+        ber, n = 1e-4, 1000
+        assert frame_error_rate(ber, n) == pytest.approx(1 - (1 - ber) ** n, rel=1e-9)
+
+    def test_tiny_ber_no_underflow(self):
+        # 1e-12 over 12 kbit ≈ 1.2e-8, must not round to zero.
+        fer = frame_error_rate(1e-12, 12000)
+        assert fer == pytest.approx(1.2e-8, rel=0.01)
+
+    def test_long_frames_fail_more(self):
+        assert frame_error_rate(1e-5, 100_000) > frame_error_rate(1e-5, 1_000)
+
+    def test_mpdu_default_payload(self):
+        assert mpdu_error_rate(0.0, (1, 2)) == pytest.approx(0.0)
+        assert mpdu_error_rate(0.2, (1, 2)) == pytest.approx(1.0)
+
+
+class TestViterbiMonteCarloValidation:
+    """The union bound must track the real Viterbi decoder's performance."""
+
+    @pytest.mark.parametrize(
+        "code_rate,p",
+        [((1, 2), 0.050), ((3, 4), 0.020)],
+    )
+    def test_bound_brackets_simulation(self, code_rate, p):
+        from repro.phy.viterbi import code_through_channel
+
+        rng = np.random.default_rng(7)
+        n_bits = 60_000
+        num, den = code_rate
+        n_bits -= n_bits % num
+        bits = rng.integers(0, 2, n_bits).astype(np.int8)
+        decoded = code_through_channel(bits, code_rate, p, rng)
+        simulated = float(np.mean(bits != decoded))
+        # The channel BER is chosen high enough that errors actually occur,
+        # so both sides of the bracket are meaningful.
+        assert simulated > 0
+        bound = float(coded_ber(p, code_rate))
+        # A union bound over-counts error events, so it sits above the
+        # simulation — but within a couple of orders of magnitude at these
+        # operating points (it is what drives MCS selection).
+        assert simulated <= bound * 3.0
+        assert bound <= simulated * 300.0

@@ -1,0 +1,81 @@
+"""The 802.11n numerology must match the standard's published values."""
+
+import numpy as np
+import pytest
+
+from repro.phy import constants as C
+
+
+class TestOfdmNumerology:
+    def test_symbol_duration_is_4us(self):
+        assert C.SYMBOL_DURATION_S == pytest.approx(4e-6)
+
+    def test_cyclic_prefix_is_800ns(self):
+        # §3.1: concurrent senders must synchronize within the 800 ns CP.
+        assert C.CYCLIC_PREFIX_S == pytest.approx(800e-9)
+
+    def test_subcarrier_spacing(self):
+        assert C.SUBCARRIER_SPACING_HZ == pytest.approx(20e6 / 64)
+
+    def test_data_plus_pilots_fit_in_fft(self):
+        assert C.N_DATA_SUBCARRIERS + C.N_PILOT_SUBCARRIERS < C.N_FFT
+
+    def test_wavelength_is_about_12cm(self):
+        # The paper: fading decorrelates over "12.5 cm (one radio wavelength)".
+        assert 0.12 < C.CARRIER_WAVELENGTH_M < 0.13
+
+
+class TestMcsTable:
+    def test_eight_entries(self):
+        assert len(C.MCS_TABLE) == 8
+
+    def test_ht20_single_stream_rates(self):
+        # The published HT20 long-GI table: 6.5 ... 65 Mbit/s.
+        expected = [6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0]
+        actual = [mcs.rate_bps / 1e6 for mcs in C.MCS_TABLE]
+        assert actual == pytest.approx(expected)
+
+    def test_rates_strictly_increasing(self):
+        rates = [mcs.rate_bps for mcs in C.MCS_TABLE]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_indices_are_positional(self):
+        for position, mcs in enumerate(C.MCS_TABLE):
+            assert mcs.index == position
+
+    def test_code_rate_float(self):
+        mcs = C.MCS_TABLE[7]
+        assert mcs.code_rate == (5, 6)
+        assert mcs.code_rate_float == pytest.approx(5 / 6)
+
+    def test_phy_rate_scales_with_subcarriers(self):
+        full = C.phy_rate_bps(C.QAM64, (5, 6), 52)
+        half = C.phy_rate_bps(C.QAM64, (5, 6), 26)
+        assert half == pytest.approx(full / 2)
+
+    def test_top_rate_formula(self):
+        # 52 subcarriers × 6 bits × 5/6 ÷ 4 µs = 65 Mbit/s.
+        assert C.phy_rate_bps(C.QAM64, (5, 6)) == pytest.approx(65e6)
+
+
+class TestTimingConstants:
+    def test_difs_definition(self):
+        assert C.DIFS_S == pytest.approx(C.SIFS_S + 2 * C.SLOT_TIME_S)
+
+    def test_contention_window_bounds(self):
+        assert C.CW_MIN == 15
+        assert C.CW_MAX == 1023
+
+    def test_txop_is_4ms(self):
+        # §4.1: throughput predicted over the standard 4 ms TXOP.
+        assert C.TXOP_DURATION_S == pytest.approx(4e-3)
+
+
+class TestModulations:
+    def test_points_match_bits(self):
+        for modulation in C.MODULATIONS:
+            assert modulation.points == 2**modulation.bits_per_symbol
+
+    def test_modulation_order(self):
+        bits = [m.bits_per_symbol for m in C.MODULATIONS]
+        assert bits == [1, 2, 4, 6]

@@ -1,0 +1,138 @@
+"""Temporal channel evolution and the coherence-time rule."""
+
+import numpy as np
+import pytest
+
+from repro.mac.timing import coherence_time_s
+from repro.phy.constants import CARRIER_WAVELENGTH_M
+from repro.phy.doppler import (
+    ChannelTrack,
+    doppler_frequency_hz,
+    evolve_taps,
+    temporal_correlation,
+)
+from repro.phy.fading import exponential_pdp
+
+
+class TestDopplerBasics:
+    def test_walking_speed_doppler(self):
+        # 4 km/h at 2.437 GHz: f_D = v/λ ≈ 9 Hz.
+        f_d = doppler_frequency_hz(4 / 3.6)
+        assert f_d == pytest.approx(9.0, rel=0.05)
+
+    def test_static_channel_no_doppler(self):
+        assert doppler_frequency_hz(0.0) == 0.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            doppler_frequency_hz(-1.0)
+
+    def test_correlation_at_zero_delay(self):
+        assert temporal_correlation(0.0, 9.0) == pytest.approx(1.0)
+
+    def test_correlation_decays(self):
+        delays = np.linspace(0, 0.05, 20)
+        rho = temporal_correlation(delays, 9.0)
+        assert rho[0] > rho[5] > abs(rho[-1]) - 1e-9
+
+    def test_coherence_time_rule_consistent(self):
+        """t_c = 0.25·λ/v puts 2π·f_D·t_c = π/2 exactly, where Jakes
+        correlation has fallen to J₀(π/2) ≈ 0.47 — the textbook "channel
+        still usable but due for a refresh" point, independent of speed."""
+        for speed in (1 / 3.6, 4 / 3.6, 3.0):
+            t_c = coherence_time_s(speed, CARRIER_WAVELENGTH_M)
+            rho = float(temporal_correlation(t_c, doppler_frequency_hz(speed)))
+            assert rho == pytest.approx(0.472, abs=0.01)
+
+
+class TestEvolveTaps:
+    def test_rho_one_is_identity(self, rng):
+        pdp = exponential_pdp()
+        from repro.phy.fading import TappedDelayLine
+
+        taps = TappedDelayLine.sample(2, 2, pdp, rng).taps
+        evolved = evolve_taps(taps, 1.0, pdp, rng)
+        np.testing.assert_allclose(evolved, taps)
+
+    def test_rho_zero_is_independent(self, rng):
+        pdp = exponential_pdp()
+        from repro.phy.fading import TappedDelayLine
+
+        taps = TappedDelayLine.sample(2, 2, pdp, rng).taps
+        evolved = evolve_taps(taps, 0.0, pdp, rng)
+        correlation = np.abs(np.vdot(taps, evolved)) / (
+            np.linalg.norm(taps) * np.linalg.norm(evolved)
+        )
+        assert correlation < 0.4
+
+    def test_power_preserved(self, rng):
+        """Gauss-Markov evolution keeps the marginal tap power."""
+        pdp = exponential_pdp()
+        from repro.phy.fading import TappedDelayLine
+
+        powers = []
+        taps = TappedDelayLine.sample(2, 2, pdp, rng).taps
+        for _ in range(200):
+            taps = evolve_taps(taps, 0.9, pdp, rng)
+            powers.append(np.sum(np.abs(taps) ** 2))
+        assert np.mean(powers) == pytest.approx(4.0, rel=0.25)  # 2×2 unit links
+
+    def test_invalid_rho_rejected(self, rng):
+        pdp = exponential_pdp()
+        with pytest.raises(ValueError):
+            evolve_taps(np.zeros((3, 1, 1)), 1.5, pdp, rng)
+
+
+class TestChannelTrack:
+    def test_track_shapes(self, rng):
+        track = ChannelTrack(n_rx=2, n_tx=4, speed_m_per_s=1.0, sample_interval_s=0.004)
+        h0 = track.start(rng)
+        h1 = track.step(rng)
+        assert h0.shape == (52, 2, 4)
+        assert h1.shape == (52, 2, 4)
+
+    def test_step_correlation_matches_jakes(self):
+        track = ChannelTrack(n_rx=1, n_tx=1, speed_m_per_s=4 / 3.6, sample_interval_s=0.004)
+        expected = temporal_correlation(0.004, track.doppler_hz)
+        assert track.step_correlation == pytest.approx(float(expected))
+
+    def test_fast_walker_decorrelates_faster(self, rng):
+        def correlation_after(speed, steps=25):
+            track = ChannelTrack(1, 1, speed, sample_interval_s=0.004)
+            h0 = track.start(np.random.default_rng(3))
+            h = h0
+            local = np.random.default_rng(4)
+            for _ in range(steps):
+                h = track.step(local)
+            return float(
+                np.abs(np.vdot(h0, h)) / (np.linalg.norm(h0) * np.linalg.norm(h))
+            )
+
+        assert correlation_after(0.1) > correlation_after(3.0)
+
+    def test_measured_autocorrelation_is_gauss_markov(self):
+        """The track is an AR(1) (Gauss–Markov) approximation: its lag-1
+        correlation equals Jakes' J₀, and lag-k correlation decays as the
+        k-th power of that (the standard Markov channel model)."""
+        track = ChannelTrack(1, 1, speed_m_per_s=2.0, sample_interval_s=0.002)
+        rng = np.random.default_rng(7)
+        h0 = track.start(rng)
+        lag = 10
+        reference = h0.ravel()
+        h = h0
+        for _ in range(lag):
+            h = track.step(rng)
+        measured = np.abs(np.vdot(reference, h.ravel())) / (
+            np.linalg.norm(reference) * np.linalg.norm(h)
+        )
+        expected = track.step_correlation**lag
+        assert measured == pytest.approx(expected, abs=0.15)
+
+    def test_run_yields_n(self, rng):
+        track = ChannelTrack(1, 2, 1.0, 0.01)
+        outputs = list(track.run(5, rng))
+        assert len(outputs) == 5
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTrack(1, 1, 1.0, 0.0)

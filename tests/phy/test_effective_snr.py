@@ -1,0 +1,113 @@
+"""The EESM link abstraction and its agreement with the BER-average model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import MCS_TABLE
+from repro.phy.effective_snr import (
+    DEFAULT_BETAS,
+    best_rate_eesm,
+    effective_snr,
+    evaluate_mcs_eesm,
+)
+from repro.phy.rates import best_rate
+from repro.util import db_to_linear
+
+
+class TestEffectiveSnr:
+    def test_flat_channel_identity(self):
+        sinr = np.full(52, 100.0)
+        assert effective_snr(sinr, beta=5.0) == pytest.approx(100.0, rel=1e-9)
+
+    def test_bounded_by_min_and_mean(self, rng):
+        sinr = db_to_linear(rng.uniform(0, 40, 52))
+        for beta in (0.5, 5.0, 50.0):
+            gamma = effective_snr(sinr, beta)
+            assert sinr.min() - 1e-9 <= gamma <= sinr.mean() + 1e-9
+
+    def test_small_beta_approaches_min(self, rng):
+        sinr = db_to_linear(rng.uniform(0, 40, 52))
+        assert effective_snr(sinr, 1e-3) == pytest.approx(sinr.min(), rel=0.05)
+
+    def test_large_beta_approaches_mean(self, rng):
+        sinr = db_to_linear(rng.uniform(0, 20, 52))
+        assert effective_snr(sinr, 1e6) == pytest.approx(sinr.mean(), rel=0.01)
+
+    def test_monotone_in_beta(self, rng):
+        sinr = db_to_linear(rng.uniform(0, 35, 52))
+        values = [effective_snr(sinr, beta) for beta in (1.0, 5.0, 25.0, 125.0)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_deep_fade_dominates(self):
+        """One dead subcarrier pulls EESM down far more than the mean."""
+        sinr = np.full(52, db_to_linear(30.0))
+        sinr[0] = db_to_linear(-5.0)
+        gamma = effective_snr(sinr, beta=3.0)
+        assert gamma < sinr.mean() / 10
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            effective_snr(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            effective_snr(np.array([]), 1.0)
+
+
+class TestEesmRateSelection:
+    def test_flat_strong_channel_matches_ber_model(self):
+        sinr = np.full(52, db_to_linear(38.0))
+        eesm = best_rate_eesm(sinr)
+        ber_avg = best_rate(sinr)
+        assert eesm.mcs.index == ber_avg.mcs.index == 7
+        assert eesm.goodput_bps == pytest.approx(ber_avg.goodput_bps, rel=0.01)
+
+    def test_agreement_across_random_channels(self, rng):
+        """The two abstractions pick the same or adjacent MCS nearly always
+        — COPA's conclusions do not hinge on the aggregation choice."""
+        agree = 0
+        trials = 30
+        for _ in range(trials):
+            sinr = db_to_linear(rng.uniform(5, 38, 52))
+            a = best_rate(sinr)
+            b = best_rate_eesm(sinr)
+            if a.mcs is None or b.mcs is None:
+                continue
+            if abs(a.mcs.index - b.mcs.index) <= 1:
+                agree += 1
+        assert agree >= trials * 0.8
+
+    def test_eesm_punishes_selective_channels(self):
+        flat = np.full(52, db_to_linear(25.0))
+        selective = flat.copy()
+        selective[:10] = db_to_linear(2.0)
+        assert (
+            best_rate_eesm(selective).goodput_bps < best_rate_eesm(flat).goodput_bps
+        )
+
+    def test_used_mask_respected(self):
+        sinr = np.full(52, db_to_linear(38.0))
+        used = np.zeros(52, dtype=bool)
+        used[:13] = True
+        result = best_rate_eesm(sinr, used=used)
+        assert result.n_used == 13
+        assert result.goodput_bps == pytest.approx(65e6 / 4, rel=0.02)
+
+    def test_empty_mask(self):
+        result = evaluate_mcs_eesm(np.ones(52), MCS_TABLE[0], used=np.zeros(52, bool))
+        assert result.goodput_bps == 0.0
+
+    def test_betas_cover_all_mcs(self):
+        assert set(DEFAULT_BETAS) == {m.index for m in MCS_TABLE}
+
+    def test_subcarrier_dropping_still_pays_under_eesm(self, rng):
+        """COPA's core move survives the abstraction swap: dropping deep
+        fades raises EESM throughput too."""
+        from repro.core.equi_snr import allocate
+
+        gains = np.full(52, 52 * db_to_linear(26.0))
+        gains[:8] = 52 * db_to_linear(2.0)
+        allocation = allocate(gains, 1.0)
+        sinr_full = gains / 52
+        sinr_copa = allocation.powers * gains
+        full = best_rate_eesm(sinr_full)
+        copa = best_rate_eesm(sinr_copa, used=allocation.used)
+        assert copa.goodput_bps > full.goodput_bps

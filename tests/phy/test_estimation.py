@@ -1,0 +1,94 @@
+"""Pilot-based channel estimation and the grounding of the CSI-error model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.estimation import (
+    estimate_mimo_channel,
+    estimation_error_power,
+    hadamard_cover,
+    ls_estimate,
+    training_symbols,
+)
+
+
+class TestHadamardCover:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_orthogonal_columns(self, n):
+        cover = hadamard_cover(n)
+        gram = cover.T @ cover
+        np.testing.assert_allclose(gram, cover.shape[0] * np.eye(n))
+
+    def test_entries_are_signs(self):
+        assert set(np.unique(hadamard_cover(4))) <= {-1.0, 1.0}
+
+    def test_order_rounds_up(self):
+        assert hadamard_cover(3).shape == (4, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            hadamard_cover(0)
+
+
+class TestLsEstimate:
+    def test_noiseless_exact(self, rng):
+        pilots = training_symbols(16)
+        h = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        np.testing.assert_allclose(ls_estimate(h * pilots, pilots), h)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ls_estimate(np.ones(4, complex), np.ones(5, complex))
+
+
+class TestMimoEstimation:
+    def _channel(self, rng, n_rx=2, n_tx=4, n_sc=52):
+        shape = (n_sc, n_rx, n_tx)
+        return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+    def test_noiseless_recovers_channel(self, rng):
+        h = self._channel(rng)
+        result = estimate_mimo_channel(h, pilot_power=1.0, noise_power=0.0, rng=rng)
+        np.testing.assert_allclose(result.estimate, h, atol=1e-10)
+        assert result.error_power < 1e-20
+
+    def test_error_matches_prediction(self):
+        """Realized MSE tracks the analytic LS-error formula."""
+        rng = np.random.default_rng(3)
+        h = self._channel(rng)
+        pilot_power, noise_power = 1.0, 0.01
+        result = estimate_mimo_channel(h, pilot_power, noise_power, rng)
+        predicted = estimation_error_power(pilot_power, noise_power, n_tx=4)
+        assert result.error_power == pytest.approx(predicted, rel=0.15)
+
+    def test_repetitions_average_noise_down(self):
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        h = self._channel(np.random.default_rng(1))
+        one = estimate_mimo_channel(h, 1.0, 0.05, rng_a, n_repetitions=1)
+        four = estimate_mimo_channel(h, 1.0, 0.05, rng_b, n_repetitions=4)
+        assert four.error_power < one.error_power / 2.0
+
+    def test_grounds_the_statistical_csi_model(self):
+        """A link overheard at ~30 dB SNR with 4 LTFs lands in the error
+        regime the frozen calibration assumes (−26 dB): the statistical
+        ImperfectionModel is consistent with physical LS estimation."""
+        rng = np.random.default_rng(9)
+        h = self._channel(rng)
+        snr = 10.0 ** (30.0 / 10.0)
+        # Mean entry power is 1, so noise_power = 1/snr gives 30 dB pilots.
+        result = estimate_mimo_channel(h, pilot_power=1.0, noise_power=1.0 / snr, rng=rng)
+        assert -34.0 < result.relative_error_db < -26.0
+
+    def test_relative_error_db_property(self, rng):
+        h = self._channel(rng)
+        result = estimate_mimo_channel(h, 1.0, 0.1, rng)
+        assert result.relative_error_db == pytest.approx(
+            10 * np.log10(result.relative_error)
+        )
+
+    def test_rejects_bad_powers(self, rng):
+        h = self._channel(rng)
+        with pytest.raises(ValueError):
+            estimate_mimo_channel(h, 0.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            estimate_mimo_channel(h, 1.0, -0.1, rng)

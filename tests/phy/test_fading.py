@@ -1,0 +1,153 @@
+"""Multipath fading model: profiles, correlation, frequency responses."""
+
+import numpy as np
+import pytest
+
+from repro.phy.fading import (
+    PowerDelayProfile,
+    TappedDelayLine,
+    correlation_matrix,
+    exponential_pdp,
+    frequency_response,
+)
+
+
+class TestPowerDelayProfile:
+    def test_powers_normalized(self):
+        pdp = PowerDelayProfile(np.array([0.0, 50e-9]), np.array([2.0, 2.0]))
+        assert pdp.powers.sum() == pytest.approx(1.0)
+
+    def test_single_tap_has_zero_delay_spread(self):
+        pdp = PowerDelayProfile(np.array([100e-9]), np.array([1.0]))
+        assert pdp.rms_delay_spread_s == pytest.approx(0.0)
+
+    def test_two_equal_taps_delay_spread(self):
+        # Two equal taps at 0 and T have RMS spread T/2.
+        t = 100e-9
+        pdp = PowerDelayProfile(np.array([0.0, t]), np.array([1.0, 1.0]))
+        assert pdp.rms_delay_spread_s == pytest.approx(t / 2)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            PowerDelayProfile(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PowerDelayProfile(np.array([0.0]), np.array([-1.0]))
+
+    def test_rejects_all_zero_powers(self):
+        with pytest.raises(ValueError):
+            PowerDelayProfile(np.array([0.0]), np.array([0.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PowerDelayProfile(np.array([]), np.array([]))
+
+
+class TestExponentialPdp:
+    def test_default_rms_delay_spread_close_to_target(self):
+        pdp = exponential_pdp(60e-9, n_taps=12, tap_spacing_s=25e-9)
+        # Truncation makes the realized spread a bit below the target.
+        assert 30e-9 < pdp.rms_delay_spread_s < 60e-9
+
+    def test_powers_decay(self):
+        pdp = exponential_pdp()
+        assert all(a > b for a, b in zip(pdp.powers, pdp.powers[1:]))
+
+    def test_rejects_nonpositive_spread(self):
+        with pytest.raises(ValueError):
+            exponential_pdp(0.0)
+
+    def test_rejects_zero_taps(self):
+        with pytest.raises(ValueError):
+            exponential_pdp(n_taps=0)
+
+
+class TestCorrelationMatrix:
+    def test_identity_at_zero(self):
+        np.testing.assert_allclose(correlation_matrix(3, 0.0), np.eye(3))
+
+    def test_exponential_structure(self):
+        r = correlation_matrix(4, 0.5)
+        assert r[0, 1] == pytest.approx(0.5)
+        assert r[0, 2] == pytest.approx(0.25)
+        assert r[0, 3] == pytest.approx(0.125)
+
+    def test_symmetric_unit_diagonal(self):
+        r = correlation_matrix(5, 0.7)
+        np.testing.assert_allclose(r, r.T)
+        np.testing.assert_allclose(np.diag(r), 1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(3, 1.0)
+        with pytest.raises(ValueError):
+            correlation_matrix(3, -0.1)
+
+
+class TestTappedDelayLine:
+    def test_shape(self, rng):
+        tdl = TappedDelayLine.sample(2, 4, exponential_pdp(), rng)
+        assert tdl.taps.shape == (exponential_pdp().n_taps, 2, 4)
+        assert tdl.n_rx == 2 and tdl.n_tx == 4
+
+    def test_unit_mean_power(self):
+        # Across many draws, total tap power per antenna pair averages 1.
+        rng = np.random.default_rng(7)
+        pdp = exponential_pdp()
+        totals = [
+            np.sum(np.abs(TappedDelayLine.sample(2, 2, pdp, rng).taps) ** 2, axis=0).mean()
+            for _ in range(300)
+        ]
+        assert np.mean(totals) == pytest.approx(1.0, rel=0.1)
+
+    def test_correlation_increases_antenna_similarity(self):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        pdp = exponential_pdp()
+        corr_samples, iid_samples = [], []
+        for _ in range(200):
+            corr = TappedDelayLine.sample(1, 2, pdp, rng_a, tx_correlation=0.9).taps[0, 0]
+            iid = TappedDelayLine.sample(1, 2, pdp, rng_b, tx_correlation=0.0).taps[0, 0]
+            corr_samples.append(corr[0] * np.conj(corr[1]))
+            iid_samples.append(iid[0] * np.conj(iid[1]))
+        assert abs(np.mean(corr_samples)) > abs(np.mean(iid_samples)) + 0.1
+
+
+class TestFrequencyResponse:
+    def test_shape(self, rng):
+        tdl = TappedDelayLine.sample(2, 3, exponential_pdp(), rng)
+        h = frequency_response(tdl, n_subcarriers=52)
+        assert h.shape == (52, 2, 3)
+
+    def test_single_zero_delay_tap_is_flat(self, rng):
+        pdp = PowerDelayProfile(np.array([0.0]), np.array([1.0]))
+        tdl = TappedDelayLine.sample(2, 2, pdp, rng)
+        h = frequency_response(tdl, n_subcarriers=16)
+        # No delay spread → identical response on every subcarrier.
+        np.testing.assert_allclose(h, np.broadcast_to(h[0], h.shape), atol=1e-12)
+
+    def test_parseval_power_preserved(self, rng):
+        # Mean |H(f)|^2 across frequency equals total tap power.
+        tdl = TappedDelayLine.sample(1, 1, exponential_pdp(), rng)
+        h = frequency_response(tdl, n_subcarriers=256)
+        tap_power = np.sum(np.abs(tdl.taps[:, 0, 0]) ** 2)
+        assert np.mean(np.abs(h[:, 0, 0]) ** 2) == pytest.approx(tap_power, rel=0.15)
+
+    def test_delay_spread_creates_frequency_selectivity(self, rng):
+        flat_pdp = PowerDelayProfile(np.array([0.0]), np.array([1.0]))
+        selective_pdp = exponential_pdp(120e-9)
+        flat = frequency_response(TappedDelayLine.sample(1, 1, flat_pdp, rng))
+        selective = frequency_response(TappedDelayLine.sample(1, 1, selective_pdp, rng))
+        spread = lambda h: np.ptp(20 * np.log10(np.abs(h[:, 0, 0]) + 1e-12))
+        assert spread(selective) > spread(flat) + 1.0
+
+    def test_fig2_shape_tens_of_db_variation(self):
+        """Figure 2: indoor channels show deep per-subcarrier fades."""
+        rng = np.random.default_rng(0)
+        spreads = []
+        for _ in range(20):
+            tdl = TappedDelayLine.sample(2, 1, exponential_pdp(), rng)
+            h = frequency_response(tdl)
+            spreads.append(np.ptp(20 * np.log10(np.abs(h[:, 0, 0]) + 1e-12)))
+        assert np.mean(spreads) > 8.0

@@ -1,0 +1,187 @@
+"""MIMO primitives: beamforming, nulling, MMSE SINR."""
+
+import numpy as np
+import pytest
+
+from repro.phy.mimo import (
+    effective_channel,
+    interference_covariance,
+    max_nulled_streams,
+    mmse_sinr,
+    nulling_precoder,
+    nullspace_basis,
+    svd_beamformer,
+    tx_noise_covariance,
+)
+from repro.util import hermitian, is_unitary_columns
+
+
+def _random_channel(rng, n_sc=8, n_rx=2, n_tx=4):
+    shape = (n_sc, n_rx, n_tx)
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+
+class TestSvdBeamformer:
+    def test_columns_unitary(self, rng):
+        h = _random_channel(rng)
+        w = svd_beamformer(h, 2)
+        for k in range(h.shape[0]):
+            assert is_unitary_columns(w[k])
+
+    def test_matches_top_singular_value(self, rng):
+        """Beamforming with 1 stream delivers σ₁² of gain."""
+        h = _random_channel(rng, n_sc=4)
+        w = svd_beamformer(h, 1)
+        for k in range(4):
+            gain = np.linalg.norm(h[k] @ w[k][:, 0]) ** 2
+            top_sv = np.linalg.svd(h[k], compute_uv=False)[0]
+            assert gain == pytest.approx(top_sv**2, rel=1e-9)
+
+    def test_rejects_too_many_streams(self, rng):
+        with pytest.raises(ValueError):
+            svd_beamformer(_random_channel(rng, n_rx=2, n_tx=4), 3)
+
+    def test_rejects_zero_streams(self, rng):
+        with pytest.raises(ValueError):
+            svd_beamformer(_random_channel(rng), 0)
+
+
+class TestNullspace:
+    def test_nulls_the_victim(self, rng):
+        cross = _random_channel(rng, n_rx=2, n_tx=4)
+        basis = nullspace_basis(cross)
+        assert basis.shape == (8, 4, 2)
+        residual = cross @ basis
+        assert np.max(np.abs(residual)) < 1e-10
+
+    def test_orthonormal(self, rng):
+        basis = nullspace_basis(_random_channel(rng, n_rx=2, n_tx=4))
+        for k in range(basis.shape[0]):
+            assert is_unitary_columns(basis[k])
+
+    def test_no_nullspace_raises(self, rng):
+        with pytest.raises(ValueError):
+            nullspace_basis(_random_channel(rng, n_rx=4, n_tx=4))
+
+
+class TestMaxNulledStreams:
+    def test_constrained_4x2(self):
+        # 4 TX antennas, 2-antenna victim, 2-antenna client: full rank + null.
+        assert max_nulled_streams(4, 2, 2) == 2
+
+    def test_overconstrained_3x2(self):
+        # §3.4: 3 TX antennas cannot null 2 victim antennas at full rank.
+        assert max_nulled_streams(3, 2, 2) == 1
+
+    def test_sda_restores_freedom(self):
+        # Shutting one victim antenna: 3 − 1 = 2 streams again.
+        assert max_nulled_streams(3, 2, 1) == 2
+
+    def test_single_antenna_impossible(self):
+        assert max_nulled_streams(1, 1, 1) == 0
+
+
+class TestNullingPrecoder:
+    def test_interference_nulled(self, rng):
+        own = _random_channel(rng)
+        cross = _random_channel(rng)
+        w = nulling_precoder(own, cross, 2)
+        leakage = cross @ w
+        assert np.max(np.abs(leakage)) < 1e-10
+
+    def test_columns_unitary(self, rng):
+        w = nulling_precoder(_random_channel(rng), _random_channel(rng), 2)
+        for k in range(w.shape[0]):
+            assert is_unitary_columns(w[k])
+
+    def test_collateral_damage(self, rng):
+        """Nulling delivers less power to the own client than beamforming.
+
+        This is Fig. 3's "SNR reduction": the nulling constraint removes
+        transmit degrees of freedom.
+        """
+        own = _random_channel(rng, n_sc=64)
+        cross = _random_channel(rng, n_sc=64)
+        bf_gain = np.sum(np.abs(own @ svd_beamformer(own, 2)) ** 2)
+        null_gain = np.sum(np.abs(own @ nulling_precoder(own, cross, 2)) ** 2)
+        assert null_gain < bf_gain
+
+    def test_too_many_streams_raises(self, rng):
+        with pytest.raises(ValueError):
+            nulling_precoder(_random_channel(rng), _random_channel(rng), 3)
+
+    def test_overconstrained_raises(self, rng):
+        own = _random_channel(rng, n_rx=2, n_tx=2)
+        cross = _random_channel(rng, n_rx=2, n_tx=2)
+        with pytest.raises(ValueError):
+            nulling_precoder(own, cross, 1)
+
+
+class TestMmseSinr:
+    def test_awgn_single_stream(self, rng):
+        """One stream, no interference: SINR = p·||h||²/σ²."""
+        n_sc = 6
+        h = _random_channel(rng, n_sc=n_sc, n_rx=2, n_tx=1)
+        powers = np.full((n_sc, 1), 2.0)
+        noise = 0.5 * np.broadcast_to(np.eye(2, dtype=complex), (n_sc, 2, 2)).copy()
+        sinr = mmse_sinr(h, powers, noise)
+        expected = 2.0 * np.sum(np.abs(h[:, :, 0]) ** 2, axis=1) / 0.5
+        np.testing.assert_allclose(sinr[:, 0], expected, rtol=1e-9)
+
+    def test_zero_power_stream_zero_sinr(self, rng):
+        h = _random_channel(rng, n_sc=4, n_rx=2, n_tx=2)
+        powers = np.zeros((4, 2))
+        powers[:, 0] = 1.0
+        noise = np.broadcast_to(np.eye(2, dtype=complex), (4, 2, 2)).copy()
+        sinr = mmse_sinr(h, powers, noise)
+        np.testing.assert_allclose(sinr[:, 1], 0.0)
+        assert np.all(sinr[:, 0] > 0)
+
+    def test_interference_lowers_sinr(self, rng):
+        h = _random_channel(rng, n_sc=4, n_rx=2, n_tx=1)
+        powers = np.ones((4, 1))
+        noise = np.broadcast_to(np.eye(2, dtype=complex), (4, 2, 2)).copy()
+        interferer = _random_channel(rng, n_sc=4, n_rx=2, n_tx=1)
+        cov = interference_covariance(interferer, np.ones((4, 1)))
+        clean = mmse_sinr(h, powers, noise)
+        dirty = mmse_sinr(h, powers, noise + cov)
+        assert np.all(dirty < clean)
+
+    def test_mmse_beats_single_antenna(self, rng):
+        """Two receive antennas must never do worse than one."""
+        h = _random_channel(rng, n_sc=8, n_rx=2, n_tx=1)
+        powers = np.ones((8, 1))
+        noise2 = np.broadcast_to(np.eye(2, dtype=complex), (8, 2, 2)).copy()
+        noise1 = np.broadcast_to(np.eye(1, dtype=complex), (8, 1, 1)).copy()
+        both = mmse_sinr(h, powers, noise2)[:, 0]
+        single = mmse_sinr(h[:, :1, :], powers, noise1)[:, 0]
+        assert np.all(both >= single - 1e-12)
+
+    def test_shape_validation(self, rng):
+        h = _random_channel(rng, n_sc=4, n_rx=2, n_tx=2)
+        noise = np.broadcast_to(np.eye(2, dtype=complex), (4, 2, 2)).copy()
+        with pytest.raises(ValueError):
+            mmse_sinr(h, np.ones((3, 2)), noise)
+
+
+class TestCovariances:
+    def test_interference_covariance_hermitian_psd(self, rng):
+        eff = _random_channel(rng, n_sc=4, n_rx=2, n_tx=2)
+        cov = interference_covariance(eff, np.ones((4, 2)))
+        for k in range(4):
+            np.testing.assert_allclose(cov[k], hermitian(cov[k]), atol=1e-12)
+            eigenvalues = np.linalg.eigvalsh(cov[k])
+            assert np.all(eigenvalues >= -1e-12)
+
+    def test_tx_noise_scales_with_power_and_evm(self, rng):
+        h = _random_channel(rng, n_sc=4)
+        base = tx_noise_covariance(h, np.ones(4), 1e-3)
+        double_power = tx_noise_covariance(h, 2 * np.ones(4), 1e-3)
+        double_evm = tx_noise_covariance(h, np.ones(4), 2e-3)
+        np.testing.assert_allclose(double_power, 2 * base)
+        np.testing.assert_allclose(double_evm, 2 * base)
+
+    def test_effective_channel_shape(self, rng):
+        h = _random_channel(rng)
+        w = svd_beamformer(h, 2)
+        assert effective_channel(h, w).shape == (8, 2, 2)

@@ -1,0 +1,58 @@
+"""Imperfection models: CSI error, leakage, EVM conversions."""
+
+import numpy as np
+import pytest
+
+from repro.phy.noise import CARRIER_LEAKAGE_DB, PERFECT, ImperfectionModel
+
+
+class TestConversions:
+    def test_csi_error_linear(self):
+        model = ImperfectionModel(csi_error_db=-20.0)
+        assert model.csi_error_linear == pytest.approx(0.01)
+
+    def test_tx_evm_linear(self):
+        model = ImperfectionModel(tx_evm_db=-30.0)
+        assert model.tx_evm_linear == pytest.approx(1e-3)
+
+    def test_default_leakage_is_maxim_datasheet(self):
+        assert ImperfectionModel().carrier_leakage_db == CARRIER_LEAKAGE_DB == -27.0
+
+
+class TestMeasureCsi:
+    def test_error_scales_with_channel_power(self, rng):
+        model = ImperfectionModel(csi_error_db=-20.0)
+        weak = 0.01 * (rng.standard_normal((52, 2, 2)) + 1j * rng.standard_normal((52, 2, 2)))
+        errors = []
+        for seed in range(30):
+            measured = model.measure_csi(weak, np.random.default_rng(seed))
+            errors.append(np.mean(np.abs(measured - weak) ** 2))
+        relative = np.mean(errors) / np.mean(np.abs(weak) ** 2)
+        assert relative == pytest.approx(0.01, rel=0.3)
+
+    def test_zero_channel_passthrough(self, rng):
+        model = ImperfectionModel()
+        zero = np.zeros((4, 2, 2), dtype=complex)
+        np.testing.assert_array_equal(model.measure_csi(zero, rng), zero)
+
+    def test_perfect_model_is_noiseless(self, rng):
+        h = rng.standard_normal((8, 2, 2)) + 1j * rng.standard_normal((8, 2, 2))
+        np.testing.assert_allclose(PERFECT.measure_csi(h, rng), h, atol=1e-15)
+
+    def test_error_is_complex_both_quadratures(self, rng):
+        model = ImperfectionModel(csi_error_db=-10.0)
+        h = np.ones((52, 2, 2), dtype=complex)
+        measured = model.measure_csi(h, rng)
+        error = measured - h
+        assert np.std(error.real) > 0
+        assert np.std(error.imag) > 0
+
+
+class TestLeakage:
+    def test_leakage_power(self):
+        model = ImperfectionModel(carrier_leakage_db=-20.0)
+        out = model.leakage_power(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(out, [0.01, 0.02])
+
+    def test_perfect_has_no_leakage(self):
+        assert PERFECT.leakage_power(np.array([1.0]))[0] < 1e-30

@@ -1,0 +1,102 @@
+"""Signal-level OFDM: roundtrips and the circular-convolution property."""
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import QAM16, N_DATA_SUBCARRIERS
+from repro.phy.ofdm import (
+    CP_SAMPLES,
+    apply_multipath,
+    data_subcarrier_bins,
+    equalize,
+    ofdm_demodulate,
+    ofdm_modulate,
+)
+from repro.phy.qam import modulate
+
+
+class TestSubcarrierBins:
+    def test_count(self):
+        assert data_subcarrier_bins().size == N_DATA_SUBCARRIERS
+
+    def test_dc_not_used(self):
+        assert 0 not in data_subcarrier_bins()
+
+    def test_unique(self):
+        bins = data_subcarrier_bins()
+        assert len(set(bins.tolist())) == bins.size
+
+    def test_within_fft(self):
+        bins = data_subcarrier_bins(52, 64)
+        assert np.all((bins >= 0) & (bins < 64))
+
+
+class TestModulateDemodulate:
+    def test_clean_roundtrip(self, rng):
+        symbols = (rng.standard_normal((5, 52)) + 1j * rng.standard_normal((5, 52))) / np.sqrt(2)
+        recovered = ofdm_demodulate(ofdm_modulate(symbols))
+        np.testing.assert_allclose(recovered, symbols, atol=1e-10)
+
+    def test_sample_count(self, rng):
+        samples = ofdm_modulate(np.ones((3, 52), dtype=complex))
+        assert samples.shape == (3, 64 + CP_SAMPLES)
+
+    def test_power_preserved(self, rng):
+        symbols = (rng.standard_normal((20, 52)) + 1j * rng.standard_normal((20, 52))) / np.sqrt(2)
+        samples = ofdm_modulate(symbols)
+        # Orthonormal IFFT: total sample energy ≈ symbol energy + CP copy.
+        symbol_energy = np.sum(np.abs(symbols) ** 2)
+        sample_energy = np.sum(np.abs(samples[:, CP_SAMPLES:]) ** 2)
+        assert sample_energy == pytest.approx(symbol_energy, rel=1e-9)
+
+    def test_wrong_sample_count_rejected(self):
+        with pytest.raises(ValueError):
+            ofdm_demodulate(np.zeros((1, 60), dtype=complex))
+
+
+class TestMultipath:
+    def test_single_tap_is_scaling(self, rng):
+        symbols = (rng.standard_normal((4, 52)) + 1j * rng.standard_normal((4, 52))) / np.sqrt(2)
+        samples = ofdm_modulate(symbols)
+        faded = apply_multipath(samples, np.array([0.5 + 0.5j]))
+        recovered = ofdm_demodulate(faded)
+        np.testing.assert_allclose(recovered, (0.5 + 0.5j) * symbols, atol=1e-9)
+
+    def test_multipath_equals_frequency_domain_multiplication(self, rng):
+        """OFDM's core property: time convolution = per-subcarrier scaling."""
+        taps = np.array([1.0, 0.4 - 0.2j, 0.0, 0.15j])
+        symbols = (rng.standard_normal((6, 52)) + 1j * rng.standard_normal((6, 52))) / np.sqrt(2)
+        received = ofdm_demodulate(apply_multipath(ofdm_modulate(symbols), taps))
+        bins = data_subcarrier_bins()
+        h_freq = np.fft.fft(taps, 64)[bins]
+        # The first symbol lacks a preceding CP to absorb ISI; check the rest.
+        np.testing.assert_allclose(received[1:], symbols[1:] * h_freq, atol=1e-9)
+
+    def test_equalize_inverts_channel(self, rng):
+        taps = np.array([1.0, 0.3 + 0.1j])
+        symbols = modulate(rng.integers(0, 2, 52 * 4 * 4), QAM16).reshape(4, 52)
+        received = ofdm_demodulate(apply_multipath(ofdm_modulate(symbols), taps))
+        h_freq = np.fft.fft(taps, 64)[data_subcarrier_bins()]
+        equalized = equalize(received, h_freq)
+        np.testing.assert_allclose(equalized[1:], symbols[1:], atol=1e-9)
+
+    def test_long_channel_rejected(self, rng):
+        samples = ofdm_modulate(np.ones((1, 52), dtype=complex))
+        with pytest.raises(ValueError):
+            apply_multipath(samples, np.ones(CP_SAMPLES + 1))
+
+
+class TestEndToEndChain:
+    def test_qam_ofdm_multipath_roundtrip(self, rng):
+        """Bits → QAM → OFDM → multipath → equalize → bits, error-free."""
+        bits = rng.integers(0, 2, 52 * 4 * 6)
+        symbols = modulate(bits, QAM16).reshape(-1, 52)
+        taps = np.array([0.9, 0.3 - 0.2j, 0.1j])
+        received = ofdm_demodulate(apply_multipath(ofdm_modulate(symbols), taps))
+        h_freq = np.fft.fft(taps, 64)[data_subcarrier_bins()]
+        equalized = equalize(received, h_freq)
+        from repro.phy.qam import demodulate_hard
+
+        recovered = demodulate_hard(equalized[1:].ravel(), QAM16)
+        expected = bits.reshape(-1, 52 * 4)[1:].ravel()
+        np.testing.assert_array_equal(recovered, expected)

@@ -1,0 +1,93 @@
+"""Constellations, Gray mapping, and the AWGN helper."""
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import BPSK, MODULATIONS, QAM16, QAM64, QPSK
+from repro.phy.qam import awgn, constellation, demodulate_hard, gray_code, modulate
+
+
+class TestGrayCode:
+    def test_two_bit_sequence(self):
+        np.testing.assert_array_equal(gray_code(2), [0, 1, 3, 2])
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        for n_bits in (1, 2, 3, 4):
+            codes = gray_code(n_bits)
+            for a, b in zip(codes, codes[1:]):
+                assert bin(a ^ b).count("1") == 1
+
+    def test_all_values_present(self):
+        assert sorted(gray_code(3)) == list(range(8))
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            gray_code(0)
+
+
+class TestConstellation:
+    @pytest.mark.parametrize("modulation", MODULATIONS)
+    def test_unit_average_energy(self, modulation):
+        points = constellation(modulation.bits_per_symbol)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("modulation", MODULATIONS)
+    def test_point_count(self, modulation):
+        assert constellation(modulation.bits_per_symbol).size == modulation.points
+
+    def test_bpsk_antipodal(self):
+        points = constellation(1)
+        assert points[0] == pytest.approx(-points[1])
+
+    def test_qam_gray_neighbours(self):
+        """Nearest neighbours in the QAM grid differ by exactly one bit."""
+        points = constellation(4)
+        min_distance = min(
+            abs(points[i] - points[j]) for i in range(16) for j in range(i + 1, 16)
+        )
+        for i in range(16):
+            for j in range(i + 1, 16):
+                if abs(points[i] - points[j]) < min_distance * 1.01:
+                    assert bin(i ^ j).count("1") == 1
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            constellation(3)
+
+
+class TestModulateDemodulate:
+    @pytest.mark.parametrize("modulation", MODULATIONS)
+    def test_noiseless_roundtrip(self, modulation, rng):
+        n_bits = 600 - (600 % modulation.bits_per_symbol)
+        bits = rng.integers(0, 2, n_bits)
+        recovered = demodulate_hard(modulate(bits, modulation), modulation)
+        np.testing.assert_array_equal(bits, recovered)
+
+    def test_symbol_count(self, rng):
+        bits = rng.integers(0, 2, 24)
+        assert modulate(bits, QAM16).size == 6
+
+    def test_misaligned_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            modulate(np.zeros(5, dtype=int), QPSK)
+
+    def test_2d_bits_rejected(self):
+        with pytest.raises(ValueError):
+            modulate(np.zeros((2, 4), dtype=int), QPSK)
+
+
+class TestAwgn:
+    def test_noise_power(self, rng):
+        symbols = np.ones(40_000, dtype=complex)
+        noisy = awgn(symbols, 10.0, rng)
+        measured = np.mean(np.abs(noisy - symbols) ** 2)
+        assert measured == pytest.approx(0.1, rel=0.05)
+
+    def test_high_snr_nearly_clean(self, rng):
+        symbols = modulate(rng.integers(0, 2, 600), BPSK)
+        noisy = awgn(symbols, 1e9, rng)
+        np.testing.assert_allclose(noisy, symbols, atol=1e-3)
+
+    def test_rejects_nonpositive_snr(self, rng):
+        with pytest.raises(ValueError):
+            awgn(np.ones(4, dtype=complex), 0.0, rng)

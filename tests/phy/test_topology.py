@@ -1,0 +1,132 @@
+"""Topology generation: placement, path loss, Figure 9's scatter."""
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import TX_POWER_DBM
+from repro.phy.topology import Node, PathLossModel, Topology, TopologyGenerator
+
+
+class TestPathLossModel:
+    def test_reference_distance(self):
+        model = PathLossModel(pl0_db=40.0, exponent=3.0)
+        assert model.path_loss_db(1.0) == pytest.approx(40.0)
+
+    def test_decade_slope(self):
+        model = PathLossModel(pl0_db=40.0, exponent=3.0)
+        assert model.path_loss_db(10.0) - model.path_loss_db(1.0) == pytest.approx(30.0)
+
+    def test_obstruction_adds_loss(self):
+        model = PathLossModel(obstruction_db=12.0)
+        clear = model.path_loss_db(5.0)
+        blocked = model.path_loss_db(5.0, obstructed=True)
+        assert blocked == pytest.approx(clear + 12.0)
+
+    def test_shadowing_shifts(self):
+        model = PathLossModel()
+        assert model.path_loss_db(5.0, shadowing_db=3.0) == pytest.approx(
+            model.path_loss_db(5.0) + 3.0
+        )
+
+    def test_sub_metre_clamped(self):
+        model = PathLossModel()
+        assert model.path_loss_db(0.2) == pytest.approx(model.path_loss_db(1.0))
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            PathLossModel().path_loss_db(0.0)
+
+
+class TestNode:
+    def test_distance(self):
+        a = Node("A", (0.0, 0.0), 2)
+        b = Node("B", (3.0, 4.0), 2)
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert b.distance_to(a) == pytest.approx(5.0)
+
+
+class TestTopology:
+    def _simple(self) -> Topology:
+        aps = [Node("AP1", (0, 0), 4), Node("AP2", (10, 0), 4)]
+        clients = [Node("C1", (2, 0), 2), Node("C2", (12, 0), 2)]
+        t = Topology(aps=aps, clients=clients)
+        t.link_gain_db[("AP1", "C1")] = -50.0
+        t.link_gain_db[("AP2", "C1")] = -70.0
+        t.link_gain_db[("AP2", "C2")] = -55.0
+        t.link_gain_db[("AP1", "C2")] = -72.0
+        return t
+
+    def test_gain_is_order_insensitive(self):
+        t = self._simple()
+        assert t.gain_db("C1", "AP1") == t.gain_db("AP1", "C1")
+
+    def test_missing_link_raises(self):
+        with pytest.raises(KeyError):
+            self._simple().gain_db("AP1", "nonexistent")
+
+    def test_rx_power(self):
+        t = self._simple()
+        assert t.mean_rx_power_dbm("AP1", "C1") == pytest.approx(TX_POWER_DBM - 50.0)
+
+    def test_signal_and_interference_pairs(self):
+        t = self._simple()
+        pairs = t.signal_and_interference_dbm()
+        assert pairs[0] == (TX_POWER_DBM - 50.0, TX_POWER_DBM - 70.0)
+        assert pairs[1] == (TX_POWER_DBM - 55.0, TX_POWER_DBM - 72.0)
+
+
+class TestTopologyGenerator:
+    def test_nodes_inside_floor(self, rng):
+        gen = TopologyGenerator()
+        width, height = gen.floor_m
+        for _ in range(20):
+            t = gen.sample(rng)
+            for node in t.aps + t.clients:
+                assert 0 <= node.position_m[0] <= width
+                assert 0 <= node.position_m[1] <= height
+
+    def test_ap_separation_respected(self, rng):
+        gen = TopologyGenerator(ap_min_separation_m=5.0)
+        for _ in range(20):
+            t = gen.sample(rng)
+            assert t.aps[0].distance_to(t.aps[1]) >= 5.0
+
+    def test_antenna_counts(self, rng):
+        t = TopologyGenerator().sample(rng, ap_antennas=3, client_antennas=2)
+        assert all(ap.n_antennas == 3 for ap in t.aps)
+        assert all(c.n_antennas == 2 for c in t.clients)
+
+    def test_all_pairwise_links_present(self, rng):
+        t = TopologyGenerator().sample(rng)
+        names = [n.name for n in t.aps + t.clients]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                t.gain_db(a, b)  # must not raise
+
+    def test_sample_many_count(self, rng):
+        assert len(TopologyGenerator().sample_many(7, rng)) == 7
+
+    def test_fig9_signal_usually_stronger_than_interference(self):
+        """§4.1: topologies weighted so signal usually beats interference."""
+        rng = np.random.default_rng(99)
+        gen = TopologyGenerator()
+        stronger = 0
+        total = 0
+        for _ in range(40):
+            t = gen.sample(rng)
+            for signal, interference in t.signal_and_interference_dbm():
+                stronger += signal > interference
+                total += 1
+        assert stronger / total > 0.6
+
+    def test_fig9_power_range(self):
+        """Fig. 9: received signal powers roughly span −70…−30 dBm."""
+        rng = np.random.default_rng(7)
+        gen = TopologyGenerator()
+        signals = []
+        for _ in range(40):
+            for signal, _ in gen.sample(rng).signal_and_interference_dbm():
+                signals.append(signal)
+        assert -75 < np.min(signals)
+        assert np.max(signals) < -20
+        assert np.ptp(signals) > 15  # a wide mix of link qualities

@@ -1,0 +1,202 @@
+"""The signal-level frame transceiver: AGC, Schmidl-Cox, end-to-end frames."""
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import MCS_TABLE
+from repro.phy.transceiver import (
+    Agc,
+    FrameConfig,
+    FrameTransceiver,
+    detect_frame_start,
+    schmidl_cox_metric,
+)
+from repro.util import db_to_linear
+
+
+def _awgn_channel(frame, snr_db, rng, pad=100, gain=1.0 + 0.0j):
+    """Prepend/append noise-only padding and add AWGN at the target SNR.
+
+    Trailing padding matters: a slightly-late sync estimate must not run
+    off the end of the buffer, just as a real medium keeps providing
+    samples after the frame."""
+    signal_power = float(np.mean(np.abs(frame.samples) ** 2)) * abs(gain) ** 2
+    noise_var = signal_power / float(db_to_linear(snr_db))
+    lead = np.zeros(pad, dtype=complex)
+    tail = np.zeros(120, dtype=complex)
+    rx = np.concatenate([lead, gain * np.asarray(frame.samples), tail])
+    rx = rx + np.sqrt(noise_var / 2) * (
+        rng.standard_normal(rx.shape) + 1j * rng.standard_normal(rx.shape)
+    )
+    return rx, noise_var
+
+
+class TestAgc:
+    def test_gain_hits_target_rms(self, rng):
+        agc = Agc(target_rms=0.25)
+        samples = 3.7 * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000))
+        digitized, gain = agc.apply(samples)
+        rms = np.sqrt(np.mean(np.abs(digitized) ** 2))
+        assert rms == pytest.approx(0.25, rel=0.1)
+
+    def test_quantization_grid(self):
+        agc = Agc(adc_bits=4)
+        out = agc.quantize(np.array([0.13 + 0.0j]))
+        step = 1 / 8
+        assert out[0].real % step == pytest.approx(0.0, abs=1e-12)
+
+    def test_clipping(self):
+        agc = Agc(adc_bits=8)
+        out = agc.quantize(np.array([5.0 + 5.0j, -5.0 - 5.0j]))
+        assert np.all(np.abs(out.real) <= 1.0)
+        assert np.all(np.abs(out.imag) <= 1.0)
+
+    def test_revert_recovers_weak_signal(self, rng):
+        """§4.1's methodology: dividing out the AGC gain in floating point
+        recovers the signal to within quantization noise."""
+        agc = Agc(adc_bits=12)
+        weak = 1e-3 * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        digitized, gain = agc.apply(weak)
+        recovered = Agc.revert(digitized, gain)
+        error = np.mean(np.abs(recovered - weak) ** 2) / np.mean(np.abs(weak) ** 2)
+        assert error < 1e-4
+
+    def test_revert_zero_gain_rejected(self):
+        with pytest.raises(ValueError):
+            Agc.revert(np.ones(4, complex), 0.0)
+
+    def test_zero_signal_unit_gain(self):
+        agc = Agc()
+        assert agc.measure_gain(np.zeros(10, complex)) == 1.0
+
+
+class TestSchmidlCox:
+    @pytest.fixture
+    def frame(self, rng):
+        config = FrameConfig(mcs=MCS_TABLE[0], n_ofdm_symbols=4)
+        return FrameTransceiver(config).transmit(rng)
+
+    def test_metric_plateau_at_frame(self, frame, rng):
+        rx, _ = _awgn_channel(frame, 25.0, rng, pad=200)
+        metric = schmidl_cox_metric(rx, 16)
+        assert metric[200:280].max() > 0.9  # plateau inside the STF
+        assert metric[:120].mean() < 0.6  # noise region is low
+
+    def test_detect_within_cp(self, frame, rng):
+        for pad in (60, 150, 333):
+            rx, _ = _awgn_channel(frame, 25.0, rng, pad=pad)
+            offset = detect_frame_start(rx, 16)
+            assert offset is not None
+            assert abs(offset - pad) <= 16  # within the cyclic prefix
+
+    def test_pure_noise_no_detection(self, rng):
+        noise = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        assert detect_frame_start(noise, 16, threshold=0.9) is None
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            schmidl_cox_metric(np.ones(10, complex), 16)
+
+
+class TestEndToEndFrames:
+    def test_clean_frame_decodes(self, rng):
+        config = FrameConfig(mcs=MCS_TABLE[4], n_ofdm_symbols=10)
+        trx = FrameTransceiver(config)
+        frame = trx.transmit(rng)
+        rx, noise_var = _awgn_channel(frame, 25.0, rng)
+        out = trx.receive(rx, noise_variance=noise_var, expected_bits=frame.info_bits)
+        assert out.frame_ok
+
+    def test_multipath_frame_decodes(self, rng):
+        """A two-tap channel inside the CP: estimated and equalized away."""
+        config = FrameConfig(mcs=MCS_TABLE[3], n_ofdm_symbols=8)
+        trx = FrameTransceiver(config)
+        frame = trx.transmit(rng)
+        from repro.phy.ofdm import apply_multipath
+
+        taps = np.array([0.9, 0.35 * np.exp(1j * 1.1)])
+        faded = np.convolve(frame.samples, taps)[: frame.samples.size]
+        shaped = TransmittedLike(faded)
+        rx, noise_var = _awgn_channel(shaped, 28.0, rng)
+        out = trx.receive(rx, noise_variance=noise_var, expected_bits=frame.info_bits)
+        assert out.bit_errors == 0
+
+    def test_low_snr_frame_fails(self, rng):
+        """At 5 dB, 16-QAM 3/4 must collapse — the FER model's other side."""
+        config = FrameConfig(mcs=MCS_TABLE[4], n_ofdm_symbols=10)
+        trx = FrameTransceiver(config)
+        frame = trx.transmit(rng)
+        rx, noise_var = _awgn_channel(frame, 5.0, rng)
+        out = trx.receive(rx, noise_variance=noise_var, expected_bits=frame.info_bits)
+        assert out.bit_errors > 0
+
+    def test_copa_powers_carry_through(self, rng):
+        """Dropped subcarriers (zero power) decode correctly end-to-end."""
+        config = FrameConfig(mcs=MCS_TABLE[4], n_ofdm_symbols=8)
+        trx = FrameTransceiver(config)
+        powers = np.ones(52)
+        powers[:6] = 0.0
+        powers *= 52 / powers.sum()
+        frame = trx.transmit(rng, powers=powers)
+        rx, noise_var = _awgn_channel(frame, 25.0, rng)
+        out = trx.receive(
+            rx, powers=powers, noise_variance=noise_var, expected_bits=frame.info_bits
+        )
+        assert out.frame_ok
+        # Fewer used subcarriers → fewer info bits per frame.
+        full = trx.transmit(rng)
+        assert frame.info_bits.size < full.info_bits.size
+
+    def test_power_shape_validated(self, rng):
+        trx = FrameTransceiver(FrameConfig(mcs=MCS_TABLE[0], n_ofdm_symbols=2))
+        with pytest.raises(ValueError):
+            trx.transmit(rng, powers=np.ones(10))
+
+    def test_truncated_frame_rejected(self, rng):
+        config = FrameConfig(mcs=MCS_TABLE[0], n_ofdm_symbols=4)
+        trx = FrameTransceiver(config)
+        frame = trx.transmit(rng)
+        rx, noise_var = _awgn_channel(frame, 25.0, rng)
+        with pytest.raises(ValueError):
+            trx.receive(rx[: frame.stf_samples + 10], noise_variance=noise_var)
+
+
+class TransmittedLike:
+    """Duck-typed stand-in so the channel helper accepts raw samples."""
+
+    def __init__(self, samples):
+        self.samples = samples
+
+
+class TestValidatesAnalyticFer:
+    @pytest.mark.parametrize("snr_db,expect_ok", [(24.0, True), (8.0, False)])
+    def test_per_brackets_fer_model(self, snr_db, expect_ok):
+        """The analytic FER pipeline and the real receiver agree about
+        which side of the waterfall an operating point sits on."""
+        from repro.phy.rates import evaluate_mcs
+
+        rng = np.random.default_rng(17)
+        mcs = MCS_TABLE[5]  # 64-QAM 2/3
+        config = FrameConfig(mcs=mcs, n_ofdm_symbols=10)
+        trx = FrameTransceiver(config)
+
+        successes = 0
+        for _ in range(5):
+            frame = trx.transmit(rng)
+            rx, noise_var = _awgn_channel(frame, snr_db, rng)
+            try:
+                out = trx.receive(
+                    rx, noise_variance=noise_var, expected_bits=frame.info_bits
+                )
+            except ValueError:
+                continue  # synchronization failure is a lost frame
+            successes += out.frame_ok
+
+        sinr = np.full(52, float(db_to_linear(snr_db)))
+        analytic = evaluate_mcs(sinr, mcs, payload_bytes=config.info_bits // 8)
+        if expect_ok:
+            assert successes >= 4
+            assert analytic.fer < 0.2
+        else:
+            assert successes <= 1
+            assert analytic.fer > 0.8

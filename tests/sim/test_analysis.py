@@ -1,0 +1,92 @@
+"""Subcarrier-sharing and power-concentration analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.equi_sinr import StreamAllocation
+from repro.core.strategy import SchemeResult, StrategyEngine
+from repro.phy.rates import RateSelection
+from repro.sim.analysis import power_concentration, sharing_across_topologies, sharing_of
+
+
+def _result(used_a, used_b, concurrent=True, powers_a=None, powers_b=None):
+    def alloc(used, powers):
+        used = np.asarray(used, dtype=bool)[:, None]
+        if powers is None:
+            powers = np.where(used, 1.0, 0.0)
+        else:
+            powers = np.asarray(powers, dtype=float)[:, None]
+        return StreamAllocation(powers=powers, used=used, per_stream=[])
+
+    rate = RateSelection(mcs=None, goodput_bps=0.0, fer=1.0, channel_ber=0.5, n_used=0)
+    return SchemeResult(
+        name="conc_null",
+        concurrent=concurrent,
+        client_throughput_bps=(1.0, 1.0),
+        rates=(rate, rate),
+        allocations=(alloc(used_a, powers_a), alloc(used_b, powers_b)),
+    )
+
+
+class TestSharingOf:
+    def test_counts(self):
+        used_a = [True, True, False, False]
+        used_b = [True, False, True, False]
+        sharing = sharing_of(_result(used_a, used_b))
+        assert sharing.shared == 1
+        assert sharing.exclusive == 2
+        assert sharing.unused == 1
+        assert sharing.n_subcarriers == 4
+
+    def test_fractions_sum_to_one(self):
+        sharing = sharing_of(_result([True] * 3 + [False], [False] * 2 + [True] * 2))
+        total = sharing.shared_fraction + sharing.exclusive_fraction + sharing.unused_fraction
+        assert total == pytest.approx(1.0)
+
+    def test_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            sharing_of(_result([True], [True], concurrent=False))
+
+    def test_missing_allocations_rejected(self):
+        rate = RateSelection(mcs=None, goodput_bps=0.0, fer=1.0, channel_ber=0.5, n_used=0)
+        result = SchemeResult(
+            "conc_null", True, (1.0, 1.0), (rate, rate), allocations=None
+        )
+        with pytest.raises(ValueError):
+            sharing_of(result)
+
+
+class TestPowerConcentration:
+    def test_equal_power_is_one(self):
+        result = _result([True] * 4, [True] * 4)
+        concentration = power_concentration(result)
+        assert concentration["ap1"] == pytest.approx(1.0)
+
+    def test_skewed_power_below_one(self):
+        result = _result(
+            [True] * 4, [True] * 4, powers_a=[10.0, 0.1, 0.1, 0.1]
+        )
+        assert power_concentration(result)["ap1"] < 0.5
+
+    def test_empty_allocation_defaults_to_one(self):
+        result = _result([False] * 4, [True] * 4)
+        assert power_concentration(result)["ap1"] == 1.0
+
+
+class TestWithRealEngine:
+    def test_sharing_from_real_outcome(self, channels_4x2):
+        outcome = StrategyEngine(channels_4x2, rng=np.random.default_rng(5)).run()
+        concurrent = [r for r in outcome.schemes.values() if r.concurrent]
+        assert concurrent, "4x2 always evaluates concurrent schemes"
+        sharing = sharing_of(concurrent[0])
+        assert sharing.n_subcarriers == 52
+        assert sharing.shared + sharing.exclusive + sharing.unused == 52
+
+    def test_across_topologies_filters_sequential(self, channels_4x2, channels_1x1):
+        outcomes = [
+            StrategyEngine(cs, rng=np.random.default_rng(1)).run()
+            for cs in (channels_4x2, channels_1x1)
+        ]
+        results = sharing_across_topologies(outcomes)
+        # Only topologies whose COPA choice was concurrent contribute.
+        assert all(isinstance(s.shared, int) for s in results)

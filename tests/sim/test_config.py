@@ -1,0 +1,45 @@
+"""The frozen simulation configuration."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import DEFAULT_CONFIG, SimConfig
+
+
+class TestSimConfig:
+    def test_builders_use_fields(self):
+        cfg = SimConfig(csi_error_db=-30.0, tx_evm_db=-40.0, antenna_correlation=0.3)
+        imp = cfg.imperfections()
+        assert imp.csi_error_db == -30.0
+        assert imp.tx_evm_db == -40.0
+        model = cfg.channel_model()
+        assert model.tx_correlation == 0.3
+        assert model.rx_correlation == 0.3
+
+    def test_default_is_30_topologies(self):
+        assert DEFAULT_CONFIG.n_topologies == 30
+
+    def test_rng_per_topology_deterministic(self):
+        a = DEFAULT_CONFIG.rng_for_topology(5).integers(0, 1000)
+        b = DEFAULT_CONFIG.rng_for_topology(5).integers(0, 1000)
+        c = DEFAULT_CONFIG.rng_for_topology(6).integers(0, 1000)
+        assert a == b
+        assert a != c
+
+    def test_with_override(self):
+        changed = DEFAULT_CONFIG.with_(n_topologies=5)
+        assert changed.n_topologies == 5
+        assert changed.csi_error_db == DEFAULT_CONFIG.csi_error_db
+        # frozen: the original is untouched
+        assert DEFAULT_CONFIG.n_topologies == 30
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.n_topologies = 7
+
+    def test_pdp_delay_spread_flows_through(self):
+        cfg = SimConfig(rms_delay_spread_s=120e-9)
+        model = cfg.channel_model()
+        assert model.pdp.rms_delay_spread_s > SimConfig(
+            rms_delay_spread_s=30e-9
+        ).channel_model().pdp.rms_delay_spread_s

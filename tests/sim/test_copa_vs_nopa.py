@@ -1,0 +1,44 @@
+"""The §3.2.2 / Figure 7 comparison helper."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import copa_vs_nopa_example
+
+
+@pytest.fixture(scope="module")
+def comparison(channels_4x2, imperfections):
+    return copa_vs_nopa_example(channels_4x2, imperfections, np.random.default_rng(1))
+
+
+class TestCopaVsNopa:
+    def test_array_shapes(self, comparison):
+        assert comparison.nopa_ber.shape == (52,)
+        assert comparison.copa_ber.shape == (52,)
+        assert comparison.copa_dropped.shape == (52,)
+
+    def test_dropped_subcarriers_have_nan_ber(self, comparison):
+        dropped = comparison.copa_dropped
+        if dropped.any():
+            assert np.all(np.isnan(comparison.copa_ber[dropped]))
+        kept = ~dropped
+        assert np.all(np.isfinite(comparison.copa_ber[kept]))
+
+    def test_bers_in_range(self, comparison):
+        assert np.all((comparison.nopa_ber >= 0) & (comparison.nopa_ber <= 0.5))
+        kept = ~comparison.copa_dropped
+        assert np.all(comparison.copa_ber[kept] <= 0.5)
+
+    def test_copa_rate_at_least_nopa(self, comparison):
+        """Same precoder, better allocation: COPA cannot do worse."""
+        assert comparison.copa_rate_bps >= comparison.nopa_rate_bps * 0.98
+
+    def test_mcs_indices_valid(self, comparison):
+        assert 0 <= comparison.copa_mcs_index <= 7
+        assert -1 <= comparison.nopa_mcs_index <= 7
+
+    def test_second_client_measurable(self, channels_4x2, imperfections):
+        other = copa_vs_nopa_example(
+            channels_4x2, imperfections, np.random.default_rng(1), client_index=1
+        )
+        assert other.copa_rate_bps >= 0

@@ -1,0 +1,88 @@
+"""Trace-driven emulation: scaling, persistence, replay."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.emulation import (
+    load_trace,
+    load_traces,
+    run_emulated_experiment,
+    save_trace,
+    save_traces,
+    scaled_traces,
+)
+from repro.sim.experiment import ScenarioSpec, generate_channel_sets
+
+
+class TestScaledTraces:
+    def test_every_trace_scaled(self):
+        cfg = SimConfig(n_topologies=2)
+        traces = generate_channel_sets(ScenarioSpec("4x2", 4, 2), cfg)
+        weak = scaled_traces(traces, -10.0)
+        for before, after in zip(traces, weak):
+            ratio = np.mean(np.abs(after.channel("AP2", "C1")) ** 2) / np.mean(
+                np.abs(before.channel("AP2", "C1")) ** 2
+            )
+            assert 10 * np.log10(ratio) == pytest.approx(-10.0, abs=0.1)
+
+    def test_originals_untouched(self):
+        cfg = SimConfig(n_topologies=1)
+        traces = generate_channel_sets(ScenarioSpec("4x2", 4, 2), cfg)
+        before = traces[0].channel("AP1", "C2").copy()
+        scaled_traces(traces, -10.0)
+        np.testing.assert_array_equal(traces[0].channel("AP1", "C2"), before)
+
+
+class TestEmulatedExperiment:
+    def test_runs_and_labels(self):
+        spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+        result = run_emulated_experiment(spec, -10.0, SimConfig(n_topologies=2))
+        assert result.spec.name == "4x2-10dB"
+        assert result.series_mbps("copa").shape == (2,)
+
+    def test_weak_interference_helps_concurrency(self):
+        """§4.4: with −10 dB interference, concurrent schemes gain."""
+        cfg = SimConfig(n_topologies=5)
+        spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+        from repro.sim.experiment import run_experiment
+
+        base = run_experiment(spec, cfg)
+        weak = run_emulated_experiment(spec, -10.0, cfg)
+        assert weak.series_mbps("null").mean() > base.series_mbps("null").mean()
+
+
+class TestTracePersistence:
+    def test_roundtrip(self, channels_4x2, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        save_trace(channels_4x2, path)
+        loaded = load_trace(path)
+        np.testing.assert_allclose(
+            loaded.channel("AP1", "C1"), channels_4x2.channel("AP1", "C1")
+        )
+        assert loaded.noise_floor_mw == channels_4x2.noise_floor_mw
+        assert loaded.topology.aps[0].n_antennas == 4
+        assert loaded.topology.gain_db("AP1", "C1") == pytest.approx(
+            channels_4x2.topology.gain_db("AP1", "C1")
+        )
+
+    def test_loaded_trace_is_usable(self, channels_4x2, tmp_path):
+        from repro.core.strategy import StrategyEngine
+
+        path = str(tmp_path / "trace.npz")
+        save_trace(channels_4x2, path)
+        outcome = StrategyEngine(load_trace(path), rng=np.random.default_rng(0)).run()
+        assert outcome.copa.aggregate_bps > 0
+
+    def test_directory_roundtrip(self, channels_4x2, channels_3x2, tmp_path):
+        paths = save_traces([channels_4x2, channels_3x2], str(tmp_path / "traces"))
+        assert len(paths) == 2
+        loaded = load_traces(str(tmp_path / "traces"))
+        assert len(loaded) == 2
+        np.testing.assert_allclose(
+            loaded[0].channel("AP1", "C1"), channels_4x2.channel("AP1", "C1")
+        )
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_traces(str(tmp_path))

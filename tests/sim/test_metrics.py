@@ -1,0 +1,71 @@
+"""CDFs, summaries, and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import cdf, compare, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.n == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestCdf:
+    def test_sorted_and_complete(self):
+        values, probs = cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_last_probability_is_one(self, rng):
+        _, probs = cdf(rng.uniform(size=50))
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_monotone(self, rng):
+        values, probs = cdf(rng.normal(size=100))
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probs) > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+
+class TestCompare:
+    def test_clear_winner(self):
+        stats = compare([2.0, 2.0, 2.0], [1.0, 1.0, 1.0])
+        assert stats.win_fraction == 1.0
+        assert stats.mean_improvement == pytest.approx(1.0)
+        assert stats.median_improvement == pytest.approx(1.0)
+
+    def test_paper_style_win_fraction(self):
+        """'Nulling underperforms CSMA in 83% of topologies' style."""
+        null = np.array([80, 90, 100, 120, 70, 60])
+        csma = np.array([110, 110, 110, 110, 110, 110])
+        stats = compare(null, csma)
+        assert stats.win_fraction == pytest.approx(1 / 6)
+
+    def test_improvement_when_winning(self):
+        stats = compare([2.0, 0.5], [1.0, 1.0])
+        assert stats.mean_improvement_when_winning == pytest.approx(1.0)
+
+    def test_no_wins(self):
+        stats = compare([0.5, 0.5], [1.0, 1.0])
+        assert stats.win_fraction == 0.0
+        assert stats.mean_improvement_when_winning == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare([1.0], [1.0, 2.0])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            compare([1.0], [0.0])

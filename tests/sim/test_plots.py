@@ -1,0 +1,78 @@
+"""ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sim.plots import ascii_bars, ascii_cdf, ascii_series
+
+
+class TestAsciiCdf:
+    def test_contains_legend_and_axes(self):
+        out = ascii_cdf({"csma": [1, 2, 3], "copa": [2, 3, 4]}, x_label="Mbps")
+        assert "*=csma" in out
+        assert "o=copa" in out
+        assert "Mbps" in out
+        assert "1.00 |" in out
+
+    def test_monotone_staircase(self):
+        """Higher-throughput series' glyphs appear further right on average."""
+        out = ascii_cdf({"low": [10, 11, 12], "high": [100, 110, 120]}, width=40)
+        rows = [line for line in out.splitlines() if "|" in line and "+" not in line]
+        low_cols = [line.index("*") for line in rows if "*" in line]
+        high_cols = [line.index("o") for line in rows if "o" in line]
+        assert np.mean(high_cols) > np.mean(low_cols)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_single_value_series(self):
+        out = ascii_cdf({"x": [5.0, 5.0]})
+        assert "*" in out
+
+
+class TestAsciiSeries:
+    def test_basic_render(self):
+        out = ascii_series({"snr": np.linspace(0, 30, 52)}, y_label="dB")
+        assert "*=snr" in out
+        assert "30.0" in out and "0.0" in out
+
+    def test_nan_values_skipped(self):
+        values = np.linspace(0, 10, 20)
+        values[5:8] = np.nan
+        out = ascii_series({"ber": values})
+        assert "*" in out  # finite points still plotted
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series({"x": [np.nan, np.nan]})
+
+    def test_two_series_distinct_glyphs(self):
+        out = ascii_series({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*" in out and "o" in out
+
+
+class TestAsciiBars:
+    def test_lengths_proportional(self):
+        out = ascii_bars({"small": 1.0, "big": 2.0}, width=20)
+        lines = out.splitlines()
+        small = lines[0].count("#")
+        big = lines[1].count("#")
+        assert big == pytest.approx(2 * small, abs=1)
+
+    def test_baseline_marker(self):
+        out = ascii_bars({"a": 10.0}, baseline=5.0, unit=" dB")
+        assert "|" in out
+        assert "5.0 dB" in out
+
+    def test_negative_values_signed(self):
+        out = ascii_bars({"loss": -3.0, "gain": 3.0})
+        assert "-###" in out or "- " in out or "-" in out.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+    def test_all_zero_does_not_crash(self):
+        out = ascii_bars({"a": 0.0, "b": 0.0})
+        assert "a" in out and "b" in out

@@ -1,0 +1,69 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import ScenarioSpec, run_experiment
+from repro.sim.reporting import (
+    PAPER_MEANS,
+    experiment_report,
+    headline_section,
+    scheme_table,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    return run_experiment(spec, SimConfig(n_topologies=3))
+
+
+class TestSchemeTable:
+    def test_contains_all_schemes(self, small_result):
+        table = scheme_table(small_result)
+        for key in small_result.available_series():
+            assert f"| {key} |" in table
+
+    def test_paper_reference_included(self, small_result):
+        table = scheme_table(small_result)
+        assert "110.1" in table  # 4x2 CSMA paper mean
+
+    def test_unknown_scenario_dashes(self, small_result):
+        table = scheme_table(small_result, paper={})
+        assert "—" in table
+
+    def test_markdown_structure(self, small_result):
+        lines = scheme_table(small_result).splitlines()
+        assert lines[0].startswith("| scheme |")
+        assert set(lines[1].replace("|", "").strip()) <= {"-", " "}
+
+
+class TestHeadlineSection:
+    def test_nulling_lines_present(self, small_result):
+        text = headline_section(small_result)
+        assert "vanilla nulling" in text
+        assert "price of fairness" in text
+
+    def test_without_nulling(self):
+        spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+        result = run_experiment(spec, SimConfig(n_topologies=2))
+        text = headline_section(result)
+        assert "vanilla nulling" not in text
+        assert "COPA beats CSMA" in text
+
+
+class TestExperimentReport:
+    def test_complete_report(self, small_result):
+        report = experiment_report(small_result, title="Test run")
+        assert report.startswith("## Test run")
+        assert "topologies" in report
+        assert "```" in report  # the CDF block
+
+    def test_cdf_can_be_disabled(self, small_result):
+        report = experiment_report(small_result, include_cdf=False)
+        assert "```" not in report
+
+    def test_paper_means_cover_all_scenarios(self):
+        assert set(PAPER_MEANS) == {"1x1", "4x2", "4x2-10dB", "3x2"}
+        for means in PAPER_MEANS.values():
+            assert "csma" in means and "copa" in means

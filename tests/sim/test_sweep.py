@@ -1,0 +1,81 @@
+"""Parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import ScenarioSpec
+from repro.sim.sweep import (
+    sweep_antenna_configurations,
+    sweep_coherence_time,
+    sweep_interference,
+)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SimConfig(n_topologies=4)
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+
+
+class TestCoherenceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_config, small_spec):
+        return sweep_coherence_time(
+            (0.004, 0.030, 1.0), spec=small_spec, config=small_config
+        )
+
+    def test_point_count_and_order(self, sweep):
+        xs, _ = sweep.series("copa")
+        np.testing.assert_array_equal(xs, [0.004, 0.030, 1.0])
+
+    def test_copa_improves_with_coherence(self, sweep):
+        """Longer coherence → less ITS/CSI overhead → more COPA throughput."""
+        _, copa = sweep.series("copa")
+        assert copa[-1] > copa[0]
+
+    def test_csma_unaffected(self, sweep):
+        """CSMA's CTS-to-self cost is coherence-independent (Table 1)."""
+        _, csma = sweep.series("csma")
+        assert np.ptp(csma) / csma.mean() < 0.01
+
+    def test_gains_computed(self, sweep):
+        gains = sweep.gains("copa")
+        assert gains.shape == (3,)
+
+
+class TestInterferenceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_config, small_spec):
+        return sweep_interference((0.0, -10.0, -25.0), spec=small_spec, config=small_config)
+
+    def test_nulling_improves_as_interference_weakens(self, sweep):
+        _, null = sweep.series("null")
+        assert null[-1] > null[0]
+
+    def test_copa_gain_grows(self, sweep):
+        gains = sweep.gains("copa")
+        assert gains[-1] > gains[0]
+
+    def test_zero_offset_matches_baseline(self, sweep, small_config, small_spec):
+        from repro.sim.experiment import run_experiment
+
+        baseline = run_experiment(small_spec, small_config)
+        assert sweep.points[0].means_mbps["copa"] == pytest.approx(
+            baseline.mean_table_mbps()["copa"], rel=1e-6
+        )
+
+
+class TestAntennaSweep:
+    def test_throughput_grows_with_antennas(self, small_config):
+        sweep = sweep_antenna_configurations(((1, 1), (4, 2)), config=small_config)
+        _, copa = sweep.series("copa")
+        assert copa[1] > copa[0] * 1.3
+
+    def test_parameter_encoding(self, small_config):
+        sweep = sweep_antenna_configurations(((3, 2),), config=small_config)
+        assert sweep.points[0].parameter == pytest.approx(3.2)

@@ -1,0 +1,73 @@
+"""The command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "4x2" in out and "3x2" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "COPA conc" in out
+        assert "1000ms" in out
+
+    def test_topology_command(self, capsys):
+        assert main(["topology", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "AP1" in out and "C2" in out
+        assert "signal" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "1x1", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "csma" in out and "copa" in out
+
+    def test_run_with_interference(self, capsys):
+        assert main(["run", "4x2", "-n", "2", "--interference", "-10"]) == 0
+        out = capsys.readouterr().out
+        assert "nulling beats CSMA" in out
+
+    def test_nulling_small(self, capsys):
+        assert main(["nulling", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "INR reduction" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "9x9"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "1x1", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "| scheme |" in out
+        assert "COPA beats CSMA" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = str(tmp_path / "report.md")
+        assert main(["report", "1x1", "-n", "2", "-o", path]) == 0
+        with open(path) as handle:
+            content = handle.read()
+        assert content.startswith("## Scenario 1x1")
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_nonpositive_topology_count_rejected(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "4x2", "-n", bad])
+
+    def test_positive_count_accepted(self):
+        args = build_parser().parse_args(["run", "4x2", "-n", "7"])
+        assert args.topologies == 7
