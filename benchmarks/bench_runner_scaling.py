@@ -1,0 +1,56 @@
+"""Parallel-runner scaling: wall-clock speedup of the topology fan-out.
+
+Runs the 4×2 scenario (30 topologies, no COPA+, the ISSUE's reference
+workload) serially and with 4 workers, verifies the results are
+bit-identical, and records the measured speedup.  The ≥2× assertion only
+applies where it can physically hold — a machine with ≥4 cores; on
+smaller boxes the benchmark still verifies equivalence and records the
+numbers.
+"""
+
+import os
+
+import numpy as np
+
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.experiment import ScenarioSpec, run_experiment
+
+from conftest import write_result
+
+N_TOPOLOGIES = 30
+WORKERS = 4
+
+
+def test_runner_scaling(config):
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    cfg = config.with_(n_topologies=N_TOPOLOGIES)
+
+    serial = run_experiment(spec, cfg, workers=1)
+    parallel = run_experiment(spec, cfg, workers=WORKERS)
+
+    for key in serial.available_series():
+        np.testing.assert_array_equal(
+            serial.series_mbps(key), parallel.series_mbps(key)
+        )
+
+    speedup = serial.stats.total_wall_s / parallel.stats.total_wall_s
+    cores = os.cpu_count() or 1
+    lines = [
+        f"4x2 scenario, {N_TOPOLOGIES} topologies, {cores} cores",
+        f"{'mode':<14}{'wall s':>9}{'topo/s':>9}{'util':>7}",
+        f"{'serial':<14}{serial.stats.total_wall_s:>9.2f}"
+        f"{serial.stats.topologies_per_s:>9.2f}"
+        f"{serial.stats.worker_utilization:>7.0%}",
+        f"{f'{WORKERS} workers':<14}{parallel.stats.total_wall_s:>9.2f}"
+        f"{parallel.stats.topologies_per_s:>9.2f}"
+        f"{parallel.stats.worker_utilization:>7.0%}",
+        f"speedup: {speedup:.2f}x (results bit-identical)",
+    ]
+    write_result("runner_scaling.txt", "\n".join(lines) + "\n")
+
+    assert parallel.stats.parallel, "the pool path must actually run"
+    if cores >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {WORKERS} workers on {cores} cores, "
+            f"measured {speedup:.2f}x"
+        )

@@ -15,6 +15,7 @@ All numbers use the frozen calibration in :mod:`repro.sim.config`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -24,6 +25,34 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return parsed
+
+
+def _default_workers() -> int:
+    """CPU-count-aware default for ``--workers`` (overridable via env)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _print_runner_stats(result) -> None:
+    stats = result.stats
+    if stats is None:
+        return
+    mode = f"{stats.workers} workers" if stats.parallel else "serial"
+    line = (
+        f"\nevaluated {stats.n_topologies} topologies in {stats.total_wall_s:.1f}s"
+        f" ({stats.topologies_per_s:.2f} topologies/s, {mode}"
+    )
+    if stats.parallel:
+        line += f", chunk {stats.chunk_size}, {stats.worker_utilization:.0%} utilization"
+    line += ")"
+    if stats.fallback_reason:
+        line += f"\nserial fallback: {stats.fallback_reason}"
+    print(line)
 
 import numpy as np
 
@@ -59,9 +88,13 @@ def _cmd_run(args) -> int:
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
     if args.interference:
-        result = run_emulated_experiment(spec, args.interference, config)
+        result = run_emulated_experiment(
+            spec, args.interference, config, workers=args.workers, chunk_size=args.chunk_size
+        )
     else:
-        result = run_experiment(spec, config)
+        result = run_experiment(
+            spec, config, workers=args.workers, chunk_size=args.chunk_size
+        )
 
     print(f"scenario {result.spec.name}: {args.topologies} topologies")
     print(f"{'scheme':<16}{'mean Mbps':>11}{'median':>9}{'min':>8}{'max':>8}")
@@ -74,6 +107,7 @@ def _cmd_run(args) -> int:
         print(f"\nnulling beats CSMA in {stats.win_fraction:.0%} of topologies")
         rescue = compare(result.series_mbps("copa"), result.series_mbps("null"))
         print(f"COPA improves on nulling by {rescue.mean_improvement:.0%} mean")
+    _print_runner_stats(result)
     return 0
 
 
@@ -118,9 +152,13 @@ def _cmd_report(args) -> int:
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
     if args.interference:
-        result = run_emulated_experiment(spec, args.interference, config)
+        result = run_emulated_experiment(
+            spec, args.interference, config, workers=args.workers, chunk_size=args.chunk_size
+        )
     else:
-        result = run_experiment(spec, config)
+        result = run_experiment(
+            spec, config, workers=args.workers, chunk_size=args.chunk_size
+        )
     text = experiment_report(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -157,6 +195,22 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_scenarios
     )
 
+    def add_runner_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "-w",
+            "--workers",
+            type=int,
+            default=_default_workers(),
+            help="worker processes for per-topology fan-out; 1 = serial, "
+            "<= 0 = one per CPU (default: all CPUs, or $REPRO_WORKERS)",
+        )
+        command.add_argument(
+            "--chunk-size",
+            type=_positive_int,
+            default=None,
+            help="topologies per worker dispatch (default: auto)",
+        )
+
     run = sub.add_parser("run", help="run one scenario and print its CDF table")
     run.add_argument("scenario", choices=sorted(SCENARIOS))
     run.add_argument("-n", "--topologies", type=_positive_int, default=30)
@@ -167,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="scale cross links by this many dB (e.g. -10 for Fig. 12)",
     )
+    add_runner_args(run)
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("table1", help="print the reproduced Table 1").set_defaults(
@@ -189,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--plus", action="store_true", help="include COPA+ (slow)")
     report.add_argument("--interference", type=float, default=0.0)
     report.add_argument("-o", "--output", default=None, help="file path (default: stdout)")
+    add_runner_args(report)
     report.set_defaults(func=_cmd_report)
     return parser
 

@@ -23,6 +23,15 @@ from .network import (
 )
 from .plots import ascii_bars, ascii_cdf, ascii_series
 from .reporting import experiment_report, headline_section, scheme_table
+from .runner import (
+    RunnerStats,
+    TopologyTask,
+    auto_chunk_size,
+    build_tasks,
+    evaluate_topology,
+    resolve_workers,
+    run_tasks,
+)
 from .sweep import (
     SweepPoint,
     SweepResult,
@@ -38,6 +47,8 @@ __all__ = [
     "DEFAULT_CONFIG",
     "ExperimentResult",
     "NullingEffect",
+    "RunnerStats",
+    "TopologyTask",
     "OVERCONSTRAINED_3X2",
     "SINGLE_ANTENNA",
     "ScenarioSpec",
@@ -50,7 +61,12 @@ __all__ = [
     "ascii_bars",
     "ascii_cdf",
     "ascii_series",
+    "auto_chunk_size",
+    "build_tasks",
     "cdf",
+    "evaluate_topology",
+    "resolve_workers",
+    "run_tasks",
     "compare",
     "copa_vs_nopa_example",
     "experiment_report",

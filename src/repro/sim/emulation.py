@@ -13,7 +13,7 @@ replayable across processes.
 from __future__ import annotations
 
 import os
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -46,8 +46,15 @@ def run_emulated_experiment(
     spec: ScenarioSpec,
     interference_offset_db: float,
     config: SimConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
-    """Record the scenario's traces, weaken interference, replay (§4.4)."""
+    """Record the scenario's traces, weaken interference, replay (§4.4).
+
+    The replay fans out to a process pool when ``workers`` asks for one;
+    emulated traces are plain :class:`ChannelSet` data, so the parallel
+    path is bit-identical to the serial one (see :mod:`repro.sim.runner`).
+    """
     traces = generate_channel_sets(spec, config)
     emulated = scaled_traces(traces, interference_offset_db)
     emulated_spec = ScenarioSpec(
@@ -57,7 +64,9 @@ def run_emulated_experiment(
         interference_offset_db=interference_offset_db,
         include_copa_plus=spec.include_copa_plus,
     )
-    return run_experiment(emulated_spec, config, channel_sets=emulated)
+    return run_experiment(
+        emulated_spec, config, channel_sets=emulated, workers=workers, chunk_size=chunk_size
+    )
 
 
 # ---------------------------------------------------------------------------

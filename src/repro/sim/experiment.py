@@ -14,17 +14,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.mercury import mercury_allocate
-from ..core.strategy import (
-    SCHEME_COPA_SEQ,
-    SCHEME_CSMA,
-    SCHEME_NULL,
-    StrategyEngine,
-    StrategyOutcome,
-)
+from ..core.strategy import SCHEME_COPA_SEQ, SCHEME_CSMA, SCHEME_NULL
 from ..phy.channel import ChannelSet
 from .config import DEFAULT_CONFIG, SimConfig
 from .metrics import Summary, summarize
+from .runner import RunnerStats, TopologyRecord, build_tasks, run_tasks
 
 __all__ = [
     "ScenarioSpec",
@@ -56,16 +50,6 @@ CONSTRAINED_4X2 = ScenarioSpec("4x2", ap_antennas=4, client_antennas=2)
 OVERCONSTRAINED_3X2 = ScenarioSpec("3x2", ap_antennas=3, client_antennas=2)
 
 
-@dataclass
-class TopologyRecord:
-    """Everything measured in one topology."""
-
-    index: int
-    channels: ChannelSet
-    outcome: StrategyOutcome
-    plus_outcome: Optional[StrategyOutcome] = None
-
-
 #: Series names accepted by :meth:`ExperimentResult.series`.
 SERIES_KEYS = (
     "csma",
@@ -84,6 +68,8 @@ class ExperimentResult:
 
     spec: ScenarioSpec
     records: List[TopologyRecord]
+    #: Runner telemetry (worker count, per-topology wall-clock, utilization).
+    stats: Optional[RunnerStats] = None
 
     def _aggregate(self, record: TopologyRecord, key: str) -> Optional[float]:
         outcome = record.outcome
@@ -119,14 +105,17 @@ class ExperimentResult:
         return summarize(self.series_mbps(key))
 
     def available_series(self) -> List[str]:
-        available = []
-        for key in SERIES_KEYS:
-            try:
-                self.series_mbps(key)
-            except KeyError:
-                continue
-            available.append(key)
-        return available
+        """Series that were measured, probed cheaply on the first record.
+
+        Scheme availability is uniform across a scenario's topologies (it
+        depends only on the antenna configuration and ``include_copa_plus``),
+        so probing one record's aggregates suffices — no need to recompute
+        every full series just to see which ones exist.
+        """
+        if not self.records:
+            return []
+        probe = self.records[0]
+        return [key for key in SERIES_KEYS if self._aggregate(probe, key) is not None]
 
     def mean_table_mbps(self) -> Dict[str, float]:
         """Scheme → mean aggregate Mbit/s (the numbers in the CDF legends)."""
@@ -160,6 +149,8 @@ def run_experiment(
     config: SimConfig = DEFAULT_CONFIG,
     channel_sets: Optional[Sequence[ChannelSet]] = None,
     engine_kwargs: Optional[dict] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the full strategy evaluation over a scenario's topologies.
 
@@ -168,33 +159,21 @@ def run_experiment(
     COPA+ see identical noisy CSI.  ``engine_kwargs`` are forwarded to the
     :class:`StrategyEngine` (e.g. ``rate_selector`` for §4.6's
     multi-decoder evaluation).
+
+    ``workers`` fans topologies out to a process pool (``None``/1 →
+    serial, ``<= 0`` → one per CPU); every topology carries its private
+    seed, so parallel results are bit-identical to serial ones.
+    ``chunk_size`` overrides the dispatch chunking policy.
     """
     if channel_sets is None:
         channel_sets = generate_channel_sets(spec, config)
-    engine_kwargs = dict(engine_kwargs or {})
-    imperfections = config.imperfections()
-    records: List[TopologyRecord] = []
-    for index, channels in enumerate(channel_sets):
-        outcome = StrategyEngine(
-            channels,
-            imperfections=imperfections,
-            rng=np.random.default_rng(config.seed + 10_000 + index),
-            coherence_s=config.coherence_s,
-            **engine_kwargs,
-        ).run()
-        plus_outcome = None
-        if spec.include_copa_plus:
-            plus_outcome = StrategyEngine(
-                channels,
-                imperfections=imperfections,
-                rng=np.random.default_rng(config.seed + 10_000 + index),
-                coherence_s=config.coherence_s,
-                allocator=mercury_allocate,
-                **engine_kwargs,
-            ).run()
-        records.append(
-            TopologyRecord(
-                index=index, channels=channels, outcome=outcome, plus_outcome=plus_outcome
-            )
-        )
-    return ExperimentResult(spec=spec, records=records)
+    tasks = build_tasks(
+        channel_sets,
+        base_seed=config.seed,
+        coherence_s=config.coherence_s,
+        imperfections=config.imperfections(),
+        include_copa_plus=spec.include_copa_plus,
+        engine_kwargs=engine_kwargs,
+    )
+    records, stats = run_tasks(tasks, workers=workers, chunk_size=chunk_size)
+    return ExperimentResult(spec=spec, records=records, stats=stats)

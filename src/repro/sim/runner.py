@@ -1,0 +1,269 @@
+"""Process-pool experiment runner: deterministic fan-out over topologies.
+
+Per-topology evaluation is embarrassingly parallel — the strategy engine
+for topology ``t`` depends only on that topology's channel realization and
+its private seed (``config.seed + 10_000 + t``), never on its neighbours.
+This module exploits that: it turns a scenario into a list of picklable
+:class:`TopologyTask` specs and fans them out to worker processes via
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism guarantee: every task carries the *exact* seed the serial loop
+in :func:`repro.sim.experiment.run_experiment` would have used, and each
+worker rebuilds its RNG from that seed alone.  Parallel results are
+therefore bit-identical to serial ones — order, values and all — which is
+what the equivalence suite in ``tests/sim/test_runner.py`` pins.
+
+Graceful degradation: with ``workers=1`` (or one task, or an unpicklable
+task, or a pool that fails to start) the runner evaluates serially in the
+calling process and records why in :attr:`RunnerStats.fallback_reason`; it
+never crashes because the platform lacks working multiprocessing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.mercury import mercury_allocate
+from ..core.strategy import StrategyEngine, StrategyOutcome
+from ..phy.channel import ChannelSet
+from ..phy.noise import ImperfectionModel
+
+__all__ = [
+    "SEED_OFFSET",
+    "TopologyTask",
+    "TopologyRecord",
+    "RunnerStats",
+    "build_tasks",
+    "evaluate_topology",
+    "resolve_workers",
+    "auto_chunk_size",
+    "run_tasks",
+]
+
+#: The serial loop evaluates topology ``t`` with ``config.seed + 10_000 + t``;
+#: tasks must carry exactly that seed for parallel results to be identical.
+SEED_OFFSET = 10_000
+
+
+@dataclass
+class TopologyRecord:
+    """Everything measured in one topology."""
+
+    index: int
+    channels: ChannelSet
+    outcome: StrategyOutcome
+    plus_outcome: Optional[StrategyOutcome] = None
+
+
+@dataclass(frozen=True)
+class TopologyTask:
+    """Picklable spec for evaluating one topology in any process.
+
+    Carries everything a worker needs — the channel realization, the
+    imperfection model, the exact per-topology engine seed and the strategy
+    engine's keyword overrides — so evaluation depends on nothing ambient.
+    """
+
+    index: int
+    channels: ChannelSet
+    imperfections: ImperfectionModel
+    #: Exact engine seed (``config.seed + SEED_OFFSET + index``).
+    seed: int
+    coherence_s: float
+    #: Also evaluate the mercury/water-filling COPA+ variant.
+    include_copa_plus: bool = False
+    #: Extra :class:`StrategyEngine` kwargs (must be picklable for the pool
+    #: path; unpicklable entries trigger the serial fallback instead).
+    engine_kwargs: Dict = field(default_factory=dict)
+
+
+def evaluate_topology(task: TopologyTask) -> Tuple[TopologyRecord, float]:
+    """Evaluate one task; returns the record and its wall-clock seconds.
+
+    Module-level so worker processes can import it by reference.  The CSI
+    RNG is rebuilt from the task seed for each engine, so COPA and COPA+
+    see identical noisy CSI and the result is independent of which process
+    (or order) ran the task.
+    """
+    start = time.perf_counter()
+    kwargs = dict(task.engine_kwargs)
+    outcome = StrategyEngine(
+        task.channels,
+        imperfections=task.imperfections,
+        rng=np.random.default_rng(task.seed),
+        coherence_s=task.coherence_s,
+        **kwargs,
+    ).run()
+    plus_outcome = None
+    if task.include_copa_plus:
+        plus_outcome = StrategyEngine(
+            task.channels,
+            imperfections=task.imperfections,
+            rng=np.random.default_rng(task.seed),
+            coherence_s=task.coherence_s,
+            allocator=mercury_allocate,
+            **kwargs,
+        ).run()
+    record = TopologyRecord(
+        index=task.index,
+        channels=task.channels,
+        outcome=outcome,
+        plus_outcome=plus_outcome,
+    )
+    return record, time.perf_counter() - start
+
+
+def build_tasks(
+    channel_sets: Sequence[ChannelSet],
+    base_seed: int,
+    coherence_s: float,
+    imperfections: ImperfectionModel,
+    include_copa_plus: bool = False,
+    engine_kwargs: Optional[Dict] = None,
+) -> List[TopologyTask]:
+    """One task per channel realization, each with its private seed."""
+    kwargs = dict(engine_kwargs or {})
+    return [
+        TopologyTask(
+            index=index,
+            channels=channels,
+            imperfections=imperfections,
+            seed=base_seed + SEED_OFFSET + index,
+            coherence_s=coherence_s,
+            include_copa_plus=include_copa_plus,
+            engine_kwargs=kwargs,
+        )
+        for index, channels in enumerate(channel_sets)
+    ]
+
+
+@dataclass(frozen=True)
+class RunnerStats:
+    """Timing/progress telemetry of one runner invocation."""
+
+    #: Worker count the runner resolved to (1 for the serial path).
+    workers: int
+    #: Tasks handed to each worker per dispatch round.
+    chunk_size: int
+    #: Whether the process pool actually ran (False → serial path).
+    parallel: bool
+    #: End-to-end wall-clock of the whole run, seconds.
+    total_wall_s: float
+    #: Per-topology wall-clock, seconds, in topology order.
+    topology_wall_s: Tuple[float, ...]
+    #: Why the runner degraded to serial, if it did.
+    fallback_reason: Optional[str] = None
+
+    @property
+    def n_topologies(self) -> int:
+        return len(self.topology_wall_s)
+
+    @property
+    def busy_s(self) -> float:
+        """Total compute time summed over topologies (all workers)."""
+        return float(sum(self.topology_wall_s))
+
+    @property
+    def topologies_per_s(self) -> float:
+        if self.total_wall_s <= 0:
+            return 0.0
+        return self.n_topologies / self.total_wall_s
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker·seconds spent evaluating topologies."""
+        if self.total_wall_s <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.workers * self.total_wall_s))
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalize a worker request: ``None`` → serial, ``<= 0`` → all cores."""
+    if workers is None:
+        return 1
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def auto_chunk_size(n_tasks: int, workers: int) -> int:
+    """Default chunking: ~4 dispatch rounds per worker, at least 1 task.
+
+    Small chunks keep workers busy when per-topology times vary (COPA+
+    tails are long); one giant chunk would serialize stragglers.
+    """
+    if n_tasks <= 0 or workers <= 1:
+        return 1
+    return max(1, math.ceil(n_tasks / (workers * 4)))
+
+
+def _picklable(task: TopologyTask) -> bool:
+    try:
+        pickle.dumps(task)
+        return True
+    except Exception:
+        return False
+
+
+def _run_serial(tasks: Sequence[TopologyTask]) -> List[Tuple[TopologyRecord, float]]:
+    return [evaluate_topology(task) for task in tasks]
+
+
+def run_tasks(
+    tasks: Sequence[TopologyTask],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Tuple[List[TopologyRecord], RunnerStats]:
+    """Evaluate every task, in parallel when possible; results in task order.
+
+    Records come back ordered like ``tasks`` regardless of which worker
+    finished first, and are bit-identical to what :func:`_run_serial` would
+    produce (each task carries its own seed).  Pool-start failures, broken
+    pools and unpicklable tasks degrade to the serial path with the reason
+    recorded in the returned :class:`RunnerStats`.
+    """
+    tasks = list(tasks)
+    n_workers = resolve_workers(workers)
+    chunk = int(chunk_size) if chunk_size else auto_chunk_size(len(tasks), n_workers)
+    start = time.perf_counter()
+
+    fallback_reason: Optional[str] = None
+    pairs: Optional[List[Tuple[TopologyRecord, float]]] = None
+    parallel = False
+
+    if n_workers <= 1:
+        fallback_reason = None if workers in (None, 1) else "resolved to a single worker"
+    elif len(tasks) <= 1:
+        fallback_reason = "one task or fewer; pool overhead not worth it"
+    elif tasks and not _picklable(tasks[0]):
+        fallback_reason = "task is not picklable (e.g. a lambda in engine_kwargs)"
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                pairs = list(pool.map(evaluate_topology, tasks, chunksize=chunk))
+            parallel = True
+        except (OSError, BrokenProcessPool, RuntimeError, pickle.PicklingError) as error:
+            fallback_reason = f"process pool failed ({type(error).__name__}: {error})"
+            pairs = None
+
+    if pairs is None:
+        pairs = _run_serial(tasks)
+
+    stats = RunnerStats(
+        workers=n_workers if parallel else 1,
+        chunk_size=chunk if parallel else len(tasks) or 1,
+        parallel=parallel,
+        total_wall_s=time.perf_counter() - start,
+        topology_wall_s=tuple(elapsed for _, elapsed in pairs),
+        fallback_reason=fallback_reason,
+    )
+    return [record for record, _ in pairs], stats

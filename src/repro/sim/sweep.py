@@ -15,7 +15,7 @@ sweeps generalize the evaluation along the axes the paper discusses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,17 +69,21 @@ def sweep_coherence_time(
     coherence_values_s: Sequence[float] = (0.004, 0.030, 0.120, 1.0),
     spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
     config: SimConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """COPA vs CSMA as the channel gets more static.
 
     Channels are held fixed across points (the same traces are replayed),
     so only the MAC-overhead amortization varies — isolating Table 1's
-    effect on end-to-end throughput.
+    effect on end-to-end throughput.  ``workers`` fans each point's
+    topologies out to a process pool (see :mod:`repro.sim.runner`).
     """
     traces = generate_channel_sets(spec, config)
     points = []
     for coherence_s in coherence_values_s:
-        result = run_experiment(spec, config.with_(coherence_s=coherence_s), channel_sets=traces)
+        result = run_experiment(
+            spec, config.with_(coherence_s=coherence_s), channel_sets=traces, workers=workers
+        )
         points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
     return SweepResult(parameter_name="coherence_s", points=points)
 
@@ -88,13 +92,14 @@ def sweep_interference(
     offsets_db: Sequence[float] = (0.0, -5.0, -10.0, -20.0),
     spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
     config: SimConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """§4.4 generalized: scale the cross links through a range of offsets."""
     traces = generate_channel_sets(spec, config)
     points = []
     for offset in offsets_db:
         emulated = scaled_traces(traces, offset) if offset else list(traces)
-        result = run_experiment(spec, config, channel_sets=emulated)
+        result = run_experiment(spec, config, channel_sets=emulated, workers=workers)
         points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
     return SweepResult(parameter_name="interference_offset_db", points=points)
 
@@ -102,6 +107,7 @@ def sweep_interference(
 def sweep_antenna_configurations(
     configurations: Sequence[Tuple[int, int]] = ((1, 1), (2, 2), (3, 2), (4, 2)),
     config: SimConfig = DEFAULT_CONFIG,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """The §4 progression: spatial degrees of freedom vs COPA's win.
 
@@ -116,7 +122,7 @@ def sweep_antenna_configurations(
             client_antennas,
             include_copa_plus=False,
         )
-        result = run_experiment(spec, config)
+        result = run_experiment(spec, config, workers=workers)
         points.append(
             SweepPoint(
                 parameter=ap_antennas + client_antennas / 10.0,

@@ -1,0 +1,113 @@
+"""Seeded property tests for the power allocators.
+
+Invariants every allocator must honour regardless of the channel draw:
+
+* **budget** — total allocated power never exceeds the stream's budget;
+* **dropped ⇒ zero** — a subcarrier outside the data mask gets exactly
+  zero allocated power (leakage is modelled downstream, not here);
+* **permutation equivariance** — relabelling subcarriers permutes the
+  allocation but changes nothing else (the algorithms sort by gain, so
+  this catches any accidental dependence on input order).
+
+The gain draws are seeded, so failures reproduce exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.equi_sinr import allocate_single
+from repro.core.equi_snr import allocate, allocate_power_only, allocate_selection_only
+from repro.core.mercury import mercury_allocate
+
+N_SUBCARRIERS = 52
+TOTAL_POWER_MW = 100.0
+SEEDS = (0, 1, 2, 3, 4)
+
+#: name → allocator with the (gains, total_power) -> Allocation contract.
+STREAM_ALLOCATORS = {
+    "equi_snr": allocate,
+    "equi_snr_power_only": allocate_power_only,
+    "equi_snr_selection_only": allocate_selection_only,
+    "mercury": mercury_allocate,
+}
+
+
+def draw_gains(seed: int) -> np.ndarray:
+    """Per-subcarrier S(I)NR-per-mW gains spanning weak to strong fades."""
+    rng = np.random.default_rng(seed)
+    # Rayleigh-fading-flavoured: exponential power, spread over ~25 dB.
+    gains = rng.exponential(scale=1.0, size=N_SUBCARRIERS)
+    return gains * 10.0 ** (rng.uniform(-1.5, 1.0))
+
+
+@pytest.mark.parametrize("name", sorted(STREAM_ALLOCATORS), ids=sorted(STREAM_ALLOCATORS))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStreamAllocatorProperties:
+    def test_budget_never_exceeded(self, name, seed):
+        allocation = STREAM_ALLOCATORS[name](draw_gains(seed), TOTAL_POWER_MW)
+        total = float(allocation.powers.sum())
+        assert total <= TOTAL_POWER_MW * (1 + 1e-9)
+        if allocation.used.any():
+            # No allocator should leave budget on the table either.
+            assert total == pytest.approx(TOTAL_POWER_MW, rel=1e-6)
+
+    def test_dropped_subcarriers_get_zero_power(self, name, seed):
+        allocation = STREAM_ALLOCATORS[name](draw_gains(seed), TOTAL_POWER_MW)
+        np.testing.assert_array_equal(
+            allocation.powers[~allocation.used], np.zeros(int((~allocation.used).sum()))
+        )
+        assert np.all(allocation.powers >= 0.0)
+
+    def test_permutation_equivariant(self, name, seed):
+        gains = draw_gains(seed)
+        permutation = np.random.default_rng(seed + 1000).permutation(N_SUBCARRIERS)
+        base = STREAM_ALLOCATORS[name](gains, TOTAL_POWER_MW)
+        permuted = STREAM_ALLOCATORS[name](gains[permutation], TOTAL_POWER_MW)
+        np.testing.assert_allclose(
+            permuted.powers, base.powers[permutation], rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_array_equal(permuted.used, base.used[permutation])
+        assert permuted.goodput_bps == pytest.approx(base.goodput_bps, rel=1e-9)
+        assert (permuted.mcs is None) == (base.mcs is None)
+        if base.mcs is not None:
+            assert permuted.mcs.index == base.mcs.index
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n_streams", [1, 2])
+class TestMultiStreamAllocatorProperties:
+    """The same invariants for the per-transmission wrapper (Equi-SINR)."""
+
+    def draw(self, seed, n_streams):
+        rng = np.random.default_rng(seed)
+        return rng.exponential(scale=5.0, size=(N_SUBCARRIERS, n_streams))
+
+    def test_budget_split_never_exceeded(self, seed, n_streams):
+        result = allocate_single(self.draw(seed, n_streams), TOTAL_POWER_MW, noise_mw=1.0)
+        assert float(result.powers.sum()) <= TOTAL_POWER_MW * (1 + 1e-9)
+        # Per-stream budgets are equal splits; no stream may overdraw.
+        per_stream = result.powers.sum(axis=0)
+        assert np.all(per_stream <= TOTAL_POWER_MW / n_streams * (1 + 1e-9))
+
+    def test_dropped_subcarriers_get_zero_power(self, seed, n_streams):
+        result = allocate_single(self.draw(seed, n_streams), TOTAL_POWER_MW, noise_mw=1.0)
+        assert np.all(result.powers[~result.used] == 0.0)
+
+    def test_permutation_equivariant_in_subcarriers(self, seed, n_streams):
+        gains = self.draw(seed, n_streams)
+        permutation = np.random.default_rng(seed + 2000).permutation(N_SUBCARRIERS)
+        base = allocate_single(gains, TOTAL_POWER_MW, noise_mw=1.0)
+        permuted = allocate_single(gains[permutation], TOTAL_POWER_MW, noise_mw=1.0)
+        np.testing.assert_allclose(
+            permuted.powers, base.powers[permutation], rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_array_equal(permuted.used, base.used[permutation])
+
+
+def test_unusable_gains_allocate_nothing():
+    """All-zero gains must yield an empty, zero-power allocation."""
+    for name, allocator in STREAM_ALLOCATORS.items():
+        allocation = allocator(np.zeros(N_SUBCARRIERS), TOTAL_POWER_MW)
+        assert not allocation.used.any(), name
+        assert float(allocation.powers.sum()) == 0.0, name
+        assert allocation.goodput_bps == 0.0, name

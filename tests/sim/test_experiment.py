@@ -94,6 +94,36 @@ class TestExperimentResult:
         assert copa.mean() >= seq.mean() * 0.95
 
 
+class TestAvailableSeriesProbe:
+    """available_series() probes the first record's aggregates — it must not
+    recompute (or even touch) the full series arrays."""
+
+    def test_copa_plus_excluded_when_disabled(self, small_result):
+        """include_copa_plus=False: the plus series are absent, the rest
+        present, and the probe agrees with what series_mbps() can deliver."""
+        available = small_result.available_series()
+        assert available == ["csma", "copa_seq", "null", "copa", "copa_fair"]
+        for key in available:
+            assert small_result.series_mbps(key).shape == (4,)
+
+    def test_probe_does_not_build_series(self, small_result, monkeypatch):
+        def boom(key):
+            raise AssertionError("available_series must not compute full series")
+
+        monkeypatch.setattr(small_result, "series_mbps", boom)
+        assert "csma" in small_result.available_series()
+
+    def test_empty_result_has_no_series(self, small_result):
+        from repro.sim.experiment import ExperimentResult
+
+        empty = ExperimentResult(spec=small_result.spec, records=[])
+        assert empty.available_series() == []
+
+    def test_runner_stats_attached(self, small_result):
+        assert small_result.stats is not None
+        assert small_result.stats.n_topologies == 4
+
+
 class TestCopaPlus:
     def test_plus_outcomes_recorded(self):
         spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=True)
