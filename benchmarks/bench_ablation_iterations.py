@@ -10,6 +10,7 @@ the value (it starts from the equal-power interference assumption) and
 
 import numpy as np
 
+from repro.core.options import EngineOptions
 from repro.sim.config import SimConfig
 from repro.sim.experiment import ScenarioSpec, run_experiment
 
@@ -25,12 +26,12 @@ def test_ablation_equi_sinr_iterations(benchmark, config):
 
     means = {}
     for cap in ITERATION_CAPS:
-        result = run_experiment(spec, small, engine_kwargs={"max_iterations": cap})
+        result = run_experiment(spec, small, options=EngineOptions(max_iterations=cap))
         means[cap] = result.series_mbps("copa").mean()
 
     benchmark(
         lambda: run_experiment(
-            spec, small.with_(n_topologies=1), engine_kwargs={"max_iterations": 4}
+            spec, small.with_(n_topologies=1), options=EngineOptions(max_iterations=4)
         )
     )
 

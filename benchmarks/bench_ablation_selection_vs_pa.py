@@ -13,6 +13,7 @@ variant's improvement over CSMA.
 import numpy as np
 
 from repro.core.equi_snr import allocate, allocate_power_only, allocate_selection_only
+from repro.core.options import EngineOptions
 from repro.sim.config import SimConfig
 from repro.sim.experiment import ScenarioSpec, run_experiment
 
@@ -31,7 +32,7 @@ def test_ablation_selection_vs_power_allocation(benchmark, config):
         "selection_only": allocate_selection_only,
     }
     results = {
-        name: run_experiment(spec, small, engine_kwargs={"allocator": allocator})
+        name: run_experiment(spec, small, options=EngineOptions(allocator=allocator))
         for name, allocator in variants.items()
     }
 

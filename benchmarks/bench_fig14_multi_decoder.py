@@ -12,6 +12,7 @@ Paper shape (improvement over 1-decoder CSMA, per scenario):
 import numpy as np
 
 from repro.core.multi_decoder import per_subcarrier_rates
+from repro.core.options import EngineOptions
 from repro.sim.config import SimConfig
 from repro.sim.experiment import ScenarioSpec, run_experiment
 
@@ -25,7 +26,7 @@ N_TOPOLOGIES = 12
 def _improvements(scenario: ScenarioSpec, config) -> dict:
     single = run_experiment(scenario, config)
     multi = run_experiment(
-        scenario, config, engine_kwargs={"rate_selector": per_subcarrier_rates}
+        scenario, config, options=EngineOptions(rate_selector=per_subcarrier_rates)
     )
     csma_1 = single.series_mbps("csma").mean()
     return {

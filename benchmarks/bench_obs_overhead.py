@@ -1,0 +1,95 @@
+"""Observability overhead: the disabled path must cost (almost) nothing.
+
+The budget: with no collector passed, the instrumentation threaded through
+the engine, allocators and runner may slow an experiment by at most 5%.
+The instrumentation call sites are identical whether observability is on
+or off — ``collector=None`` just resolves every call to the shared no-op
+singletons — so the disabled-path cost is exactly
+
+    (number of instrumentation calls per run) x (cost of one no-op call).
+
+This bench measures both factors, asserts their product stays far inside
+the 5% budget, and reports the *enabled* path's cost alongside for
+context (enabled observability is allowed to cost real time; it records
+real data).
+"""
+
+import time
+
+import numpy as np
+
+from repro.obs import NULL_COLLECTOR, Collector
+from repro.sim.experiment import ScenarioSpec, run_experiment
+
+from conftest import write_result
+
+OVERHEAD_BUDGET = 0.05
+
+
+def _per_op_null_costs(n: int = 100_000):
+    """Seconds per no-op span and per no-op metric call."""
+    collector = NULL_COLLECTOR  # what collector=None resolves to
+    start = time.perf_counter()
+    for _ in range(n):
+        with collector.span("bench", index=1):
+            pass
+    span_s = (time.perf_counter() - start) / n
+    start = time.perf_counter()
+    for _ in range(n):
+        collector.inc("bench")
+        collector.observe("bench", 1.0)
+    metric_s = (time.perf_counter() - start) / n
+    return span_s, metric_s
+
+
+def _timed_run(spec, config, collector=None, repeats: int = 3) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_experiment(spec, config, collector=collector)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def test_obs_disabled_overhead_within_budget(benchmark, config):
+    spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+    small = config.with_(n_topologies=2)
+
+    # How many no-op calls does a disabled run make?  The call sites are
+    # shared, so an enabled probe run counts them exactly: one span is two
+    # calls (enter/exit); metric ops are bounded by the recorded totals.
+    probe = Collector()
+    run_experiment(spec, small, collector=probe)
+    n_spans = len(probe.spans)
+    n_metric_ops = len(probe.metrics.counters) * int(
+        max(probe.metrics.counters.values())
+    ) + sum(h.count for h in probe.metrics.histograms.values())
+
+    span_s, metric_s = _per_op_null_costs()
+    disabled_s = _timed_run(spec, small)
+    enabled_s = _timed_run(spec, small, collector=Collector())
+    benchmark(lambda: run_experiment(spec, small))
+
+    # Generous upper bound: every span costs a full no-op enter/exit pair,
+    # every metric op a no-op call, padded 10x for dispatch overhead.
+    overhead_s = 10 * (n_spans * span_s + n_metric_ops * metric_s)
+    overhead_fraction = overhead_s / disabled_s
+
+    lines = [
+        f"{'instrumented spans / run':<32}{n_spans:>10}",
+        f"{'metric ops / run (bound)':<32}{n_metric_ops:>10}",
+        f"{'no-op span cost':<32}{span_s * 1e9:>8.0f} ns",
+        f"{'no-op metric cost':<32}{metric_s * 1e9:>8.0f} ns",
+        f"{'disabled run (median)':<32}{disabled_s * 1e3:>8.1f} ms",
+        f"{'enabled run (median)':<32}{enabled_s * 1e3:>8.1f} ms",
+        f"{'disabled overhead bound':<32}{overhead_fraction:>9.4%}",
+        f"{'budget':<32}{OVERHEAD_BUDGET:>9.2%}",
+    ]
+    write_result("obs_overhead.txt", "\n".join(lines) + "\n")
+
+    assert overhead_fraction <= OVERHEAD_BUDGET, (
+        f"disabled observability overhead bound {overhead_fraction:.2%} exceeds"
+        f" the {OVERHEAD_BUDGET:.0%} budget"
+    )
+    # The no-op fast path really is the shared singleton machinery.
+    assert NULL_COLLECTOR.spans == ()

@@ -26,11 +26,17 @@ from .core import (
     SCHEME_COPA_SEQ,
     SCHEME_CSMA,
     SCHEME_NULL,
+    SCHEMES,
+    SERIES_KEYS,
+    EngineOptions,
+    Scheme,
     SchemeResult,
+    SeriesKey,
     StrategyEngine,
     StrategyOutcome,
 )
 from .mac import MacOverheadModel, MacOverheads, table1_rows
+from .obs import Collector
 from .phy import (
     ChannelModel,
     ChannelSet,
@@ -44,9 +50,15 @@ __version__ = "1.0.0"
 __all__ = [
     "ChannelModel",
     "ChannelSet",
+    "Collector",
+    "EngineOptions",
     "ImperfectionModel",
     "MacOverheadModel",
     "MacOverheads",
+    "SCHEMES",
+    "SERIES_KEYS",
+    "Scheme",
+    "SeriesKey",
     "SCHEME_CONC_BF",
     "SCHEME_CONC_NULL",
     "SCHEME_CONC_SDA",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli scenarios                 # list scenarios
     python -m repro.cli run 4x2 [-n 30] [--plus]  # one scenario's CDF table
     python -m repro.cli run 4x2 --interference -10
+    python -m repro.cli run 4x2 --trace --metrics-out obs.json
     python -m repro.cli table1                    # the MAC-overhead table
     python -m repro.cli nulling [-n 30]           # Figure 3's statistics
     python -m repro.cli topology [--seed 7]       # inspect one topology
@@ -56,11 +57,35 @@ def _print_runner_stats(result) -> None:
 
 import numpy as np
 
+from .obs import Collector, format_trace, write_json
 from .sim.config import DEFAULT_CONFIG
 from .sim.emulation import run_emulated_experiment
 from .sim.experiment import ScenarioSpec, generate_channel_sets, run_experiment
 from .sim.metrics import compare
 from .sim.network import measure_nulling_effect
+
+
+def _make_collector(args) -> "Collector | None":
+    """A live collector when --trace/--metrics-out asked for one, else None.
+
+    ``None`` keeps the runner on the no-op fast path — observability costs
+    nothing unless explicitly requested.
+    """
+    if getattr(args, "trace", False) or getattr(args, "metrics_out", None):
+        return Collector()
+    return None
+
+
+def _emit_observability(args, collector, meta: dict) -> None:
+    if collector is None:
+        return
+    if getattr(args, "trace", False):
+        print("\ntrace:")
+        print(format_trace(collector.spans))
+    path = getattr(args, "metrics_out", None)
+    if path:
+        write_json(collector, path, meta=meta)
+        print(f"wrote metrics to {path}")
 
 SCENARIOS = {
     "1x1": ScenarioSpec("1x1", 1, 1),
@@ -87,13 +112,23 @@ def _cmd_run(args) -> int:
         include_copa_plus=args.plus,
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    collector = _make_collector(args)
     if args.interference:
         result = run_emulated_experiment(
-            spec, args.interference, config, workers=args.workers, chunk_size=args.chunk_size
+            spec,
+            args.interference,
+            config,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            collector=collector,
         )
     else:
         result = run_experiment(
-            spec, config, workers=args.workers, chunk_size=args.chunk_size
+            spec,
+            config,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            collector=collector,
         )
 
     print(f"scenario {result.spec.name}: {args.topologies} topologies")
@@ -108,6 +143,11 @@ def _cmd_run(args) -> int:
         rescue = compare(result.series_mbps("copa"), result.series_mbps("null"))
         print(f"COPA improves on nulling by {rescue.mean_improvement:.0%} mean")
     _print_runner_stats(result)
+    _emit_observability(
+        args,
+        collector,
+        meta={"command": "run", "scenario": args.scenario, "topologies": args.topologies},
+    )
     return 0
 
 
@@ -151,13 +191,23 @@ def _cmd_report(args) -> int:
         spec.name, spec.ap_antennas, spec.client_antennas, include_copa_plus=args.plus
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    collector = _make_collector(args)
     if args.interference:
         result = run_emulated_experiment(
-            spec, args.interference, config, workers=args.workers, chunk_size=args.chunk_size
+            spec,
+            args.interference,
+            config,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            collector=collector,
         )
     else:
         result = run_experiment(
-            spec, config, workers=args.workers, chunk_size=args.chunk_size
+            spec,
+            config,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            collector=collector,
         )
     text = experiment_report(result)
     if args.output:
@@ -166,6 +216,11 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    _emit_observability(
+        args,
+        collector,
+        meta={"command": "report", "scenario": args.scenario, "topologies": args.topologies},
+    )
     return 0
 
 
@@ -209,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
             type=_positive_int,
             default=None,
             help="topologies per worker dispatch (default: auto)",
+        )
+        command.add_argument(
+            "--trace",
+            action="store_true",
+            help="collect spans and print the run's timing tree",
+        )
+        command.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            default=None,
+            help="write the trace + metrics as repro.obs/v1 JSON to PATH",
         )
 
     run = sub.add_parser("run", help="run one scenario and print its CDF table")

@@ -10,7 +10,9 @@ from .equi_sinr import (
     radiated_powers,
 )
 from .controller import CopaAccessPoint, CopaSession, TxopRecord
+from .options import EngineOptions
 from .scheduler import MultiApScheduler, Neighbourhood, ScheduleResult
+from .schemes import COPA_CANDIDATES, SCHEMES, SERIES_KEYS, Scheme, SeriesKey
 from .mercury import mercury_allocate, mercury_waterfilling, mmse_of_snr
 from .multi_decoder import MultiDecoderSelection, per_subcarrier_rates
 from .precoding import (
@@ -35,8 +37,14 @@ from .strategy import (
 
 __all__ = [
     "Allocation",
+    "COPA_CANDIDATES",
     "ConcurrentAllocation",
     "ConcurrentContext",
+    "EngineOptions",
+    "SCHEMES",
+    "SERIES_KEYS",
+    "Scheme",
+    "SeriesKey",
     "CopaAccessPoint",
     "CopaSession",
     "MultiApScheduler",

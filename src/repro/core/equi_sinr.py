@@ -194,8 +194,14 @@ def allocate_concurrent(
     tolerance: float = 1e-3,
     allocator: StreamAllocator = equi_snr.allocate,
     on_iteration: Optional[Callable[[int, ConcurrentAllocation], None]] = None,
+    collector=None,
 ) -> ConcurrentAllocation:
-    """Run the Figure-6 iteration and return the best allocation found."""
+    """Run the Figure-6 iteration and return the best allocation found.
+
+    ``collector`` (a :class:`repro.obs.Collector`) records how hard the
+    iteration worked: a histogram of iteration counts and convergence
+    counters — the §3.2.1 telemetry the observability layer surfaces.
+    """
     n_sc = context.gains[0].shape[0]
 
     # Step 1: the other sender is assumed to spread power equally.
@@ -246,6 +252,17 @@ def allocate_concurrent(
         radiated = new_radiated
 
     assert best is not None
+    if collector is not None:
+        collector.observe("alloc.concurrent_iterations", iterations_run)
+        collector.inc("alloc.converged" if converged else "alloc.unconverged")
+        collector.inc(
+            "alloc.concurrent_dropped_subcarriers",
+            sum(
+                stream.n_dropped
+                for allocation in best.allocations
+                for stream in allocation.per_stream
+            ),
+        )
     return ConcurrentAllocation(
         allocations=best.allocations,
         iterations=iterations_run,

@@ -1,0 +1,114 @@
+"""Typed strategy-engine configuration: :class:`EngineOptions`.
+
+This replaces the untyped ``engine_kwargs: Optional[dict]`` that used to
+be threaded through ``run_experiment`` → ``build_tasks`` → the worker
+processes.  An :class:`EngineOptions` is
+
+* **validated once**, at construction, instead of failing deep inside a
+  worker process;
+* **frozen**, so a task spec can share one instance across topologies;
+* **picklable by construction** for every supported field — the only way
+  to break pickling is to pass a non-module-level callable, which the
+  runner still detects and degrades to the serial path.
+
+Every field defaults to ``None``, meaning "use the engine's default", so
+``EngineOptions()`` is behaviourally identical to passing no options at
+all.  Plain dicts are still accepted everywhere via :meth:`coerce`, with
+a :class:`DeprecationWarning` (see the migration note in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+__all__ = ["EngineOptions"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Keyword overrides for :class:`repro.core.strategy.StrategyEngine`.
+
+    Parameters
+    ----------
+    allocator:
+        Per-stream power allocator (e.g. ``repro.core.mercury
+        .mercury_allocate`` for COPA+, or an ablation allocator).
+    rate_selector:
+        Rate-selection model (e.g. ``repro.core.multi_decoder
+        .per_subcarrier_rates`` for the §4.6 hardware).
+    max_iterations:
+        Cap on the Figure-6 concurrent allocation iteration.
+    tx_power_dbm:
+        Per-AP transmit power budget.
+    """
+
+    allocator: Optional[Callable] = None
+    rate_selector: Optional[Callable] = None
+    max_iterations: Optional[int] = None
+    tx_power_dbm: Optional[float] = None
+
+    def __post_init__(self):
+        if self.allocator is not None and not callable(self.allocator):
+            raise TypeError(f"allocator must be callable, got {type(self.allocator).__name__}")
+        if self.rate_selector is not None and not callable(self.rate_selector):
+            raise TypeError(
+                f"rate_selector must be callable, got {type(self.rate_selector).__name__}"
+            )
+        if self.max_iterations is not None:
+            if isinstance(self.max_iterations, bool) or not isinstance(self.max_iterations, int):
+                raise TypeError("max_iterations must be an int")
+            if self.max_iterations < 1:
+                raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.tx_power_dbm is not None:
+            if isinstance(self.tx_power_dbm, bool) or not isinstance(self.tx_power_dbm, (int, float)):
+                raise TypeError("tx_power_dbm must be a number")
+            if not math.isfinite(self.tx_power_dbm):
+                raise ValueError("tx_power_dbm must be finite")
+
+    def engine_kwargs(self) -> Dict[str, Any]:
+        """The non-default fields, as keyword arguments for the engine."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+            if getattr(self, field.name) is not None
+        }
+
+    @classmethod
+    def coerce(
+        cls,
+        value: Union["EngineOptions", Mapping[str, Any], None],
+        stacklevel: int = 3,
+    ) -> "EngineOptions":
+        """Normalize a caller-supplied options value.
+
+        ``None`` → all defaults; an :class:`EngineOptions` passes through;
+        a mapping (the legacy ``engine_kwargs`` dict) is converted with a
+        :class:`DeprecationWarning`.  Unknown mapping keys raise
+        :class:`TypeError` immediately — the engine would only have
+        rejected them inside a worker process.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            warnings.warn(
+                "passing engine options as a dict (engine_kwargs) is deprecated;"
+                " construct a repro.core.options.EngineOptions instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+            known = {field.name for field in fields(cls)}
+            unknown = set(value) - known
+            if unknown:
+                raise TypeError(
+                    f"unknown engine option(s) {sorted(unknown)}; "
+                    f"EngineOptions accepts {sorted(known)}"
+                )
+            return cls(**dict(value))
+        raise TypeError(
+            f"options must be an EngineOptions, a mapping or None, got {type(value).__name__}"
+        )

@@ -1,0 +1,77 @@
+"""Canonical scheme and series names — the single source of truth.
+
+Before this module existed, ``"csma"``-style literals were duplicated
+across ``strategy.py``, ``experiment.py``, the plots, the reports and the
+golden tests.  Now there are exactly two enumerations:
+
+* :class:`Scheme` — the transmission strategies the engine evaluates
+  (the Figure 8 menu);
+* :class:`SeriesKey` — the per-topology series an experiment reports,
+  which adds the engine's *selections* (``copa``, ``copa_fair``) and the
+  mercury/water-filling variants (``copa_plus``, ``copa_plus_fair``) to
+  the directly measured schemes.
+
+Both are ``str``-valued enums (StrEnum-style, backported so Python 3.9
+works): members compare, hash and format exactly like their literal
+values, so ``outcome.schemes["csma"]`` and f-strings keep working, while
+typos now fail loudly at import time instead of silently at runtime.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+__all__ = ["Scheme", "SeriesKey", "SCHEMES", "SERIES_KEYS", "COPA_CANDIDATES"]
+
+
+class _StrEnum(str, Enum):
+    """StrEnum backport: members ``str()`` and format as their values."""
+
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+
+@unique
+class Scheme(_StrEnum):
+    """The strategy menu of Figure 8 (names follow the paper)."""
+
+    #: Sequential, equal power, no subcarrier selection (baseline).
+    CSMA = "csma"
+    #: Sequential + Equi-SNR power allocation & selection.
+    COPA_SEQ = "copa_seq"
+    #: Concurrent vanilla nulling, equal power (Null+SDA when overconstrained).
+    NULL = "null"
+    #: Concurrent, beamforming precoders + Equi-SINR (no nulling).
+    CONC_BF = "conc_bf"
+    #: Concurrent, nulling precoders + Equi-SINR.
+    CONC_NULL = "conc_null"
+    #: Concurrent, shut-down-antenna nulling + Equi-SINR (§3.4).
+    CONC_SDA = "conc_sda"
+
+
+@unique
+class SeriesKey(_StrEnum):
+    """Per-topology series an :class:`~repro.sim.experiment.ExperimentResult` reports."""
+
+    CSMA = "csma"
+    COPA_SEQ = "copa_seq"
+    NULL = "null"
+    #: The throughput-maximizing selection (§3.3).
+    COPA = "copa"
+    #: The incentive-compatible selection (§3.5).
+    COPA_FAIR = "copa_fair"
+    #: Mercury/water-filling COPA+ selections (the impractical upper bound).
+    COPA_PLUS = "copa_plus"
+    COPA_PLUS_FAIR = "copa_plus_fair"
+
+
+#: Every engine scheme, menu order.
+SCHEMES = tuple(Scheme)
+
+#: Every reportable series, report order.  Plain strings for maximal
+#: interop (enum members equal their values anyway).
+SERIES_KEYS = tuple(key.value for key in SeriesKey)
+
+#: Candidate schemes COPA's leader chooses between (Fig. 8); CSMA is the
+#: status quo it abandons, NULL the vanilla baseline it never picks blindly.
+COPA_CANDIDATES = (Scheme.COPA_SEQ, Scheme.CONC_BF, Scheme.CONC_NULL, Scheme.CONC_SDA)

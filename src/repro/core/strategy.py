@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..mac.timing import MacOverheadModel, MacOverheads
+from ..obs.collector import Collector, active
 from ..phy.channel import ChannelSet
 from ..phy.constants import TX_POWER_DBM
 from ..phy.mimo import interference_covariance, max_nulled_streams, mmse_sinr, tx_noise_covariance
@@ -56,8 +57,10 @@ from .precoding import (
     sda_designs,
     stream_gains,
 )
+from .schemes import COPA_CANDIDATES, Scheme
 
 __all__ = [
+    "Scheme",
     "SCHEME_CSMA",
     "SCHEME_COPA_SEQ",
     "SCHEME_NULL",
@@ -69,12 +72,15 @@ __all__ = [
     "StrategyEngine",
 ]
 
-SCHEME_CSMA = "csma"
-SCHEME_COPA_SEQ = "copa_seq"
-SCHEME_NULL = "null"
-SCHEME_CONC_BF = "conc_bf"
-SCHEME_CONC_NULL = "conc_null"
-SCHEME_CONC_SDA = "conc_sda"
+# Back-compat aliases for the canonical names in :mod:`repro.core.schemes`.
+# ``Scheme`` members are str-valued, so existing string comparisons and
+# dict lookups keep working unchanged.
+SCHEME_CSMA = Scheme.CSMA
+SCHEME_COPA_SEQ = Scheme.COPA_SEQ
+SCHEME_NULL = Scheme.NULL
+SCHEME_CONC_BF = Scheme.CONC_BF
+SCHEME_CONC_NULL = Scheme.CONC_NULL
+SCHEME_CONC_SDA = Scheme.CONC_SDA
 
 #: Tolerance for the fairness constraint: a client "loses" only if its
 #: predicted throughput drops more than this fraction below COPA-SEQ's.
@@ -148,6 +154,10 @@ class StrategyEngine:
         enforces 802.11's single decoder;
         :func:`repro.core.multi_decoder.per_subcarrier_rates` evaluates the
         §4.6 one-decoder-per-coding-rate hardware.
+    collector:
+        Optional :class:`repro.obs.Collector`; when given, :meth:`run`
+        records one span per scheme (design, allocation, measurement) and
+        allocator metrics.  ``None`` costs a no-op context per stage.
     """
 
     def __init__(
@@ -161,7 +171,9 @@ class StrategyEngine:
         allocator: StreamAllocator = equi_snr.allocate,
         max_iterations: int = 8,
         rate_selector=best_rate,
+        collector: Optional[Collector] = None,
     ):
+        self.collector = active(collector)
         self.channels = channels
         self.imperfections = imperfections if imperfections is not None else ImperfectionModel()
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -297,8 +309,19 @@ class StrategyEngine:
             context,
             max_iterations=self.max_iterations,
             allocator=self.allocator,
+            collector=self.collector if self.collector.enabled else None,
         )
         return result.allocations
+
+    def _note_allocations(self, allocations: Sequence[StreamAllocation]) -> None:
+        """Feed dropped-subcarrier counts from Algorithm 1 into the metrics."""
+        if not self.collector.enabled:
+            return
+        dropped = sum(
+            stream.n_dropped for allocation in allocations for stream in allocation.per_stream
+        )
+        self.collector.inc("alloc.streams", sum(len(a.per_stream) for a in allocations))
+        self.collector.inc("alloc.dropped_subcarriers", dropped)
 
     # ------------------------------------------------------------------
     # throughput evaluation
@@ -426,8 +449,14 @@ class StrategyEngine:
 
     def _both(self, name, designs, allocations, concurrent, overhead):
         """(measured, predicted) results of one scheme."""
-        actual = self._scheme_result(name, designs, allocations, concurrent, overhead, True)
-        predicted = self._scheme_result(name, designs, allocations, concurrent, overhead, False)
+        col = self.collector
+        with col.span("measure", scheme=str(name)):
+            actual = self._scheme_result(name, designs, allocations, concurrent, overhead, True)
+        with col.span("predict", scheme=str(name)):
+            predicted = self._scheme_result(name, designs, allocations, concurrent, overhead, False)
+        if col.enabled:
+            col.inc(f"engine.scheme.{name}")
+            col.observe(f"scheme.{name}.measured_mbps", actual.aggregate_mbps)
         return actual, predicted
 
     def run(self) -> StrategyOutcome:
@@ -435,55 +464,93 @@ class StrategyEngine:
         schemes: Dict[str, SchemeResult] = {}
         predictions: Dict[str, SchemeResult] = {}
         ovh = self.overheads
+        col = self.collector
 
-        bf = self._bf_designs()
-        equal_bf = [self._equal_allocation(d) for d in bf]
-        schemes[SCHEME_CSMA], predictions[SCHEME_CSMA] = self._both(
-            SCHEME_CSMA, bf, equal_bf, False, ovh.csma
-        )
+        with col.span(
+            "engine.run",
+            allocator=getattr(self.allocator, "__name__", str(self.allocator)),
+            antennas=f"{self.n_tx}x{self.n_rx}",
+        ):
+            with col.span("design", kind="beamforming"):
+                bf = self._bf_designs()
 
-        seq_alloc = [self._sequential_allocation(bf[i]) for i in range(2)]
-        schemes[SCHEME_COPA_SEQ], predictions[SCHEME_COPA_SEQ] = self._both(
-            SCHEME_COPA_SEQ, bf, seq_alloc, False, ovh.copa_sequential
-        )
-
-        conc_bf_alloc = self._concurrent_allocation(bf)
-        schemes[SCHEME_CONC_BF], predictions[SCHEME_CONC_BF] = self._both(
-            SCHEME_CONC_BF, bf, conc_bf_alloc, True, ovh.copa_concurrent
-        )
-
-        if self._reduced_nulling_feasible():
-            null_designs = self._null_designs()
-            if self._full_nulling_feasible():
-                # Vanilla nulling baseline: equal power, no selection.
-                equal_null = [self._equal_allocation(d) for d in null_designs]
-                schemes[SCHEME_NULL], predictions[SCHEME_NULL] = self._both(
-                    SCHEME_NULL, null_designs, equal_null, True, ovh.copa_concurrent
+            with col.span(f"scheme:{SCHEME_CSMA}"):
+                with col.span("allocate"):
+                    equal_bf = [self._equal_allocation(d) for d in bf]
+                schemes[SCHEME_CSMA], predictions[SCHEME_CSMA] = self._both(
+                    SCHEME_CSMA, bf, equal_bf, False, ovh.csma
                 )
-            conc_null_alloc = self._concurrent_allocation(null_designs)
-            schemes[SCHEME_CONC_NULL], predictions[SCHEME_CONC_NULL] = self._both(
-                SCHEME_CONC_NULL, null_designs, conc_null_alloc, True, ovh.copa_concurrent
-            )
 
-        if self._sda_applicable():
-            sda_actual, sda_predicted = [], []
-            for leader in range(2):
-                designs = self._sda_design_pair(leader)
-                # Vanilla Null+SDA baseline (equal power)...
-                equal = [self._equal_allocation(d) for d in designs]
-                a_eq, p_eq = self._both(SCHEME_NULL, designs, equal, True, ovh.copa_concurrent)
-                # ...and COPA's allocated SDA strategy.
-                alloc = self._concurrent_allocation(designs)
-                a, p = self._both(SCHEME_CONC_SDA, designs, alloc, True, ovh.copa_concurrent)
-                sda_actual.append((a_eq, a))
-                sda_predicted.append((p_eq, p))
-            schemes[SCHEME_NULL] = self._average_results(SCHEME_NULL, [x[0] for x in sda_actual])
-            predictions[SCHEME_NULL] = self._average_results(SCHEME_NULL, [x[0] for x in sda_predicted])
-            schemes[SCHEME_CONC_SDA] = self._average_results(SCHEME_CONC_SDA, [x[1] for x in sda_actual])
-            predictions[SCHEME_CONC_SDA] = self._average_results(SCHEME_CONC_SDA, [x[1] for x in sda_predicted])
+            with col.span(f"scheme:{SCHEME_COPA_SEQ}"):
+                with col.span("allocate"):
+                    seq_alloc = [self._sequential_allocation(bf[i]) for i in range(2)]
+                self._note_allocations(seq_alloc)
+                schemes[SCHEME_COPA_SEQ], predictions[SCHEME_COPA_SEQ] = self._both(
+                    SCHEME_COPA_SEQ, bf, seq_alloc, False, ovh.copa_sequential
+                )
 
-        copa_choice = self._choose(predictions, fair=False)
-        copa_fair_choice = self._choose(predictions, fair=True)
+            with col.span(f"scheme:{SCHEME_CONC_BF}"):
+                with col.span("allocate"):
+                    conc_bf_alloc = self._concurrent_allocation(bf)
+                self._note_allocations(conc_bf_alloc)
+                schemes[SCHEME_CONC_BF], predictions[SCHEME_CONC_BF] = self._both(
+                    SCHEME_CONC_BF, bf, conc_bf_alloc, True, ovh.copa_concurrent
+                )
+
+            if self._reduced_nulling_feasible():
+                with col.span("design", kind="nulling"):
+                    null_designs = self._null_designs()
+                if self._full_nulling_feasible():
+                    # Vanilla nulling baseline: equal power, no selection.
+                    with col.span(f"scheme:{SCHEME_NULL}"):
+                        with col.span("allocate"):
+                            equal_null = [self._equal_allocation(d) for d in null_designs]
+                        schemes[SCHEME_NULL], predictions[SCHEME_NULL] = self._both(
+                            SCHEME_NULL, null_designs, equal_null, True, ovh.copa_concurrent
+                        )
+                with col.span(f"scheme:{SCHEME_CONC_NULL}"):
+                    with col.span("allocate"):
+                        conc_null_alloc = self._concurrent_allocation(null_designs)
+                    self._note_allocations(conc_null_alloc)
+                    schemes[SCHEME_CONC_NULL], predictions[SCHEME_CONC_NULL] = self._both(
+                        SCHEME_CONC_NULL, null_designs, conc_null_alloc, True, ovh.copa_concurrent
+                    )
+
+            if self._sda_applicable():
+                sda_actual, sda_predicted = [], []
+                for leader in range(2):
+                    with col.span("sda.role", leader=leader):
+                        with col.span("design", kind="sda"):
+                            designs = self._sda_design_pair(leader)
+                        # Vanilla Null+SDA baseline (equal power)...
+                        with col.span(f"scheme:{SCHEME_NULL}"):
+                            with col.span("allocate"):
+                                equal = [self._equal_allocation(d) for d in designs]
+                            a_eq, p_eq = self._both(
+                                SCHEME_NULL, designs, equal, True, ovh.copa_concurrent
+                            )
+                        # ...and COPA's allocated SDA strategy.
+                        with col.span(f"scheme:{SCHEME_CONC_SDA}"):
+                            with col.span("allocate"):
+                                alloc = self._concurrent_allocation(designs)
+                            self._note_allocations(alloc)
+                            a, p = self._both(
+                                SCHEME_CONC_SDA, designs, alloc, True, ovh.copa_concurrent
+                            )
+                    sda_actual.append((a_eq, a))
+                    sda_predicted.append((p_eq, p))
+                schemes[SCHEME_NULL] = self._average_results(SCHEME_NULL, [x[0] for x in sda_actual])
+                predictions[SCHEME_NULL] = self._average_results(SCHEME_NULL, [x[0] for x in sda_predicted])
+                schemes[SCHEME_CONC_SDA] = self._average_results(SCHEME_CONC_SDA, [x[1] for x in sda_actual])
+                predictions[SCHEME_CONC_SDA] = self._average_results(SCHEME_CONC_SDA, [x[1] for x in sda_predicted])
+
+            with col.span("choose"):
+                copa_choice = self._choose(predictions, fair=False)
+                copa_fair_choice = self._choose(predictions, fair=True)
+            if col.enabled:
+                col.inc("engine.runs")
+                col.inc(f"engine.choice.{copa_choice}")
+                col.inc(f"engine.fair_choice.{copa_fair_choice}")
         return StrategyOutcome(
             schemes=schemes,
             predictions=predictions,
@@ -495,7 +562,7 @@ class StrategyEngine:
     # choice
     # ------------------------------------------------------------------
 
-    _COPA_CANDIDATES = (SCHEME_COPA_SEQ, SCHEME_CONC_BF, SCHEME_CONC_NULL, SCHEME_CONC_SDA)
+    _COPA_CANDIDATES = COPA_CANDIDATES
 
     def _choose(self, predictions: Dict[str, SchemeResult], fair: bool) -> str:
         """Pick the best strategy from predicted throughputs (Fig. 8).

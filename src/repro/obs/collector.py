@@ -1,0 +1,67 @@
+"""The :class:`Collector`: one handle bundling a tracer and a registry.
+
+Every instrumented entry point in the reproduction takes an optional
+``collector`` keyword.  ``None`` (the default) resolves to the shared
+:data:`NULL_COLLECTOR`, whose tracer and registry are no-op singletons —
+the instrumentation then costs one attribute lookup and an empty context
+manager per stage, which is what keeps the disabled overhead under the
+5% budget the ISSUE sets.
+
+Collectors are process-local.  Worker processes build their own enabled
+collector when a task asks for observation and ship the resulting spans
+and registry back with the record; :func:`repro.sim.runner.run_tasks`
+grafts them into the parent's collector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .metrics import MetricsRegistry, NullMetricsRegistry
+from .tracing import NullTracer, Tracer
+
+__all__ = ["Collector", "NULL_COLLECTOR", "active"]
+
+_NULL_TRACER = NullTracer()
+_NULL_REGISTRY = NullMetricsRegistry()
+
+
+class Collector:
+    """Tracing + metrics for one observed run.
+
+    ``Collector()`` is enabled; ``Collector(enabled=False)`` behaves like
+    no collector at all (and is what :data:`NULL_COLLECTOR` is).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.tracer: Union[Tracer, NullTracer] = Tracer() if enabled else _NULL_TRACER
+        self.metrics: Union[MetricsRegistry, NullMetricsRegistry] = (
+            MetricsRegistry() if enabled else _NULL_REGISTRY
+        )
+
+    # Delegates, so call sites read ``collector.span(...)`` / ``.inc(...)``.
+    def span(self, name, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def inc(self, name, value=1):
+        self.metrics.inc(name, value)
+
+    def set_gauge(self, name, value):
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name, value):
+        self.metrics.observe(name, value)
+
+    @property
+    def spans(self):
+        return self.tracer.spans
+
+
+#: Shared disabled collector; resolves every ``collector=None`` default.
+NULL_COLLECTOR = Collector(enabled=False)
+
+
+def active(collector: Optional[Collector]) -> Collector:
+    """The collector to instrument against: the given one, or the no-op."""
+    return NULL_COLLECTOR if collector is None else collector

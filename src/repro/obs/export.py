@@ -1,0 +1,209 @@
+"""Exporters: schema-stable JSON and CSV renderings of a collector.
+
+The JSON payload is versioned (:data:`SCHEMA_ID`) and deterministic for a
+given collector — keys are sorted and spans are emitted in document order
+``(start_s, span_id)`` — so exports diff cleanly and CI can pin them.
+:func:`validate_payload` checks the documented schema without any external
+dependency; it is what the CI observability job runs against the CLI's
+``--metrics-out`` artifact.
+
+Schema (``repro.obs/v1``)::
+
+    {
+      "schema": "repro.obs/v1",
+      "meta":    {<str: scalar>},               # caller-provided context
+      "trace":   {"spans": [
+          {"id": int, "parent": int|null, "name": str,
+           "start_s": float, "duration_s": float, "attrs": {...}}
+      ]},
+      "metrics": {
+          "counters":   {<name>: float},
+          "gauges":     {<name>: float},
+          "histograms": {<name>: {"count": int, "total": float,
+                                   "min": float|null, "max": float|null,
+                                   "mean": float}}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Mapping, Optional, Sequence
+
+from .collector import Collector
+from .tracing import SpanRecord
+
+__all__ = [
+    "SCHEMA_ID",
+    "SchemaError",
+    "collector_payload",
+    "to_json",
+    "write_json",
+    "write_metrics_csv",
+    "write_spans_csv",
+    "validate_payload",
+]
+
+SCHEMA_ID = "repro.obs/v1"
+
+
+class SchemaError(ValueError):
+    """A payload does not conform to the documented export schema."""
+
+
+def _span_payload(record: SpanRecord) -> Dict[str, object]:
+    return {
+        "id": record.span_id,
+        "parent": record.parent_id,
+        "name": record.name,
+        "start_s": record.start_s,
+        "duration_s": record.duration_s,
+        "attrs": {key: record.attrs[key] for key in sorted(record.attrs)},
+    }
+
+
+def collector_payload(
+    collector: Collector, meta: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The full ``repro.obs/v1`` payload for one collector."""
+    spans = sorted(collector.spans, key=lambda record: (record.start_s, record.span_id))
+    return {
+        "schema": SCHEMA_ID,
+        "meta": {key: (meta or {})[key] for key in sorted(meta or {})},
+        "trace": {"spans": [_span_payload(record) for record in spans]},
+        "metrics": collector.metrics.as_payload(),
+    }
+
+
+def to_json(
+    collector: Collector, meta: Optional[Mapping[str, object]] = None, indent: int = 2
+) -> str:
+    """Deterministic JSON: same collector in, byte-identical text out."""
+    return json.dumps(collector_payload(collector, meta), indent=indent, sort_keys=True)
+
+
+def write_json(
+    collector: Collector, path: str, meta: Optional[Mapping[str, object]] = None
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_json(collector, meta))
+        handle.write("\n")
+
+
+def write_metrics_csv(collector: Collector, path: str) -> None:
+    """Flat CSV of every instrument: ``kind,name,field,value`` rows."""
+    payload = collector.metrics.as_payload()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", "name", "field", "value"])
+        for name, value in payload["counters"].items():
+            writer.writerow(["counter", name, "value", value])
+        for name, value in payload["gauges"].items():
+            writer.writerow(["gauge", name, "value", value])
+        for name, stats in payload["histograms"].items():
+            for field in ("count", "total", "min", "max", "mean"):
+                writer.writerow(["histogram", name, field, stats[field]])
+
+
+def write_spans_csv(collector: Collector, path: str) -> None:
+    """Flat CSV of the trace, document order."""
+    spans = sorted(collector.spans, key=lambda record: (record.start_s, record.span_id))
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "parent", "name", "start_s", "duration_s", "attrs"])
+        for record in spans:
+            attrs = ";".join(f"{key}={record.attrs[key]}" for key in sorted(record.attrs))
+            writer.writerow(
+                [record.span_id, record.parent_id, record.name, record.start_s, record.duration_s, attrs]
+            )
+
+
+# ---------------------------------------------------------------------------
+# Validation (dependency-free; what the CI observability job runs).
+# ---------------------------------------------------------------------------
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_span(entry, index: int, seen_ids: set) -> None:
+    _require(isinstance(entry, dict), f"span[{index}] must be an object")
+    missing = {"id", "parent", "name", "start_s", "duration_s", "attrs"} - set(entry)
+    _require(not missing, f"span[{index}] missing fields: {sorted(missing)}")
+    _require(isinstance(entry["id"], int), f"span[{index}].id must be an int")
+    _require(entry["id"] not in seen_ids, f"span[{index}].id duplicated")
+    _require(
+        entry["parent"] is None or isinstance(entry["parent"], int),
+        f"span[{index}].parent must be an int or null",
+    )
+    _require(isinstance(entry["name"], str) and entry["name"], f"span[{index}].name must be a non-empty string")
+    _require(_is_number(entry["start_s"]) and entry["start_s"] >= 0, f"span[{index}].start_s must be >= 0")
+    _require(
+        _is_number(entry["duration_s"]) and entry["duration_s"] >= 0,
+        f"span[{index}].duration_s must be >= 0",
+    )
+    _require(isinstance(entry["attrs"], dict), f"span[{index}].attrs must be an object")
+    for key, value in entry["attrs"].items():
+        _require(isinstance(key, str), f"span[{index}] attr keys must be strings")
+        _require(
+            isinstance(value, (str, int, float, bool)),
+            f"span[{index}].attrs[{key!r}] must be a JSON scalar",
+        )
+
+
+def _validate_histogram(name: str, stats) -> None:
+    _require(isinstance(stats, dict), f"histogram {name!r} must be an object")
+    missing = {"count", "total", "min", "max", "mean"} - set(stats)
+    _require(not missing, f"histogram {name!r} missing fields: {sorted(missing)}")
+    _require(isinstance(stats["count"], int) and stats["count"] >= 0, f"histogram {name!r}.count must be >= 0")
+    _require(_is_number(stats["total"]), f"histogram {name!r}.total must be a number")
+    _require(_is_number(stats["mean"]), f"histogram {name!r}.mean must be a number")
+    for bound in ("min", "max"):
+        _require(
+            stats[bound] is None or _is_number(stats[bound]),
+            f"histogram {name!r}.{bound} must be a number or null",
+        )
+    if stats["count"] == 0:
+        _require(stats["min"] is None and stats["max"] is None, f"empty histogram {name!r} must have null bounds")
+
+
+def validate_payload(payload) -> None:
+    """Raise :class:`SchemaError` unless ``payload`` matches ``repro.obs/v1``."""
+    _require(isinstance(payload, dict), "payload must be an object")
+    _require(payload.get("schema") == SCHEMA_ID, f"schema must be {SCHEMA_ID!r}")
+    missing = {"meta", "trace", "metrics"} - set(payload)
+    _require(not missing, f"payload missing sections: {sorted(missing)}")
+
+    _require(isinstance(payload["meta"], dict), "meta must be an object")
+    trace = payload["trace"]
+    _require(isinstance(trace, dict) and isinstance(trace.get("spans"), list), "trace.spans must be a list")
+    seen_ids: set = set()
+    for index, entry in enumerate(trace["spans"]):
+        _validate_span(entry, index, seen_ids)
+        seen_ids.add(entry["id"])
+    for index, entry in enumerate(trace["spans"]):
+        _require(
+            entry["parent"] is None or entry["parent"] in seen_ids,
+            f"span[{index}].parent references an unknown span",
+        )
+
+    metrics = payload["metrics"]
+    _require(isinstance(metrics, dict), "metrics must be an object")
+    missing = {"counters", "gauges", "histograms"} - set(metrics)
+    _require(not missing, f"metrics missing sections: {sorted(missing)}")
+    for section in ("counters", "gauges"):
+        _require(isinstance(metrics[section], dict), f"metrics.{section} must be an object")
+        for name, value in metrics[section].items():
+            _require(isinstance(name, str), f"metrics.{section} keys must be strings")
+            _require(_is_number(value), f"metrics.{section}[{name!r}] must be a number")
+    _require(isinstance(metrics["histograms"], dict), "metrics.histograms must be an object")
+    for name, stats in metrics["histograms"].items():
+        _validate_histogram(name, stats)

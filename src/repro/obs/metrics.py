@@ -1,0 +1,141 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat, picklable bag of named instruments.
+Worker processes each fill their own registry and the parent merges them;
+merging is **commutative and associative** by construction so the result
+is independent of worker completion order:
+
+* counters add,
+* histograms combine their summary statistics (count/total/min/max add,
+  min, max respectively),
+* gauges resolve conflicts by ``max`` — a deliberate, documented policy.
+  A gauge is a point-in-time reading, so any cross-process combination is
+  a convention; ``max`` is the only natural commutative choice.  Use
+  counters or histograms for values that must aggregate exactly.
+
+The disabled path (:class:`NullMetricsRegistry`) accepts every call and
+stores nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Union
+
+__all__ = [
+    "HistogramData",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+]
+
+Number = Union[int, float]
+
+
+@dataclass
+class HistogramData:
+    """Summary statistics of one histogram (no raw samples retained)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "HistogramData") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one process."""
+
+    enabled = True
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramData] = {}
+
+    def inc(self, name: str, value: Number = 1) -> None:
+        """Add to a monotonically growing counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Record a point-in-time reading (last write wins in-process)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        """Feed one sample into a histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramData()
+        histogram.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in; order-independent (see module doc)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in other.gauges.items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None else max(current, value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = HistogramData()
+            mine.merge(histogram)
+
+    def as_payload(self) -> Dict[str, Mapping[str, object]]:
+        """Plain sorted dicts, ready for the JSON exporter."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: {
+                    "count": histogram.count,
+                    "total": histogram.total,
+                    "min": histogram.minimum if histogram.count else None,
+                    "max": histogram.maximum if histogram.count else None,
+                    "mean": histogram.mean,
+                }
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every instrument is a no-op, nothing is stored."""
+
+    enabled = False
+    counters: Mapping[str, float] = {}
+    gauges: Mapping[str, float] = {}
+    histograms: Mapping[str, HistogramData] = {}
+
+    def inc(self, name: str, value: Number = 1) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        return None
+
+    def observe(self, name: str, value: Number) -> None:
+        return None
+
+    def merge(self, other) -> None:
+        return None
+
+    def as_payload(self) -> Dict[str, Mapping[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..core.options import EngineOptions
+from ..obs.collector import Collector, active
 from ..phy.channel import ChannelSet
 from ..phy.topology import Node, Topology
 from .config import DEFAULT_CONFIG, SimConfig
@@ -48,25 +50,39 @@ def run_emulated_experiment(
     config: SimConfig = DEFAULT_CONFIG,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    options: Optional[EngineOptions] = None,
+    collector: Optional[Collector] = None,
 ) -> ExperimentResult:
     """Record the scenario's traces, weaken interference, replay (§4.4).
 
     The replay fans out to a process pool when ``workers`` asks for one;
     emulated traces are plain :class:`ChannelSet` data, so the parallel
     path is bit-identical to the serial one (see :mod:`repro.sim.runner`).
+    The execution/observability keywords (``workers``, ``chunk_size``,
+    ``options``, ``collector``) match :func:`repro.sim.experiment.run_experiment`.
     """
-    traces = generate_channel_sets(spec, config)
-    emulated = scaled_traces(traces, interference_offset_db)
-    emulated_spec = ScenarioSpec(
-        name=f"{spec.name}{interference_offset_db:+g}dB",
-        ap_antennas=spec.ap_antennas,
-        client_antennas=spec.client_antennas,
-        interference_offset_db=interference_offset_db,
-        include_copa_plus=spec.include_copa_plus,
-    )
-    return run_experiment(
-        emulated_spec, config, channel_sets=emulated, workers=workers, chunk_size=chunk_size
-    )
+    col = active(collector)
+    with col.span("emulation", scenario=spec.name, offset_db=interference_offset_db):
+        with col.span("record_traces"):
+            traces = generate_channel_sets(spec, config)
+        with col.span("transform_traces"):
+            emulated = scaled_traces(traces, interference_offset_db)
+        emulated_spec = ScenarioSpec(
+            name=f"{spec.name}{interference_offset_db:+g}dB",
+            ap_antennas=spec.ap_antennas,
+            client_antennas=spec.client_antennas,
+            interference_offset_db=interference_offset_db,
+            include_copa_plus=spec.include_copa_plus,
+        )
+        return run_experiment(
+            emulated_spec,
+            config,
+            channel_sets=emulated,
+            workers=workers,
+            chunk_size=chunk_size,
+            options=options,
+            collector=collector,
+        )
 
 
 # ---------------------------------------------------------------------------

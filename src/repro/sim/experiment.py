@@ -14,7 +14,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.strategy import SCHEME_COPA_SEQ, SCHEME_CSMA, SCHEME_NULL
+from ..core.options import EngineOptions
+from ..core.schemes import SERIES_KEYS, Scheme, SeriesKey
+from ..obs.collector import Collector, active
 from ..phy.channel import ChannelSet
 from .config import DEFAULT_CONFIG, SimConfig
 from .metrics import Summary, summarize
@@ -27,6 +29,8 @@ __all__ = [
     "OVERCONSTRAINED_3X2",
     "TopologyRecord",
     "ExperimentResult",
+    "SERIES_KEYS",
+    "SeriesKey",
     "generate_channel_sets",
     "run_experiment",
 ]
@@ -50,18 +54,6 @@ CONSTRAINED_4X2 = ScenarioSpec("4x2", ap_antennas=4, client_antennas=2)
 OVERCONSTRAINED_3X2 = ScenarioSpec("3x2", ap_antennas=3, client_antennas=2)
 
 
-#: Series names accepted by :meth:`ExperimentResult.series`.
-SERIES_KEYS = (
-    "csma",
-    "copa_seq",
-    "null",
-    "copa",
-    "copa_fair",
-    "copa_plus",
-    "copa_plus_fair",
-)
-
-
 @dataclass
 class ExperimentResult:
     """Per-topology aggregate throughputs for every scheme of interest."""
@@ -73,20 +65,20 @@ class ExperimentResult:
 
     def _aggregate(self, record: TopologyRecord, key: str) -> Optional[float]:
         outcome = record.outcome
-        if key == "csma":
-            return outcome.schemes[SCHEME_CSMA].aggregate_bps
-        if key == "copa_seq":
-            return outcome.schemes[SCHEME_COPA_SEQ].aggregate_bps
-        if key == "null":
-            scheme = outcome.schemes.get(SCHEME_NULL)
+        if key == SeriesKey.CSMA:
+            return outcome.schemes[Scheme.CSMA].aggregate_bps
+        if key == SeriesKey.COPA_SEQ:
+            return outcome.schemes[Scheme.COPA_SEQ].aggregate_bps
+        if key == SeriesKey.NULL:
+            scheme = outcome.schemes.get(Scheme.NULL)
             return None if scheme is None else scheme.aggregate_bps
-        if key == "copa":
+        if key == SeriesKey.COPA:
             return outcome.copa.aggregate_bps
-        if key == "copa_fair":
+        if key == SeriesKey.COPA_FAIR:
             return outcome.copa_fair.aggregate_bps
-        if key == "copa_plus":
+        if key == SeriesKey.COPA_PLUS:
             return None if record.plus_outcome is None else record.plus_outcome.copa.aggregate_bps
-        if key == "copa_plus_fair":
+        if key == SeriesKey.COPA_PLUS_FAIR:
             return (
                 None
                 if record.plus_outcome is None
@@ -151,29 +143,50 @@ def run_experiment(
     engine_kwargs: Optional[dict] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    options: Optional[EngineOptions] = None,
+    collector: Optional[Collector] = None,
 ) -> ExperimentResult:
     """Run the full strategy evaluation over a scenario's topologies.
 
     ``channel_sets`` overrides trace generation (used by the emulation
     path); the CSI-measurement RNG is re-seeded per topology so COPA and
-    COPA+ see identical noisy CSI.  ``engine_kwargs`` are forwarded to the
-    :class:`StrategyEngine` (e.g. ``rate_selector`` for §4.6's
-    multi-decoder evaluation).
+    COPA+ see identical noisy CSI.
 
-    ``workers`` fans topologies out to a process pool (``None``/1 →
-    serial, ``<= 0`` → one per CPU); every topology carries its private
-    seed, so parallel results are bit-identical to serial ones.
-    ``chunk_size`` overrides the dispatch chunking policy.
+    Every experiment entry point (this one, the sweeps, the emulation
+    replay) shares the same execution/observability keywords:
+
+    ``workers``
+        fans topologies out to a process pool (``None``/1 → serial,
+        ``<= 0`` → one per CPU); every topology carries its private seed,
+        so parallel results are bit-identical to serial ones.
+    ``chunk_size``
+        overrides the dispatch chunking policy.
+    ``options``
+        a validated :class:`~repro.core.options.EngineOptions` (e.g.
+        ``rate_selector`` for §4.6's multi-decoder evaluation).  The
+        legacy ``engine_kwargs`` dict is still accepted, with a
+        :class:`DeprecationWarning`; passing both is an error.
+    ``collector``
+        a :class:`repro.obs.Collector` that receives stage spans (scenario
+        setup, runner dispatch, one subtree per topology and scheme) and
+        allocator/engine metrics.  ``None`` (default) disables
+        observability on a no-op fast path.
     """
-    if channel_sets is None:
-        channel_sets = generate_channel_sets(spec, config)
-    tasks = build_tasks(
-        channel_sets,
-        base_seed=config.seed,
-        coherence_s=config.coherence_s,
-        imperfections=config.imperfections(),
-        include_copa_plus=spec.include_copa_plus,
-        engine_kwargs=engine_kwargs,
-    )
-    records, stats = run_tasks(tasks, workers=workers, chunk_size=chunk_size)
+    col = active(collector)
+    with col.span("experiment", scenario=spec.name, n_topologies=config.n_topologies):
+        if channel_sets is None:
+            with col.span("generate_channel_sets"):
+                channel_sets = generate_channel_sets(spec, config)
+        tasks = build_tasks(
+            channel_sets,
+            base_seed=config.seed,
+            coherence_s=config.coherence_s,
+            imperfections=config.imperfections(),
+            include_copa_plus=spec.include_copa_plus,
+            engine_kwargs=engine_kwargs,
+            options=options,
+        )
+        records, stats = run_tasks(
+            tasks, workers=workers, chunk_size=chunk_size, collector=collector
+        )
     return ExperimentResult(spec=spec, records=records, stats=stats)

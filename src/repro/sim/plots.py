@@ -12,12 +12,41 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..core.schemes import SeriesKey
 from .metrics import cdf
 
 __all__ = ["ascii_cdf", "ascii_series", "ascii_bars"]
 
-#: Glyphs assigned to series, in order.
+#: Fallback glyphs assigned to unrecognized series, in order.
 _GLYPHS = "*o+x#@%&"
+
+#: Canonical glyphs for the paper's scheme series, so a scheme keeps the
+#: same glyph across figures regardless of which series a plot includes.
+_CANONICAL_GLYPHS = {
+    SeriesKey.CSMA.value: "*",
+    SeriesKey.COPA.value: "o",
+    SeriesKey.COPA_FAIR.value: "+",
+    SeriesKey.NULL.value: "x",
+    SeriesKey.COPA_SEQ.value: "#",
+    SeriesKey.COPA_PLUS.value: "@",
+    SeriesKey.COPA_PLUS_FAIR.value: "%",
+}
+
+
+def _series_glyphs(names: Sequence[str]) -> Dict[str, str]:
+    """Name → glyph: canonical for known scheme series, ordered otherwise."""
+    assigned: Dict[str, str] = {}
+    used = set()
+    for name in names:
+        glyph = _CANONICAL_GLYPHS.get(name)
+        if glyph is not None and glyph not in used:
+            assigned[name] = glyph
+            used.add(glyph)
+    pool = (glyph for glyph in _GLYPHS if glyph not in used)
+    for name in names:
+        if name not in assigned:
+            assigned[name] = next(pool, "?")
+    return assigned
 
 
 def _scale(values: np.ndarray, lo: float, hi: float, width: int) -> np.ndarray:
@@ -44,13 +73,14 @@ def ascii_cdf(
     pooled = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
     lo, hi = float(pooled.min()), float(pooled.max())
 
+    glyphs = _series_glyphs(list(series))
     grid = [[" "] * width for _ in range(height)]
-    for (name, values), glyph in zip(series.items(), _GLYPHS):
+    for name, values in series.items():
         xs, ps = cdf(values)
         columns = _scale(xs, lo, hi, width)
         rows = np.clip(((1.0 - ps) * (height - 1)).round().astype(int), 0, height - 1)
         for column, row in zip(columns, rows):
-            grid[row][column] = glyph
+            grid[row][column] = glyphs[name]
 
     lines = []
     for i, row in enumerate(grid):
@@ -58,9 +88,7 @@ def ascii_cdf(
         lines.append(f"{probability:4.2f} |" + "".join(row))
     lines.append("     +" + "-" * width)
     lines.append(f"      {lo:<10.1f}{'':^{max(width - 20, 0)}}{hi:>10.1f}  ({x_label})")
-    legend = "   ".join(
-        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
-    )
+    legend = "   ".join(f"{glyphs[name]}={name}" for name in series)
     lines.append("      " + legend)
     return "\n".join(lines)
 
@@ -85,15 +113,16 @@ def ascii_series(
         raise ValueError("no finite values to plot")
     lo, hi = float(finite.min()), float(finite.max())
 
+    glyphs = _series_glyphs(list(series))
     grid = [[" "] * width for _ in range(height)]
-    for (name, values), glyph in zip(series.items(), _GLYPHS):
+    for name, values in series.items():
         values = np.asarray(values, dtype=float)
         columns = _scale(np.arange(values.size).astype(float), 0, max(values.size - 1, 1), width)
         for index, value in enumerate(values):
             if not np.isfinite(value):
                 continue
             row = height - 1 - int(_scale(np.array([value]), lo, hi, height)[0])
-            grid[row][columns[index]] = glyph
+            grid[row][columns[index]] = glyphs[name]
 
     lines = [f"{hi:8.1f} |" + "".join(grid[0])]
     for row in grid[1:-1]:
@@ -101,9 +130,7 @@ def ascii_series(
     lines.append(f"{lo:8.1f} |" + "".join(grid[-1]))
     lines.append("         +" + "-" * width)
     lines.append(f"          0{'':^{max(width - 12, 0)}}{x_label}")
-    legend = "   ".join(
-        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
-    )
+    legend = "   ".join(f"{glyphs[name]}={name}" for name in series)
     lines.append("          " + legend + f"   (y: {y_label})")
     return "\n".join(lines)
 

@@ -17,6 +17,14 @@ Graceful degradation: with ``workers=1`` (or one task, or an unpicklable
 task, or a pool that fails to start) the runner evaluates serially in the
 calling process and records why in :attr:`RunnerStats.fallback_reason`; it
 never crashes because the platform lacks working multiprocessing.
+
+Observability: pass ``collector=`` (a :class:`repro.obs.Collector`) to
+:func:`run_tasks` and every task is evaluated under a worker-local
+collector whose spans and metrics travel back with the record — plain
+picklable data — and are grafted into the parent trace under one
+``topology[i]`` span per task.  Worker span *offsets* are re-based onto a
+logical serial timeline (cross-process clocks share no origin); the
+*durations* are real measurements.
 """
 
 from __future__ import annotations
@@ -27,13 +35,17 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.mercury import mercury_allocate
+from ..core.options import EngineOptions
 from ..core.strategy import StrategyEngine, StrategyOutcome
+from ..obs.collector import Collector, active
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import SpanRecord, graft
 from ..phy.channel import ChannelSet
 from ..phy.noise import ImperfectionModel
 
@@ -41,6 +53,7 @@ __all__ = [
     "SEED_OFFSET",
     "TopologyTask",
     "TopologyRecord",
+    "TaskResult",
     "RunnerStats",
     "build_tasks",
     "evaluate_topology",
@@ -69,8 +82,8 @@ class TopologyTask:
     """Picklable spec for evaluating one topology in any process.
 
     Carries everything a worker needs — the channel realization, the
-    imperfection model, the exact per-topology engine seed and the strategy
-    engine's keyword overrides — so evaluation depends on nothing ambient.
+    imperfection model, the exact per-topology engine seed and the typed
+    strategy-engine options — so evaluation depends on nothing ambient.
     """
 
     index: int
@@ -81,37 +94,58 @@ class TopologyTask:
     coherence_s: float
     #: Also evaluate the mercury/water-filling COPA+ variant.
     include_copa_plus: bool = False
-    #: Extra :class:`StrategyEngine` kwargs (must be picklable for the pool
-    #: path; unpicklable entries trigger the serial fallback instead).
-    engine_kwargs: Dict = field(default_factory=dict)
+    #: Validated :class:`StrategyEngine` overrides (picklable by
+    #: construction unless a non-module-level callable is supplied, which
+    #: triggers the serial fallback instead).
+    options: EngineOptions = EngineOptions()
+    #: Build a worker-local collector and ship spans/metrics back with the
+    #: record (set by :func:`run_tasks` when it was given a collector).
+    observe: bool = False
 
 
-def evaluate_topology(task: TopologyTask) -> Tuple[TopologyRecord, float]:
-    """Evaluate one task; returns the record and its wall-clock seconds.
+@dataclass
+class TaskResult:
+    """What one task evaluation produced, wherever it ran."""
 
-    Module-level so worker processes can import it by reference.  The CSI
-    RNG is rebuilt from the task seed for each engine, so COPA and COPA+
-    see identical noisy CSI and the result is independent of which process
-    (or order) ran the task.
+    record: TopologyRecord
+    #: Wall-clock seconds of this task's evaluation.
+    elapsed_s: float
+    #: Worker-local spans (``None`` unless the task was observed).
+    spans: Optional[List[SpanRecord]] = None
+    #: Worker-local metrics (``None`` unless the task was observed).
+    metrics: Optional[MetricsRegistry] = None
+
+
+def evaluate_topology(task: TopologyTask) -> TaskResult:
+    """Evaluate one task; module-level so workers import it by reference.
+
+    The CSI RNG is rebuilt from the task seed for each engine, so COPA and
+    COPA+ see identical noisy CSI and the result is independent of which
+    process (or order) ran the task.  Observation never touches the RNG,
+    so observed results are bit-identical to unobserved ones.
     """
+    collector = Collector() if task.observe else None
     start = time.perf_counter()
-    kwargs = dict(task.engine_kwargs)
+    kwargs = task.options.engine_kwargs()
     outcome = StrategyEngine(
         task.channels,
         imperfections=task.imperfections,
         rng=np.random.default_rng(task.seed),
         coherence_s=task.coherence_s,
+        collector=collector,
         **kwargs,
     ).run()
     plus_outcome = None
     if task.include_copa_plus:
+        plus_kwargs = dict(kwargs)
+        plus_kwargs["allocator"] = mercury_allocate
         plus_outcome = StrategyEngine(
             task.channels,
             imperfections=task.imperfections,
             rng=np.random.default_rng(task.seed),
             coherence_s=task.coherence_s,
-            allocator=mercury_allocate,
-            **kwargs,
+            collector=collector,
+            **plus_kwargs,
         ).run()
     record = TopologyRecord(
         index=task.index,
@@ -119,7 +153,12 @@ def evaluate_topology(task: TopologyTask) -> Tuple[TopologyRecord, float]:
         outcome=outcome,
         plus_outcome=plus_outcome,
     )
-    return record, time.perf_counter() - start
+    return TaskResult(
+        record=record,
+        elapsed_s=time.perf_counter() - start,
+        spans=list(collector.spans) if collector is not None else None,
+        metrics=collector.metrics if collector is not None else None,
+    )
 
 
 def build_tasks(
@@ -129,9 +168,18 @@ def build_tasks(
     imperfections: ImperfectionModel,
     include_copa_plus: bool = False,
     engine_kwargs: Optional[Dict] = None,
+    options: Optional[EngineOptions] = None,
+    observe: bool = False,
 ) -> List[TopologyTask]:
-    """One task per channel realization, each with its private seed."""
-    kwargs = dict(engine_kwargs or {})
+    """One task per channel realization, each with its private seed.
+
+    ``options`` is the typed engine configuration; ``engine_kwargs`` is the
+    deprecated dict form (converted with a :class:`DeprecationWarning`).
+    Passing both is an error.
+    """
+    if engine_kwargs is not None and options is not None:
+        raise TypeError("pass either options or the deprecated engine_kwargs, not both")
+    resolved = EngineOptions.coerce(engine_kwargs if options is None else options)
     return [
         TopologyTask(
             index=index,
@@ -140,7 +188,8 @@ def build_tasks(
             seed=base_seed + SEED_OFFSET + index,
             coherence_s=coherence_s,
             include_copa_plus=include_copa_plus,
-            engine_kwargs=kwargs,
+            options=resolved,
+            observe=observe,
         )
         for index, channels in enumerate(channel_sets)
     ]
@@ -162,6 +211,10 @@ class RunnerStats:
     topology_wall_s: Tuple[float, ...]
     #: Why the runner degraded to serial, if it did.
     fallback_reason: Optional[str] = None
+    #: Whether per-task observability was on for this run.
+    observed: bool = False
+    #: Spans merged into the parent trace (0 when not observed).
+    spans_merged: int = 0
 
     @property
     def n_topologies(self) -> int:
@@ -214,14 +267,61 @@ def _picklable(task: TopologyTask) -> bool:
         return False
 
 
-def _run_serial(tasks: Sequence[TopologyTask]) -> List[Tuple[TopologyRecord, float]]:
+def _run_serial(tasks: Sequence[TopologyTask]) -> List[TaskResult]:
     return [evaluate_topology(task) for task in tasks]
+
+
+def _merge_observations(
+    collector: Collector,
+    results: Sequence[TaskResult],
+    dispatch_start_s: float,
+    n_workers: int,
+    chunk: int,
+    parallel: bool,
+) -> int:
+    """Graft worker spans/metrics into the parent collector.
+
+    Each task gets a ``topology[i]`` span under one ``runner.run_tasks``
+    span; tasks are laid out back-to-back from the dispatch start (a
+    logical serial timeline — see the module docstring).  Returns the
+    number of spans added to the parent trace.
+    """
+    tracer = collector.tracer
+    elapsed = [result.elapsed_s for result in results]
+    dispatch_id = tracer.record(
+        "runner.run_tasks",
+        start_s=dispatch_start_s,
+        duration_s=float(sum(elapsed)),
+        workers=n_workers,
+        chunk_size=chunk,
+        parallel=parallel,
+        tasks=len(results),
+    )
+    n_spans = 1
+    cursor = dispatch_start_s
+    for result in results:
+        topology_id = tracer.record(
+            f"topology[{result.record.index}]",
+            start_s=cursor,
+            duration_s=result.elapsed_s,
+            parent_id=dispatch_id,
+            index=result.record.index,
+        )
+        n_spans += 1
+        if result.spans:
+            n_spans += graft(tracer, result.spans, parent_id=topology_id, base_offset_s=cursor)
+        if result.metrics is not None:
+            collector.metrics.merge(result.metrics)
+        cursor += result.elapsed_s
+    collector.inc("runner.tasks", len(results))
+    return n_spans
 
 
 def run_tasks(
     tasks: Sequence[TopologyTask],
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    collector: Optional[Collector] = None,
 ) -> Tuple[List[TopologyRecord], RunnerStats]:
     """Evaluate every task, in parallel when possible; results in task order.
 
@@ -230,14 +330,22 @@ def run_tasks(
     produce (each task carries its own seed).  Pool-start failures, broken
     pools and unpicklable tasks degrade to the serial path with the reason
     recorded in the returned :class:`RunnerStats`.
+
+    When ``collector`` is given, every task is observed (worker-local
+    spans + metrics, merged back here) regardless of which path ran it —
+    so serial and parallel runs yield the same trace shape.
     """
+    col = active(collector)
     tasks = list(tasks)
+    if col.enabled:
+        tasks = [replace(task, observe=True) for task in tasks]
     n_workers = resolve_workers(workers)
     chunk = int(chunk_size) if chunk_size else auto_chunk_size(len(tasks), n_workers)
+    dispatch_start_s = col.tracer.now()
     start = time.perf_counter()
 
     fallback_reason: Optional[str] = None
-    pairs: Optional[List[Tuple[TopologyRecord, float]]] = None
+    results: Optional[List[TaskResult]] = None
     parallel = False
 
     if n_workers <= 1:
@@ -245,25 +353,33 @@ def run_tasks(
     elif len(tasks) <= 1:
         fallback_reason = "one task or fewer; pool overhead not worth it"
     elif tasks and not _picklable(tasks[0]):
-        fallback_reason = "task is not picklable (e.g. a lambda in engine_kwargs)"
+        fallback_reason = "task is not picklable (e.g. a lambda in the engine options)"
     else:
         try:
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                pairs = list(pool.map(evaluate_topology, tasks, chunksize=chunk))
+                results = list(pool.map(evaluate_topology, tasks, chunksize=chunk))
             parallel = True
         except (OSError, BrokenProcessPool, RuntimeError, pickle.PicklingError) as error:
             fallback_reason = f"process pool failed ({type(error).__name__}: {error})"
-            pairs = None
+            results = None
 
-    if pairs is None:
-        pairs = _run_serial(tasks)
+    if results is None:
+        results = _run_serial(tasks)
+
+    n_spans = 0
+    if col.enabled:
+        n_spans = _merge_observations(
+            col, results, dispatch_start_s, n_workers if parallel else 1, chunk, parallel
+        )
 
     stats = RunnerStats(
         workers=n_workers if parallel else 1,
         chunk_size=chunk if parallel else len(tasks) or 1,
         parallel=parallel,
         total_wall_s=time.perf_counter() - start,
-        topology_wall_s=tuple(elapsed for _, elapsed in pairs),
+        topology_wall_s=tuple(result.elapsed_s for result in results),
         fallback_reason=fallback_reason,
+        observed=col.enabled,
+        spans_merged=n_spans,
     )
-    return [record for record, _ in pairs], stats
+    return [result.record for result in results], stats

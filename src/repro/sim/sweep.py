@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.options import EngineOptions
+from ..obs.collector import Collector, active
 from .config import DEFAULT_CONFIG, SimConfig
 from .emulation import scaled_traces
 from .experiment import ExperimentResult, ScenarioSpec, generate_channel_sets, run_experiment
@@ -70,21 +72,36 @@ def sweep_coherence_time(
     spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
     config: SimConfig = DEFAULT_CONFIG,
     workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    options: Optional[EngineOptions] = None,
+    collector: Optional[Collector] = None,
 ) -> SweepResult:
     """COPA vs CSMA as the channel gets more static.
 
     Channels are held fixed across points (the same traces are replayed),
     so only the MAC-overhead amortization varies — isolating Table 1's
-    effect on end-to-end throughput.  ``workers`` fans each point's
-    topologies out to a process pool (see :mod:`repro.sim.runner`).
+    effect on end-to-end throughput.  The execution/observability keywords
+    (``workers``, ``chunk_size``, ``options``, ``collector``) are the same
+    surface :func:`repro.sim.experiment.run_experiment` takes and are
+    forwarded to every point's experiment.
     """
-    traces = generate_channel_sets(spec, config)
-    points = []
-    for coherence_s in coherence_values_s:
-        result = run_experiment(
-            spec, config.with_(coherence_s=coherence_s), channel_sets=traces, workers=workers
-        )
-        points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
+    col = active(collector)
+    with col.span("sweep", parameter="coherence_s", points=len(list(coherence_values_s))):
+        traces = generate_channel_sets(spec, config)
+        points = []
+        for coherence_s in coherence_values_s:
+            with col.span("sweep.point", value=float(coherence_s)):
+                result = run_experiment(
+                    spec,
+                    config.with_(coherence_s=coherence_s),
+                    channel_sets=traces,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    options=options,
+                    collector=collector,
+                )
+            points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
+            col.inc("sweep.points")
     return SweepResult(parameter_name="coherence_s", points=points)
 
 
@@ -93,14 +110,29 @@ def sweep_interference(
     spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
     config: SimConfig = DEFAULT_CONFIG,
     workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    options: Optional[EngineOptions] = None,
+    collector: Optional[Collector] = None,
 ) -> SweepResult:
     """§4.4 generalized: scale the cross links through a range of offsets."""
-    traces = generate_channel_sets(spec, config)
-    points = []
-    for offset in offsets_db:
-        emulated = scaled_traces(traces, offset) if offset else list(traces)
-        result = run_experiment(spec, config, channel_sets=emulated, workers=workers)
-        points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
+    col = active(collector)
+    with col.span("sweep", parameter="interference_offset_db", points=len(list(offsets_db))):
+        traces = generate_channel_sets(spec, config)
+        points = []
+        for offset in offsets_db:
+            with col.span("sweep.point", value=float(offset)):
+                emulated = scaled_traces(traces, offset) if offset else list(traces)
+                result = run_experiment(
+                    spec,
+                    config,
+                    channel_sets=emulated,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    options=options,
+                    collector=collector,
+                )
+            points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
+            col.inc("sweep.points")
     return SweepResult(parameter_name="interference_offset_db", points=points)
 
 
@@ -108,25 +140,39 @@ def sweep_antenna_configurations(
     configurations: Sequence[Tuple[int, int]] = ((1, 1), (2, 2), (3, 2), (4, 2)),
     config: SimConfig = DEFAULT_CONFIG,
     workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    options: Optional[EngineOptions] = None,
+    collector: Optional[Collector] = None,
 ) -> SweepResult:
     """The §4 progression: spatial degrees of freedom vs COPA's win.
 
     The parameter value encodes the configuration as ``ap + client / 10``
     (e.g. 4.2 for 4×2); use :meth:`SweepResult.series` labels accordingly.
     """
-    points = []
-    for ap_antennas, client_antennas in configurations:
-        spec = ScenarioSpec(
-            f"{ap_antennas}x{client_antennas}",
-            ap_antennas,
-            client_antennas,
-            include_copa_plus=False,
-        )
-        result = run_experiment(spec, config, workers=workers)
-        points.append(
-            SweepPoint(
-                parameter=ap_antennas + client_antennas / 10.0,
-                means_mbps=_means(result),
+    col = active(collector)
+    with col.span("sweep", parameter="antennas", points=len(list(configurations))):
+        points = []
+        for ap_antennas, client_antennas in configurations:
+            spec = ScenarioSpec(
+                f"{ap_antennas}x{client_antennas}",
+                ap_antennas,
+                client_antennas,
+                include_copa_plus=False,
             )
-        )
+            with col.span("sweep.point", value=ap_antennas + client_antennas / 10.0):
+                result = run_experiment(
+                    spec,
+                    config,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    options=options,
+                    collector=collector,
+                )
+            points.append(
+                SweepPoint(
+                    parameter=ap_antennas + client_antennas / 10.0,
+                    means_mbps=_means(result),
+                )
+            )
+            col.inc("sweep.points")
     return SweepResult(parameter_name="antennas", points=points)

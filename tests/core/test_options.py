@@ -1,0 +1,76 @@
+"""EngineOptions: validation, coercion, legacy-dict deprecation."""
+
+import pickle
+
+import pytest
+
+from repro.core.mercury import mercury_allocate
+from repro.core.options import EngineOptions
+
+
+class TestConstruction:
+    def test_default_instance_delegates_everything(self):
+        assert EngineOptions().engine_kwargs() == {}
+
+    def test_only_set_fields_become_kwargs(self):
+        options = EngineOptions(max_iterations=5, tx_power_dbm=20.0)
+        assert options.engine_kwargs() == {"max_iterations": 5, "tx_power_dbm": 20.0}
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EngineOptions().max_iterations = 3
+
+    def test_picklable_with_module_level_callables(self):
+        options = EngineOptions(allocator=mercury_allocate)
+        assert pickle.loads(pickle.dumps(options)) == options
+
+
+class TestValidation:
+    def test_non_callable_allocator_rejected(self):
+        with pytest.raises(TypeError):
+            EngineOptions(allocator="mercury")
+
+    def test_non_callable_rate_selector_rejected(self):
+        with pytest.raises(TypeError):
+            EngineOptions(rate_selector=3)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_max_iterations_rejected(self, bad):
+        with pytest.raises(ValueError):
+            EngineOptions(max_iterations=bad)
+
+    @pytest.mark.parametrize("bad", [True, 2.5, "8"])
+    def test_non_int_max_iterations_rejected(self, bad):
+        with pytest.raises(TypeError):
+            EngineOptions(max_iterations=bad)
+
+    def test_non_finite_tx_power_rejected(self):
+        with pytest.raises(ValueError):
+            EngineOptions(tx_power_dbm=float("inf"))
+
+    def test_non_numeric_tx_power_rejected(self):
+        with pytest.raises(TypeError):
+            EngineOptions(tx_power_dbm="20")
+
+
+class TestCoerce:
+    def test_none_gives_defaults(self):
+        assert EngineOptions.coerce(None) == EngineOptions()
+
+    def test_instance_passes_through_unchanged(self):
+        options = EngineOptions(max_iterations=4)
+        assert EngineOptions.coerce(options) is options
+
+    def test_dict_warns_and_converts(self):
+        with pytest.warns(DeprecationWarning, match="EngineOptions"):
+            options = EngineOptions.coerce({"max_iterations": 4})
+        assert options == EngineOptions(max_iterations=4)
+
+    def test_unknown_dict_keys_rejected_eagerly(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="unknown engine option"):
+                EngineOptions.coerce({"alocator": mercury_allocate})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError):
+            EngineOptions.coerce([("max_iterations", 4)])

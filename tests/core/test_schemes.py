@@ -1,0 +1,76 @@
+"""Canonical scheme/series enumerations and their string interop."""
+
+import pickle
+
+from repro.core.schemes import COPA_CANDIDATES, SCHEMES, SERIES_KEYS, Scheme, SeriesKey
+from repro.core.strategy import (
+    SCHEME_CONC_BF,
+    SCHEME_CONC_NULL,
+    SCHEME_CONC_SDA,
+    SCHEME_COPA_SEQ,
+    SCHEME_CSMA,
+    SCHEME_NULL,
+)
+
+
+class TestStringInterop:
+    def test_members_equal_their_literals(self):
+        assert Scheme.CSMA == "csma"
+        assert SeriesKey.COPA_PLUS_FAIR == "copa_plus_fair"
+
+    def test_members_hash_like_strings(self):
+        table = {"csma": 1, "conc_sda": 2}
+        assert table[Scheme.CSMA] == 1
+        assert table[Scheme.CONC_SDA] == 2
+
+    def test_members_format_as_values(self):
+        assert f"{Scheme.CONC_NULL}" == "conc_null"
+        assert str(SeriesKey.COPA) == "copa"
+        assert "scheme:%s" % Scheme.NULL == "scheme:null"
+
+    def test_members_pickle_round_trip(self):
+        assert pickle.loads(pickle.dumps(Scheme.CONC_BF)) is Scheme.CONC_BF
+
+
+class TestCatalogues:
+    def test_schemes_cover_the_menu(self):
+        assert SCHEMES == (
+            Scheme.CSMA,
+            Scheme.COPA_SEQ,
+            Scheme.NULL,
+            Scheme.CONC_BF,
+            Scheme.CONC_NULL,
+            Scheme.CONC_SDA,
+        )
+
+    def test_series_keys_are_plain_strings_in_report_order(self):
+        assert SERIES_KEYS == (
+            "csma",
+            "copa_seq",
+            "null",
+            "copa",
+            "copa_fair",
+            "copa_plus",
+            "copa_plus_fair",
+        )
+        assert all(type(key) is str for key in SERIES_KEYS)
+
+    def test_copa_candidates_exclude_baselines(self):
+        assert Scheme.CSMA not in COPA_CANDIDATES
+        assert Scheme.NULL not in COPA_CANDIDATES
+        assert set(COPA_CANDIDATES) == {
+            Scheme.COPA_SEQ,
+            Scheme.CONC_BF,
+            Scheme.CONC_NULL,
+            Scheme.CONC_SDA,
+        }
+
+
+class TestLegacyAliases:
+    def test_strategy_constants_are_the_enum_members(self):
+        assert SCHEME_CSMA is Scheme.CSMA
+        assert SCHEME_COPA_SEQ is Scheme.COPA_SEQ
+        assert SCHEME_NULL is Scheme.NULL
+        assert SCHEME_CONC_BF is Scheme.CONC_BF
+        assert SCHEME_CONC_NULL is Scheme.CONC_NULL
+        assert SCHEME_CONC_SDA is Scheme.CONC_SDA

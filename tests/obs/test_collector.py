@@ -1,0 +1,55 @@
+"""Collector resolution and the disabled no-op fast path."""
+
+from repro.obs import NULL_COLLECTOR, Collector, active
+from repro.obs.collector import _NULL_REGISTRY, _NULL_TRACER
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestActive:
+    def test_none_resolves_to_shared_null(self):
+        assert active(None) is NULL_COLLECTOR
+        assert not NULL_COLLECTOR.enabled
+
+    def test_enabled_collector_passes_through(self):
+        collector = Collector()
+        assert active(collector) is collector
+        assert collector.enabled
+
+
+class TestEnabled:
+    def test_delegates_reach_tracer_and_registry(self):
+        collector = Collector()
+        with collector.span("stage", k=1):
+            collector.inc("count")
+            collector.set_gauge("level", 7)
+            collector.observe("latency", 0.5)
+        assert [span.name for span in collector.spans] == ["stage"]
+        assert collector.metrics.counters["count"] == 1.0
+        assert collector.metrics.gauges["level"] == 7.0
+        assert collector.metrics.histograms["latency"].count == 1
+
+
+class TestDisabledFastPath:
+    def test_disabled_shares_null_singletons(self):
+        """Disabled collectors must not allocate tracers or registries."""
+        a = Collector(enabled=False)
+        b = Collector(enabled=False)
+        assert a.tracer is b.tracer is _NULL_TRACER
+        assert a.metrics is b.metrics is _NULL_REGISTRY
+
+    def test_disabled_span_is_the_shared_null_span(self):
+        collector = Collector(enabled=False)
+        assert collector.span("anything") is NULL_SPAN
+
+    def test_disabled_path_allocates_no_spans(self):
+        collector = Collector(enabled=False)
+        for _ in range(100):
+            with collector.span("hot", index=1):
+                collector.inc("n")
+                collector.observe("h", 1.0)
+        assert collector.spans == ()
+        assert collector.metrics.as_payload() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,142 @@
+"""Exporters: schema stability, determinism, validation, round-trips."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_ID,
+    Collector,
+    SchemaError,
+    collector_payload,
+    to_json,
+    validate_payload,
+    write_json,
+    write_metrics_csv,
+    write_spans_csv,
+)
+
+
+def _collector():
+    collector = Collector()
+    with collector.span("experiment", scenario="4x2"):
+        with collector.span("allocate"):
+            pass
+    collector.inc("engine.runs", 2)
+    collector.set_gauge("workers", 4)
+    collector.observe("alloc.concurrent_iterations", 3)
+    collector.observe("alloc.concurrent_iterations", 5)
+    return collector
+
+
+class TestPayload:
+    def test_payload_validates(self):
+        validate_payload(collector_payload(_collector(), meta={"command": "run"}))
+
+    def test_spans_in_document_order(self):
+        payload = collector_payload(_collector())
+        names = [span["name"] for span in payload["trace"]["spans"]]
+        assert names == ["experiment", "allocate"]
+        parents = {span["name"]: span["parent"] for span in payload["trace"]["spans"]}
+        assert parents["experiment"] is None
+        assert parents["allocate"] == payload["trace"]["spans"][0]["id"]
+
+    def test_meta_is_sorted_copy(self):
+        payload = collector_payload(_collector(), meta={"b": 2, "a": 1})
+        assert list(payload["meta"]) == ["a", "b"]
+
+    def test_empty_collector_payload_validates(self):
+        validate_payload(collector_payload(Collector()))
+
+
+class TestJson:
+    def test_deterministic_for_same_collector(self):
+        collector = _collector()
+        assert to_json(collector) == to_json(collector)
+
+    def test_round_trip_through_json(self):
+        collector = _collector()
+        decoded = json.loads(to_json(collector, meta={"k": "v"}))
+        validate_payload(decoded)
+        assert decoded == collector_payload(collector, meta={"k": "v"})
+        assert decoded["schema"] == SCHEMA_ID
+
+    def test_write_json_file(self, tmp_path):
+        path = tmp_path / "obs.json"
+        write_json(_collector(), str(path), meta={"command": "test"})
+        payload = json.loads(path.read_text())
+        validate_payload(payload)
+        assert payload["meta"] == {"command": "test"}
+        assert payload["metrics"]["counters"]["engine.runs"] == 2.0
+
+
+class TestCsv:
+    def test_metrics_csv_rows(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(_collector(), str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["kind", "name", "field", "value"]
+        kinds = {row[0] for row in rows[1:]}
+        assert kinds == {"counter", "gauge", "histogram"}
+        histogram_fields = {row[2] for row in rows[1:] if row[0] == "histogram"}
+        assert histogram_fields == {"count", "total", "min", "max", "mean"}
+
+    def test_spans_csv_rows(self, tmp_path):
+        path = tmp_path / "spans.csv"
+        write_spans_csv(_collector(), str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["id", "parent", "name", "start_s", "duration_s", "attrs"]
+        assert [row[2] for row in rows[1:]] == ["experiment", "allocate"]
+        assert "scenario=4x2" in rows[1][5]
+
+
+class TestValidation:
+    def _good(self):
+        return collector_payload(_collector())
+
+    def test_wrong_schema_id(self):
+        payload = self._good()
+        payload["schema"] = "repro.obs/v0"
+        with pytest.raises(SchemaError):
+            validate_payload(payload)
+
+    def test_missing_section(self):
+        payload = self._good()
+        del payload["metrics"]
+        with pytest.raises(SchemaError):
+            validate_payload(payload)
+
+    def test_duplicate_span_ids(self):
+        payload = self._good()
+        payload["trace"]["spans"][1]["id"] = payload["trace"]["spans"][0]["id"]
+        with pytest.raises(SchemaError):
+            validate_payload(payload)
+
+    def test_dangling_parent(self):
+        payload = self._good()
+        payload["trace"]["spans"][1]["parent"] = 999
+        with pytest.raises(SchemaError):
+            validate_payload(payload)
+
+    def test_non_scalar_attr(self):
+        payload = self._good()
+        payload["trace"]["spans"][0]["attrs"]["bad"] = [1, 2]
+        with pytest.raises(SchemaError):
+            validate_payload(payload)
+
+    def test_negative_duration(self):
+        payload = self._good()
+        payload["trace"]["spans"][0]["duration_s"] = -1.0
+        with pytest.raises(SchemaError):
+            validate_payload(payload)
+
+    def test_empty_histogram_requires_null_bounds(self):
+        payload = self._good()
+        payload["metrics"]["histograms"]["empty"] = {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+        with pytest.raises(SchemaError):
+            validate_payload(payload)

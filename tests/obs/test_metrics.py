@@ -1,0 +1,108 @@
+"""Metrics registry: instruments and order-independent merging."""
+
+import itertools
+import pickle
+
+from repro.obs import HistogramData, MetricsRegistry, NullMetricsRegistry
+
+
+def _registry(samples):
+    registry = MetricsRegistry()
+    for counter, gauge, observation in samples:
+        registry.inc("count", counter)
+        registry.set_gauge("level", gauge)
+        registry.observe("latency", observation)
+    return registry
+
+
+class TestInstruments:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        assert registry.counters["hits"] == 3.0
+
+    def test_gauge_last_write_wins_in_process(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("level", 5)
+        registry.set_gauge("level", 2)
+        assert registry.gauges["level"] == 2.0
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("latency", value)
+        histogram = registry.histograms["latency"]
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert HistogramData().mean == 0.0
+
+
+class TestMerge:
+    def test_merge_is_order_independent(self):
+        """Worker registries must merge identically in any completion order."""
+        workers = [
+            [(1, 5.0, 0.1), (2, 1.0, 0.2)],
+            [(4, 9.0, 0.05)],
+            [(1, 2.0, 0.9), (1, 2.0, 0.4)],
+        ]
+        payloads = []
+        for order in itertools.permutations(range(len(workers))):
+            merged = MetricsRegistry()
+            for index in order:
+                merged.merge(_registry(workers[index]))
+            payloads.append(merged.as_payload())
+        assert all(payload == payloads[0] for payload in payloads)
+
+    def test_counters_add_gauges_max_histograms_combine(self):
+        a = _registry([(1, 5.0, 0.1)])
+        b = _registry([(2, 9.0, 0.3)])
+        a.merge(b)
+        assert a.counters["count"] == 3.0
+        assert a.gauges["level"] == 9.0
+        histogram = a.histograms["latency"]
+        assert histogram.count == 2
+        assert histogram.minimum == 0.1 and histogram.maximum == 0.3
+
+    def test_merge_with_empty_is_identity(self):
+        a = _registry([(1, 5.0, 0.1)])
+        before = a.as_payload()
+        a.merge(MetricsRegistry())
+        assert a.as_payload() == before
+
+    def test_registry_is_picklable(self):
+        """Workers ship registries across the process-pool boundary."""
+        registry = _registry([(1, 5.0, 0.1)])
+        restored = pickle.loads(pickle.dumps(registry))
+        assert restored.as_payload() == registry.as_payload()
+
+
+class TestPayload:
+    def test_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("zebra")
+        registry.inc("alpha")
+        payload = registry.as_payload()
+        assert list(payload["counters"]) == ["alpha", "zebra"]
+
+    def test_empty_histogram_bounds_are_null(self):
+        registry = MetricsRegistry()
+        registry.histograms["empty"] = HistogramData()
+        stats = registry.as_payload()["histograms"]["empty"]
+        assert stats["min"] is None and stats["max"] is None and stats["count"] == 0
+
+
+class TestDisabledPath:
+    def test_null_registry_stores_nothing(self):
+        registry = NullMetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1)
+        registry.observe("c", 2)
+        registry.merge(MetricsRegistry())
+        assert not registry.counters and not registry.gauges and not registry.histograms
+        assert registry.as_payload() == {"counters": {}, "gauges": {}, "histograms": {}}

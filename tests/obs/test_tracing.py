@@ -1,0 +1,170 @@
+"""Span mechanics: nesting, monotonic timing, grafting, rendering."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.obs import NULL_SPAN, NullTracer, SpanRecord, Tracer, format_trace, graft
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["outer"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["a"].parent_id == by_name["b"].parent_id == by_name["root"].span_id
+
+    def test_exit_order_recording(self):
+        """Children finish first, so they land in the list before parents."""
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_stack_unwinds_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans were still recorded and the stack is clean for reuse.
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_attrs_recorded_and_settable_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("stage", fixed="yes") as span:
+            span.set_attr("discovered", 3)
+        assert tracer.spans[0].attrs == {"fixed": "yes", "discovered": 3}
+
+
+class TestSpanTiming:
+    def test_child_contained_in_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            time.sleep(0.002)
+            with tracer.span("inner"):
+                time.sleep(0.002)
+            time.sleep(0.002)
+        inner, outer = tracer.spans
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert outer.duration_s >= inner.duration_s
+
+    def test_durations_monotonic_and_positive(self):
+        tracer = Tracer()
+        starts = []
+        for index in range(3):
+            with tracer.span(f"step{index}"):
+                time.sleep(0.001)
+            starts.append(tracer.spans[-1].start_s)
+        assert starts == sorted(starts)
+        assert all(span.duration_s > 0 for span in tracer.spans)
+
+    def test_now_advances(self):
+        tracer = Tracer()
+        first = tracer.now()
+        time.sleep(0.001)
+        assert tracer.now() > first >= 0.0
+
+
+class TestGraft:
+    def _worker_trace(self):
+        worker = Tracer()
+        with worker.span("engine.run"):
+            with worker.span("allocate"):
+                pass
+        return worker.spans
+
+    def test_ids_remapped_into_parent_space(self):
+        parent = Tracer()
+        anchor = parent.record("topology[0]", 0.0, 1.0)
+        added = graft(parent, self._worker_trace(), parent_id=anchor)
+        assert added == 2
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_roots_reparented_internal_edges_kept(self):
+        parent = Tracer()
+        anchor = parent.record("topology[0]", 0.0, 1.0)
+        graft(parent, self._worker_trace(), parent_id=anchor)
+        by_name = {span.name: span for span in parent.spans}
+        assert by_name["engine.run"].parent_id == anchor
+        assert by_name["allocate"].parent_id == by_name["engine.run"].span_id
+
+    def test_base_offset_shifts_starts(self):
+        parent = Tracer()
+        spans = self._worker_trace()
+        graft(parent, spans, base_offset_s=10.0)
+        shifted = {span.name: span.start_s for span in parent.spans}
+        original = {span.name: span.start_s for span in spans}
+        for name in original:
+            assert shifted[name] == pytest.approx(original[name] + 10.0)
+
+    def test_records_are_picklable(self):
+        spans = self._worker_trace()
+        restored = pickle.loads(pickle.dumps(spans))
+        assert restored == spans
+
+
+class TestFormatTrace:
+    def test_tree_indentation_and_durations(self):
+        spans = [
+            SpanRecord(0, None, "root", 0.0, 0.010),
+            SpanRecord(1, 0, "child", 0.001, 0.005, {"k": "v"}),
+        ]
+        text = format_trace(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("root") and "10.00 ms" in lines[0]
+        assert lines[1].startswith("  child") and "{k=v}" in lines[1]
+
+    def test_max_depth_truncates(self):
+        spans = [
+            SpanRecord(0, None, "root", 0.0, 1.0),
+            SpanRecord(1, 0, "child", 0.1, 0.1),
+            SpanRecord(2, 1, "grandchild", 0.2, 0.01),
+        ]
+        text = format_trace(spans, max_depth=1)
+        assert "grandchild" not in text and "child" in text
+
+    def test_empty_trace(self):
+        assert format_trace([]) == ""
+
+
+class TestDisabledPath:
+    def test_null_tracer_allocates_no_spans(self):
+        tracer = NullTracer()
+        with tracer.span("anything", attr=1):
+            pass
+        assert tracer.spans == ()
+        assert tracer.record("x", 0.0, 1.0) is None
+
+    def test_null_span_is_shared_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b") is NULL_SPAN
+        with tracer.span("a") as span:
+            span.set_attr("ignored", True)
+            assert span.span_id is None
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_SPAN:
+                raise ValueError("must not be swallowed")

@@ -1,0 +1,116 @@
+"""End-to-end observability wiring: engine → runner → experiment surfaces.
+
+The acceptance contract: an enabled ``run_experiment(..., collector=...)``
+yields one span subtree per topology covering every scheme the engine
+evaluated, plus the runner dispatch span — and turning observability on
+never changes the numbers (it must not touch any RNG).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.obs import Collector, collector_payload, validate_payload
+from repro.sim.config import SimConfig
+from repro.sim.emulation import run_emulated_experiment
+from repro.sim.experiment import ScenarioSpec, run_experiment
+from repro.sim.sweep import sweep_coherence_time
+
+
+@pytest.fixture(scope="module")
+def observed_4x2():
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    config = SimConfig(n_topologies=2)
+    collector = Collector()
+    result = run_experiment(spec, config, collector=collector)
+    return spec, config, collector, result
+
+
+class TestExperimentTrace:
+    def test_every_scheme_has_a_span_per_topology(self, observed_4x2):
+        _, config, collector, result = observed_4x2
+        evaluated = set(result.records[0].outcome.schemes)
+        assert evaluated  # sanity: the engine measured something
+        names = [span.name for span in collector.spans]
+        for scheme in evaluated:
+            assert names.count(f"scheme:{scheme}") == config.n_topologies
+
+    def test_runner_dispatch_and_stage_spans_present(self, observed_4x2):
+        _, config, collector, _ = observed_4x2
+        names = {span.name for span in collector.spans}
+        assert {"experiment", "generate_channel_sets", "runner.run_tasks"} <= names
+        for index in range(config.n_topologies):
+            assert f"topology[{index}]" in names
+
+    def test_engine_metrics_populated(self, observed_4x2):
+        _, config, collector, _ = observed_4x2
+        counters = collector.metrics.counters
+        assert counters["engine.runs"] == config.n_topologies
+        assert counters["runner.tasks"] == config.n_topologies
+        assert counters["alloc.streams"] > 0
+        assert collector.metrics.histograms["alloc.concurrent_iterations"].count > 0
+
+    def test_payload_validates(self, observed_4x2):
+        _, _, collector, _ = observed_4x2
+        validate_payload(collector_payload(collector, meta={"suite": "wiring"}))
+
+    def test_observability_does_not_change_results(self, observed_4x2):
+        spec, config, _, observed = observed_4x2
+        plain = run_experiment(spec, config)
+        for key in plain.available_series():
+            np.testing.assert_array_equal(
+                plain.series_mbps(key), observed.series_mbps(key)
+            )
+
+
+class TestSdaCoverage:
+    def test_overconstrained_scenario_traces_sda(self):
+        """3×2 is overconstrained, so the engine walks the §3.4 SDA search."""
+        collector = Collector()
+        result = run_experiment(
+            ScenarioSpec("3x2", 3, 2, include_copa_plus=False),
+            SimConfig(n_topologies=1),
+            collector=collector,
+        )
+        names = [span.name for span in collector.spans]
+        assert f"scheme:{Scheme.CONC_SDA}" in names
+        assert "sda.role" in names
+        assert Scheme.CONC_SDA in result.records[0].outcome.schemes
+
+
+class TestOtherSurfaces:
+    def test_sweep_forwards_collector(self):
+        collector = Collector()
+        sweep_coherence_time(
+            coherence_values_s=(0.030,),
+            spec=ScenarioSpec("1x1", 1, 1, include_copa_plus=False),
+            config=SimConfig(n_topologies=1),
+            collector=collector,
+        )
+        names = [span.name for span in collector.spans]
+        assert "sweep" in names and "sweep.point" in names
+        assert "experiment" in names and "engine.run" in names
+        assert collector.metrics.counters["sweep.points"] == 1
+
+    def test_emulation_forwards_collector(self):
+        collector = Collector()
+        run_emulated_experiment(
+            ScenarioSpec("1x1", 1, 1, include_copa_plus=False),
+            interference_offset_db=-10.0,
+            config=SimConfig(n_topologies=1),
+            collector=collector,
+        )
+        names = [span.name for span in collector.spans]
+        assert "emulation" in names and "transform_traces" in names
+        assert "experiment" in names
+
+    def test_parallel_experiment_trace_matches_serial_shape(self):
+        spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+        config = SimConfig(n_topologies=3)
+        serial, parallel = Collector(), Collector()
+        run_experiment(spec, config, workers=1, collector=serial)
+        run_experiment(spec, config, workers=3, collector=parallel)
+        assert sorted(s.name for s in serial.spans) == sorted(
+            s.name for s in parallel.spans
+        )
+        assert serial.metrics.as_payload() == parallel.metrics.as_payload()

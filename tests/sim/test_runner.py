@@ -7,12 +7,15 @@ key.  The engine seeds travel inside the task specs, so this holds by
 construction — these tests pin it.
 """
 
+import dataclasses
 import os
 import pickle
 
 import numpy as np
 import pytest
 
+from repro.core.options import EngineOptions
+from repro.obs import Collector
 from repro.phy.rates import best_rate
 from repro.sim.config import SimConfig
 from repro.sim.experiment import SERIES_KEYS, ScenarioSpec, run_experiment
@@ -132,23 +135,57 @@ class TestBuildTasks:
             base_seed=config.seed,
             coherence_s=config.coherence_s,
             imperfections=config.imperfections(),
-            engine_kwargs={"rate_selector": best_rate},
+            options=EngineOptions(rate_selector=best_rate),
         )
         restored = pickle.loads(pickle.dumps(tasks[0]))
-        record, elapsed = evaluate_topology(restored)
-        assert record.index == 0
-        assert elapsed > 0
+        result = evaluate_topology(restored)
+        assert result.record.index == 0
+        assert result.elapsed_s > 0
+        # Observability was not requested: no spans, no metrics.
+        assert result.spans is None and result.metrics is None
+
+    def test_legacy_engine_kwargs_dict_is_deprecated(self):
+        spec = ScenarioSpec("1x1", 1, 1)
+        config = SimConfig(n_topologies=1)
+        from repro.sim.experiment import generate_channel_sets
+
+        sets = generate_channel_sets(spec, config)
+        with pytest.warns(DeprecationWarning):
+            tasks = build_tasks(
+                sets,
+                base_seed=config.seed,
+                coherence_s=config.coherence_s,
+                imperfections=config.imperfections(),
+                engine_kwargs={"rate_selector": best_rate},
+            )
+        assert tasks[0].options == EngineOptions(rate_selector=best_rate)
+
+    def test_engine_kwargs_and_options_together_rejected(self):
+        spec = ScenarioSpec("1x1", 1, 1)
+        config = SimConfig(n_topologies=1)
+        from repro.sim.experiment import generate_channel_sets
+
+        sets = generate_channel_sets(spec, config)
+        with pytest.raises(TypeError):
+            build_tasks(
+                sets,
+                base_seed=config.seed,
+                coherence_s=config.coherence_s,
+                imperfections=config.imperfections(),
+                engine_kwargs={"rate_selector": best_rate},
+                options=EngineOptions(rate_selector=best_rate),
+            )
 
 
 class TestGracefulDegradation:
-    def test_unpicklable_engine_kwargs_fall_back_to_serial(self):
+    def test_unpicklable_options_fall_back_to_serial(self):
         """A lambda rate selector can't cross a process boundary; the runner
         must degrade to the serial path instead of crashing."""
         spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
         config = SimConfig(n_topologies=2)
         selector = lambda sinr, used: best_rate(sinr, used=used)  # noqa: E731
         result = run_experiment(
-            spec, config, engine_kwargs={"rate_selector": selector}, workers=4
+            spec, config, options=EngineOptions(rate_selector=selector), workers=4
         )
         assert result.stats is not None
         assert not result.stats.parallel
@@ -169,6 +206,75 @@ class TestGracefulDegradation:
         result = run_experiment(spec, SimConfig(n_topologies=2), workers=1)
         assert not result.stats.parallel
         assert result.stats.fallback_reason is None
+
+
+class TestRunnerObservability:
+    """Cross-process span grafting and metrics merge (see repro.obs)."""
+
+    def _tasks(self, n=3):
+        spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+        config = SimConfig(n_topologies=n)
+        from repro.sim.experiment import generate_channel_sets
+
+        return build_tasks(
+            generate_channel_sets(spec, config),
+            base_seed=config.seed,
+            coherence_s=config.coherence_s,
+            imperfections=config.imperfections(),
+        )
+
+    def test_collector_records_dispatch_and_per_task_spans(self):
+        tasks = self._tasks(3)
+        collector = Collector()
+        records, stats = run_tasks(tasks, workers=1, collector=collector)
+        assert len(records) == 3
+        names = [span.name for span in collector.spans]
+        assert names.count("runner.run_tasks") == 1
+        for index in range(3):
+            assert f"topology[{index}]" in names
+        # Worker-side engine spans were grafted under each topology span.
+        assert any(name == "engine.run" for name in names)
+        assert stats.observed and stats.spans_merged == len(collector.spans)
+
+    def test_parallel_merge_matches_serial(self):
+        tasks = self._tasks(3)
+        serial, parallel = Collector(), Collector()
+        run_tasks(tasks, workers=1, collector=serial)
+        run_tasks(tasks, workers=3, collector=parallel)
+        assert serial.metrics.as_payload() == parallel.metrics.as_payload()
+        assert [s.name for s in serial.spans] == [s.name for s in parallel.spans]
+
+    def test_grafted_spans_nest_inside_their_topology(self):
+        tasks = self._tasks(2)
+        collector = Collector()
+        run_tasks(tasks, workers=2, collector=collector)
+        by_id = {span.span_id: span for span in collector.spans}
+        topo_ids = {s.span_id for s in collector.spans if s.name.startswith("topology[")}
+        for span in collector.spans:
+            if span.name == "engine.run":
+                assert span.parent_id in topo_ids
+                parent = by_id[span.parent_id]
+                assert parent.start_s <= span.start_s
+                assert span.end_s <= parent.end_s + 1e-9
+
+    def test_no_collector_keeps_tasks_unobserved(self):
+        tasks = self._tasks(2)
+        records, stats = run_tasks(tasks, workers=1)
+        assert len(records) == 2
+        assert not stats.observed and stats.spans_merged == 0
+
+    def test_tasks_not_mutated_by_observation(self):
+        tasks = self._tasks(2)
+        assert all(not task.observe for task in tasks)
+        run_tasks(tasks, workers=1, collector=Collector())
+        # run_tasks flips observe on copies, never on the caller's tasks.
+        assert all(not task.observe for task in tasks)
+
+    def test_observed_task_roundtrips_through_pickle(self):
+        task = dataclasses.replace(self._tasks(1)[0], observe=True)
+        result = evaluate_topology(pickle.loads(pickle.dumps(task)))
+        assert result.spans and result.metrics is not None
+        assert pickle.loads(pickle.dumps(result)).record.index == 0
 
 
 class TestRunnerStats:

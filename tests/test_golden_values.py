@@ -17,6 +17,7 @@ for algorithm drift.
 
 import pytest
 
+from repro.core.schemes import SeriesKey
 from repro.sim.config import SimConfig
 from repro.sim.experiment import ScenarioSpec, run_experiment
 
@@ -24,21 +25,23 @@ from repro.sim.experiment import ScenarioSpec, run_experiment
 RELATIVE_TOLERANCE = 1e-6
 
 #: Mean aggregate Mbit/s per scheme, 5 topologies, seed 2015, no COPA+.
+#: Keyed by the canonical series enumeration — SeriesKey members equal
+#: their string values, so these look up mean_table_mbps() directly.
 GOLDEN_MEANS_MBPS = {
     "1x1": {
-        "csma": 52.752427,
-        "copa": 58.740032,
-        "copa_fair": 58.740032,
+        SeriesKey.CSMA: 52.752427,
+        SeriesKey.COPA: 58.740032,
+        SeriesKey.COPA_FAIR: 58.740032,
     },
     "4x2": {
-        "csma": 112.013456,
-        "copa": 128.838486,
-        "copa_fair": 124.456670,
+        SeriesKey.CSMA: 112.013456,
+        SeriesKey.COPA: 128.838486,
+        SeriesKey.COPA_FAIR: 124.456670,
     },
     "3x2": {
-        "csma": 105.068908,
-        "copa": 120.184402,
-        "copa_fair": 120.184402,
+        SeriesKey.CSMA: 105.068908,
+        SeriesKey.COPA: 120.184402,
+        SeriesKey.COPA_FAIR: 120.184402,
     },
 }
 
@@ -52,10 +55,10 @@ SCENARIOS = {
 #: 2 topologies of the cheap single-antenna scenario (guards the COPA+
 #: pipeline: mercury allocation, shared noisy CSI, plus-series plumbing).
 GOLDEN_PLUS_MEANS_MBPS = {
-    "csma": 54.375703,
-    "copa": 58.709739,
-    "copa_plus": 59.122547,
-    "copa_plus_fair": 59.122547,
+    SeriesKey.CSMA: 54.375703,
+    SeriesKey.COPA: 58.709739,
+    SeriesKey.COPA_PLUS: 59.122547,
+    SeriesKey.COPA_PLUS_FAIR: 59.122547,
 }
 
 
@@ -81,8 +84,8 @@ class TestGoldenMeans:
         """The shape claim behind the numbers: COPA beats CSMA everywhere."""
         name, result = scenario_result
         means = result.mean_table_mbps()
-        assert means["copa"] > means["csma"]
-        assert means["copa_fair"] <= means["copa"] * (1 + 1e-12)
+        assert means[SeriesKey.COPA] > means[SeriesKey.CSMA]
+        assert means[SeriesKey.COPA_FAIR] <= means[SeriesKey.COPA] * (1 + 1e-12)
 
 
 def test_copa_plus_means_pinned():
@@ -95,7 +98,7 @@ def test_copa_plus_means_pinned():
             f"copa-plus golden {scheme!r} drifted; see update policy in this file"
         )
     # COPA+ is the impractical upper bound: never worse than COPA.
-    assert means["copa_plus"] >= means["copa"] * (1 - 1e-12)
+    assert means[SeriesKey.COPA_PLUS] >= means[SeriesKey.COPA] * (1 - 1e-12)
 
 
 def test_goldens_are_worker_count_invariant():
