@@ -1,0 +1,334 @@
+"""Perf baseline for the PHY hot paths: batched MMSE and table-driven Viterbi.
+
+Every scheme prediction and waveform-level measurement funnels through two
+kernels — the per-subcarrier MMSE receiver and the Viterbi decoder — so
+this harness pins the repo's performance trajectory on exactly those: it
+times the vectorized kernels against the retained ``_reference_*`` loop
+implementations on a seeded 52-subcarrier / 2-stream / MCS-sweep workload,
+times an end-to-end ``StrategyEngine.run()`` under ``repro.obs`` spans,
+and writes a schema-stable ``BENCH_phy.json`` (``repro.bench/phy-v1``).
+
+Run it as a script (CI's perf-smoke job uses ``--quick --check``)::
+
+    PYTHONPATH=src python benchmarks/bench_phy_hotpaths.py [--quick]
+        [--output BENCH_phy.json] [--check] [--validate PATH]
+
+``--check`` exits non-zero if any vectorized/reference speedup drops
+below 1.0x; ``--validate PATH`` only validates an existing payload.
+Before timing anything the harness asserts the vectorized kernels still
+match the references (decoded bits exactly, SINRs to 1e-10), so a
+divergent kernel can never post a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+SCHEMA_ID = "repro.bench/phy-v1"
+DEFAULT_OUTPUT = "BENCH_phy.json"
+SEED = 2015
+
+#: Acceptance targets for the default (non-quick) workload; reported in
+#: the payload, enforced only as >= 1.0x by ``--check`` (the CI floor).
+TARGETS = {"mmse": 3.0, "viterbi_soft": 5.0}
+
+_KERNEL_KEYS = ("mmse", "viterbi_soft", "viterbi_hard")
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+
+
+def _mmse_workload(seed: int, n_sc: int = 52, n_rx: int = 2, n_streams: int = 2, n_symbols: int = 12, snr_db: float = 22.0):
+    """A seeded equalizer problem shaped like one received MIMO frame."""
+    rng = np.random.default_rng(seed)
+    shape = (n_sc, n_rx, n_streams)
+    scaled = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+    sym = (n_streams, n_symbols, n_sc)
+    x = ((rng.integers(0, 2, sym) * 2 - 1) + 1j * (rng.integers(0, 2, sym) * 2 - 1)) / np.sqrt(2)
+    y = np.einsum("krs,stk->rtk", scaled, x)
+    noise_variance = float(np.mean(np.abs(y) ** 2) / 10 ** (snr_db / 10))
+    y = y + np.sqrt(noise_variance / 2) * (
+        rng.standard_normal(y.shape) + 1j * rng.standard_normal(y.shape)
+    )
+    sample_cov = np.einsum("rtk,stk->krs", y, np.conj(y)) / n_symbols
+    return scaled, y, sample_cov, noise_variance
+
+
+def _viterbi_workloads(seed: int, n_sc: int = 52, n_symbols: int = 12, snr_db: float = 5.0):
+    """One coded frame per MCS: (llrs, hard_bits, code_rate, n_info)."""
+    from repro.phy.constants import MCS_TABLE
+    from repro.phy.llr import llr_demodulate
+    from repro.phy.qam import awgn, demodulate_hard, modulate
+    from repro.phy.viterbi import encode, puncture
+    from repro.util import db_to_linear
+
+    rng = np.random.default_rng(seed)
+    frames = []
+    for mcs in MCS_TABLE:
+        num, den = mcs.code_rate
+        coded_bits = n_sc * mcs.modulation.bits_per_symbol * n_symbols
+        n_info = coded_bits * num // den
+        info = rng.integers(0, 2, n_info).astype(np.int8)
+        coded = puncture(encode(info), mcs.code_rate)[:coded_bits]
+        symbols = modulate(coded, mcs.modulation)
+        snr = float(db_to_linear(snr_db))
+        received = awgn(symbols, snr, rng)
+        llrs = llr_demodulate(received, mcs.modulation, 1.0 / snr)
+        hard = demodulate_hard(received, mcs.modulation)
+        frames.append((llrs, hard, mcs.code_rate, n_info, mcs.index))
+    return frames
+
+
+# ----------------------------------------------------------------------
+# timing
+# ----------------------------------------------------------------------
+
+
+def _median_us(fn: Callable[[], object], repeats: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e6)
+    return float(statistics.median(samples))
+
+
+def _kernel_entry(reference_us: float, vectorized_us: float, repeats: int) -> Dict[str, float]:
+    return {
+        "reference_us": round(reference_us, 3),
+        "vectorized_us": round(vectorized_us, 3),
+        "speedup": round(reference_us / vectorized_us, 3),
+        "repeats": repeats,
+    }
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    """Time every kernel and build the ``repro.bench/phy-v1`` payload."""
+    from repro.obs import Collector
+    from repro.phy import mimo_transceiver as mt
+    from repro.phy import viterbi as vit
+
+    repeats = 5 if quick else 25
+
+    # --- MMSE kernel ---
+    scaled, rx_grids, sample_cov, noise_variance = _mmse_workload(SEED)
+    est_vec, sinr_vec = mt._mmse_equalize(scaled, rx_grids, sample_cov, noise_variance)
+    est_ref, sinr_ref = mt._reference_mmse_equalize(scaled, rx_grids, sample_cov, noise_variance)
+    np.testing.assert_allclose(sinr_vec, sinr_ref, rtol=1e-10, atol=1e-12)
+    np.testing.assert_allclose(est_vec, est_ref, rtol=1e-8, atol=1e-10)
+    mmse = _kernel_entry(
+        _median_us(lambda: mt._reference_mmse_equalize(scaled, rx_grids, sample_cov, noise_variance), repeats),
+        _median_us(lambda: mt._mmse_equalize(scaled, rx_grids, sample_cov, noise_variance), repeats),
+        repeats,
+    )
+
+    # --- Viterbi kernels over the MCS sweep ---
+    frames = _viterbi_workloads(SEED)
+    if quick:
+        frames = frames[:: len(frames) // 3]
+    for llrs, hard, rate, n_info, _ in frames:
+        assert np.array_equal(
+            vit.viterbi_decode_soft(llrs, rate, n_info_bits=n_info),
+            vit._reference_viterbi_decode_soft(llrs, rate, n_info_bits=n_info),
+        ), f"soft decoder diverged from reference at rate {rate}"
+        assert np.array_equal(
+            vit.viterbi_decode(hard, rate, n_info_bits=n_info),
+            vit._reference_viterbi_decode(hard, rate, n_info_bits=n_info),
+        ), f"hard decoder diverged from reference at rate {rate}"
+
+    def _sweep(decoder, column):
+        def run():
+            for frame in frames:
+                decoder(frame[column], frame[2], n_info_bits=frame[3])
+
+        return run
+
+    vit_repeats = max(3, repeats // 5)
+    viterbi_soft = _kernel_entry(
+        _median_us(_sweep(vit._reference_viterbi_decode_soft, 0), vit_repeats),
+        _median_us(_sweep(vit.viterbi_decode_soft, 0), vit_repeats),
+        vit_repeats,
+    )
+    viterbi_hard = _kernel_entry(
+        _median_us(_sweep(vit._reference_viterbi_decode, 1), vit_repeats),
+        _median_us(_sweep(vit.viterbi_decode, 1), vit_repeats),
+        vit_repeats,
+    )
+
+    # --- end-to-end StrategyEngine.run() under obs spans ---
+    from repro.core.strategy import StrategyEngine
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import ScenarioSpec, generate_channel_sets
+
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    config = SimConfig(n_topologies=1)
+    channels = generate_channel_sets(spec, config)[0]
+
+    def engine_run(collector=None):
+        engine = StrategyEngine(
+            channels,
+            imperfections=config.imperfections(),
+            rng=np.random.default_rng(SEED),
+            coherence_s=config.coherence_s,
+            collector=collector,
+        )
+        return engine.run()
+
+    collector = Collector()
+    engine_run(collector)
+    engine_repeats = max(3, repeats // 5)
+    end_to_end = {
+        "scenario": spec.name,
+        "engine_run_us": round(_median_us(engine_run, engine_repeats), 3),
+        "repeats": engine_repeats,
+        "observed_spans": len(collector.spans),
+    }
+
+    return {
+        "schema": SCHEMA_ID,
+        "quick": quick,
+        "workload": {
+            "seed": SEED,
+            "n_subcarriers": 52,
+            "n_streams": 2,
+            "n_rx": 2,
+            "n_ofdm_symbols": 12,
+            "mcs_indices": [frame[4] for frame in frames],
+        },
+        "targets": dict(TARGETS),
+        "kernels": {
+            "mmse": mmse,
+            "viterbi_soft": viterbi_soft,
+            "viterbi_hard": viterbi_hard,
+        },
+        "end_to_end": end_to_end,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid phy-v1 document."""
+
+    def fail(message: str):
+        raise ValueError(f"BENCH_phy payload invalid: {message}")
+
+    if not isinstance(payload, dict):
+        fail("payload must be an object")
+    if payload.get("schema") != SCHEMA_ID:
+        fail(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("quick"), bool):
+        fail("quick must be a boolean")
+    workload = payload.get("workload")
+    if not isinstance(workload, dict):
+        fail("workload must be an object")
+    for key in ("seed", "n_subcarriers", "n_streams", "n_rx", "n_ofdm_symbols"):
+        if not isinstance(workload.get(key), int):
+            fail(f"workload.{key} must be an integer")
+    if not isinstance(workload.get("mcs_indices"), list) or not workload["mcs_indices"]:
+        fail("workload.mcs_indices must be a non-empty list")
+    kernels = payload.get("kernels")
+    if not isinstance(kernels, dict) or set(kernels) != set(_KERNEL_KEYS):
+        fail(f"kernels must contain exactly {sorted(_KERNEL_KEYS)}")
+    for name, entry in kernels.items():
+        if not isinstance(entry, dict):
+            fail(f"kernels.{name} must be an object")
+        for key in ("reference_us", "vectorized_us", "speedup"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"kernels.{name}.{key} must be a positive number")
+        if not isinstance(entry.get("repeats"), int) or entry["repeats"] < 1:
+            fail(f"kernels.{name}.repeats must be a positive integer")
+    end_to_end = payload.get("end_to_end")
+    if not isinstance(end_to_end, dict):
+        fail("end_to_end must be an object")
+    value = end_to_end.get("engine_run_us")
+    if not isinstance(value, (int, float)) or value <= 0:
+        fail("end_to_end.engine_run_us must be a positive number")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = [f"{'kernel':<14}{'reference us':>14}{'vectorized us':>15}{'speedup':>10}{'target':>9}"]
+    for name in _KERNEL_KEYS:
+        entry = payload["kernels"][name]
+        target = payload["targets"].get(name)
+        lines.append(
+            f"{name:<14}{entry['reference_us']:>14.1f}{entry['vectorized_us']:>15.1f}"
+            f"{entry['speedup']:>9.2f}x{(f'{target:.0f}x' if target else '-'):>9}"
+        )
+    e2e = payload["end_to_end"]
+    lines.append(
+        f"end-to-end StrategyEngine.run() [{e2e['scenario']}]: "
+        f"{e2e['engine_run_us'] / 1e3:.1f} ms ({e2e['observed_spans']} obs spans)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI profile: fewer repeats, 3 MCS points")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="payload path (default BENCH_phy.json)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any vectorized/reference speedup is below 1.0x",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing payload file and exit (no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        print(f"{args.validate}: valid {SCHEMA_ID} payload")
+        return 0
+
+    payload = run_benchmark(quick=args.quick)
+    validate_bench_payload(payload)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.output}")
+
+    if args.check:
+        slow = {
+            name: entry["speedup"]
+            for name, entry in payload["kernels"].items()
+            if entry["speedup"] < 1.0
+        }
+        if slow:
+            print(f"FAIL: vectorized kernels slower than reference: {slow}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ Antenna correlation uses the standard Kronecker model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -79,6 +80,20 @@ def exponential_pdp(rms_delay_spread_s: float = 60e-9, n_taps: int = 12, tap_spa
     return PowerDelayProfile(delays, powers)
 
 
+@lru_cache(maxsize=64)
+def _cached_correlation(n_antennas: int, rho: float) -> np.ndarray:
+    """Read-only cached correlation matrix, keyed by ``(n, rho)``.
+
+    Channel realizations request the same handful of matrices once per
+    link per topology; caching them (and their square roots below) takes
+    that recomputation off the topology-generation path.
+    """
+    index = np.arange(n_antennas)
+    matrix = rho ** np.abs(index[:, None] - index[None, :])
+    matrix.setflags(write=False)
+    return matrix
+
+
 def correlation_matrix(n_antennas: int, rho: float) -> np.ndarray:
     """Exponential antenna-correlation matrix: R[i, j] = rho ** |i - j|.
 
@@ -90,8 +105,8 @@ def correlation_matrix(n_antennas: int, rho: float) -> np.ndarray:
     """
     if not 0.0 <= rho < 1.0:
         raise ValueError("rho must be in [0, 1)")
-    index = np.arange(n_antennas)
-    return rho ** np.abs(index[:, None] - index[None, :])
+    # Hand out a fresh copy so callers can mutate without poisoning the cache.
+    return _cached_correlation(int(n_antennas), float(rho)).copy()
 
 
 def _matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
@@ -99,6 +114,14 @@ def _matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
     eigenvalues, eigenvectors = np.linalg.eigh(matrix)
     eigenvalues = np.clip(eigenvalues, 0.0, None)
     return (eigenvectors * np.sqrt(eigenvalues)) @ hermitian(eigenvectors)
+
+
+@lru_cache(maxsize=64)
+def _correlation_sqrt(n_antennas: int, rho: float) -> np.ndarray:
+    """Read-only cached ``_matrix_sqrt(correlation_matrix(n, rho))``."""
+    root = _matrix_sqrt(np.asarray(_cached_correlation(n_antennas, rho)))
+    root.setflags(write=False)
+    return root
 
 
 @dataclass
@@ -131,11 +154,9 @@ class TappedDelayLine:
         gauss = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
         gauss /= np.sqrt(2.0)
         if tx_correlation > 0.0:
-            sqrt_tx = _matrix_sqrt(correlation_matrix(n_tx, tx_correlation))
-            gauss = gauss @ sqrt_tx
+            gauss = gauss @ _correlation_sqrt(n_tx, float(tx_correlation))
         if rx_correlation > 0.0:
-            sqrt_rx = _matrix_sqrt(correlation_matrix(n_rx, rx_correlation))
-            gauss = sqrt_rx @ gauss
+            gauss = _correlation_sqrt(n_rx, float(rx_correlation)) @ gauss
         taps = gauss * np.sqrt(pdp.powers)[:, None, None]
         return cls(pdp=pdp, taps=taps)
 

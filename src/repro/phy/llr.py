@@ -44,23 +44,37 @@ def _bit_partitions(bits_per_symbol: int) -> Tuple[np.ndarray, np.ndarray]:
     return zeros, ones
 
 
-def llr_demodulate(symbols, modulation: Modulation, noise_variance: float = 1.0) -> np.ndarray:
+def llr_demodulate(symbols, modulation: Modulation, noise_variance=1.0) -> np.ndarray:
     """Max-log LLR per transmitted bit (MSB-first within each symbol).
 
-    ``noise_variance`` is the total complex noise power per symbol; the
-    max-log approximation uses the nearest point of each bit partition:
+    ``noise_variance`` is the total complex noise power per symbol — a
+    scalar shared by every symbol, or an array with one variance per
+    symbol (each symbol's LLRs are scaled by its own variance; this is
+    what lets the MIMO receiver soft-demap a whole frame in one call
+    instead of grouping cells by noise level).  The max-log approximation
+    uses the nearest point of each bit partition:
 
         LLR(b) ≈ (min_{s: b=1} |y − s|² − min_{s: b=0} |y − s|²) / σ²
     """
-    if noise_variance <= 0:
-        raise ValueError("noise_variance must be positive")
     symbols = np.asarray(symbols, dtype=complex).ravel()
+    noise = np.asarray(noise_variance, dtype=float)
+    if np.any(noise <= 0):
+        raise ValueError("noise_variance must be positive")
+    if noise.ndim:
+        noise = noise.ravel()
+        if noise.size != symbols.size:
+            raise ValueError(
+                f"per-symbol noise_variance needs {symbols.size} entries, got {noise.size}"
+            )
+        scale = noise[:, None]
+    else:
+        scale = noise
     zeros, ones = _bit_partitions(modulation.bits_per_symbol)
 
     # distances: (n_symbols, bits, points/2)
     d_zero = np.abs(symbols[:, None, None] - zeros[None, :, :]) ** 2
     d_one = np.abs(symbols[:, None, None] - ones[None, :, :]) ** 2
-    llrs = (d_one.min(axis=2) - d_zero.min(axis=2)) / noise_variance
+    llrs = (d_one.min(axis=2) - d_zero.min(axis=2)) / scale
     return llrs.reshape(-1)
 
 

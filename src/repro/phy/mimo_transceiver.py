@@ -17,11 +17,13 @@ verify that nulling decides whether the victim's MMSE can cope.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.collector import Collector, active
 from ..util import hermitian
 from .constants import Mcs, N_DATA_SUBCARRIERS, N_FFT
 from .estimation import hadamard_cover, training_symbols
@@ -31,6 +33,113 @@ from .qam import modulate
 from .viterbi import encode, puncture, viterbi_decode_soft
 
 __all__ = ["MimoFrame", "MimoTransceiver", "MimoReception"]
+
+#: Half-width of the frequency window that smooths the sample covariance:
+#: interference covariance varies slowly across subcarriers, so averaging
+#: neighbours multiplies the effective sample count.
+_SMOOTHING_WINDOW = 4
+
+
+def _smoothed_covariance(sample_cov: np.ndarray, window: int) -> np.ndarray:
+    """Sliding-window mean over subcarriers via one cumulative sum.
+
+    Equivalent to averaging ``sample_cov[k - window : k + window + 1]``
+    per subcarrier (clipped at the band edges) without the per-``k`` loop.
+    """
+    n_sc = sample_cov.shape[0]
+    csum = np.empty((n_sc + 1,) + sample_cov.shape[1:], dtype=sample_cov.dtype)
+    csum[0] = 0.0
+    np.cumsum(sample_cov, axis=0, out=csum[1:])
+    k = np.arange(n_sc)
+    lo = np.maximum(0, k - window)
+    hi = np.minimum(n_sc, k + window + 1)
+    return (csum[hi] - csum[lo]) / (hi - lo)[:, None, None]
+
+
+def _mmse_equalize(
+    scaled: np.ndarray,
+    rx_grids: np.ndarray,
+    sample_cov: np.ndarray,
+    noise_variance: float,
+    window: int = _SMOOTHING_WINDOW,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched per-subcarrier MMSE: filter, equalize, post-MMSE SINR.
+
+    Stacked-linear-algebra form of :func:`_reference_mmse_equalize` (the
+    retained per-``k`` loop): one ``eigh``/``inv`` call over the whole
+    (n_sc, n_rx, n_rx) stack, cumulative-sum covariance smoothing, and
+    vectorized gain/SINR extraction.  ``scaled`` is the power-scaled
+    effective channel (n_sc, n_rx, n_streams); ``rx_grids`` the received
+    frequency grids (n_rx, n_symbols, n_sc); ``sample_cov`` the raw
+    per-subcarrier sample covariance (n_sc, n_rx, n_rx).  Returns
+    ``(estimates, sinr)`` shaped (n_streams, n_symbols, n_sc) and
+    (n_sc, n_streams).
+    """
+    n_rx = rx_grids.shape[0]
+    smoothed = _smoothed_covariance(sample_cov, window)
+    a_h = hermitian(scaled)
+    model_cov = scaled @ a_h + noise_variance * np.eye(n_rx)
+    # Excess covariance = interference the model doesn't know about;
+    # clip it to positive semidefinite to reject sampling noise.
+    excess = smoothed - model_cov
+    values, vectors = np.linalg.eigh(0.5 * (excess + hermitian(excess)))
+    values = np.clip(values - 0.5 * noise_variance, 0.0, None)
+    interference_cov = (vectors * values[:, None, :]) @ hermitian(vectors)
+    inverse = np.linalg.inv(model_cov + interference_cov)
+    w = a_h @ inverse  # (n_sc, n_streams, n_rx)
+    z = w @ rx_grids.transpose(2, 0, 1)  # (n_sc, n_streams, n_symbols)
+    gain = np.einsum("ksr,krs->ks", w, scaled).real
+    ok = np.abs(gain) >= 1e-12
+    safe = np.where(ok, gain, 1.0)
+    estimates = np.where(ok[:, :, None], z / safe[:, :, None], 0.0)
+    # Post-MMSE SINR: γ = q / (1 − q) with q = aᴴ R_tot⁻¹ a.
+    clipped = np.minimum(safe, 1.0 - 1e-9)
+    sinr = np.where(ok, np.maximum(clipped / (1.0 - clipped), 0.0), 0.0)
+    return estimates.transpose(1, 2, 0), sinr
+
+
+def _reference_mmse_equalize(
+    scaled: np.ndarray,
+    rx_grids: np.ndarray,
+    sample_cov: np.ndarray,
+    noise_variance: float,
+    window: int = _SMOOTHING_WINDOW,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The original per-subcarrier MMSE loop, retained as the equivalence
+    and perf baseline for :func:`_mmse_equalize` (see
+    ``benchmarks/bench_phy_hotpaths.py``)."""
+    n_rx = rx_grids.shape[0]
+    n_symbols = rx_grids.shape[1]
+    n_sc, _, n_streams = scaled.shape
+
+    smoothed = np.empty_like(sample_cov)
+    for k in range(n_sc):
+        lo, hi = max(0, k - window), min(n_sc, k + window + 1)
+        smoothed[k] = sample_cov[lo:hi].mean(axis=0)
+
+    sinr = np.zeros((n_sc, n_streams))
+    estimates = np.zeros((n_streams, n_symbols, n_sc), dtype=complex)
+    eye = np.eye(n_rx)
+    for k in range(n_sc):
+        a = scaled[k]  # (n_rx, n_streams)
+        y = rx_grids[:, :, k]  # (n_rx, n_symbols)
+        model_cov = a @ hermitian(a) + noise_variance * eye
+        excess = smoothed[k] - model_cov
+        values, vectors = np.linalg.eigh(0.5 * (excess + hermitian(excess)))
+        values = np.clip(values - 0.5 * noise_variance, 0.0, None)
+        interference_cov = (vectors * values) @ hermitian(vectors)
+        covariance = model_cov + interference_cov
+        inverse = np.linalg.inv(covariance)
+        w = hermitian(a) @ inverse  # (n_streams, n_rx)
+        z = w @ y  # (n_streams, n_symbols)
+        for s in range(n_streams):
+            gain = (w[s] @ a[:, s]).real
+            if abs(gain) < 1e-12:
+                continue
+            estimates[s, :, k] = z[s] / gain
+            gain = min(gain, 1.0 - 1e-9)
+            sinr[k, s] = max(gain / (1.0 - gain), 0.0)
+    return estimates, sinr
 
 
 @dataclass
@@ -97,10 +206,20 @@ class MimoTransceiver:
     the ITS ACK), so the effective channel is H @ W.
     """
 
-    def __init__(self, mcs: Mcs, n_ofdm_symbols: int = 12, n_subcarriers: int = N_DATA_SUBCARRIERS):
+    def __init__(
+        self,
+        mcs: Mcs,
+        n_ofdm_symbols: int = 12,
+        n_subcarriers: int = N_DATA_SUBCARRIERS,
+        collector: Optional[Collector] = None,
+    ):
         self.mcs = mcs
         self.n_ofdm_symbols = n_ofdm_symbols
         self.n_subcarriers = n_subcarriers
+        #: Observability handle; when enabled, :meth:`receive` records
+        #: ``phy.mmse.frame_us`` / ``phy.viterbi.decode_us`` histograms and
+        #: per-stage spans.  ``None`` resolves to the shared no-op.
+        self.collector = active(collector)
 
     # ------------------------------------------------------------------
 
@@ -239,46 +358,20 @@ class MimoTransceiver:
         # 2-antenna client (§3.4).
         effective = channel @ frame.precoder  # (n_sc, n_rx, n_streams)
         scaled = effective * np.sqrt(powers)[:, None, :]
-        sinr = np.zeros((n_sc, n_streams))
-        estimates = np.zeros((n_streams, frame.n_ofdm_symbols, n_sc), dtype=complex)
-        eye = np.eye(n_rx)
         n_symbols = frame.n_ofdm_symbols
+        col = self.collector
 
-        # Sample covariance per subcarrier, smoothed over a frequency
-        # window: interference covariance varies slowly across subcarriers,
-        # so the smoothing multiplies the effective sample count.
+        # Raw sample covariance per subcarrier; the equalizer smooths it
+        # over a frequency window (the interference covariance varies
+        # slowly across subcarriers, multiplying the effective sample
+        # count) and runs the whole band as stacked linear algebra.
         sample_cov = np.einsum("rtk,stk->krs", rx_grids, np.conj(rx_grids)) / n_symbols
-        window = 4
-        smoothed = np.empty_like(sample_cov)
-        for k in range(n_sc):
-            lo, hi = max(0, k - window), min(n_sc, k + window + 1)
-            smoothed[k] = sample_cov[lo:hi].mean(axis=0)
-
-        for k in range(n_sc):
-            a = scaled[k]  # (n_rx, n_streams)
-            y = rx_grids[:, :, k]  # (n_rx, n_symbols)
-            model_cov = a @ hermitian(a) + noise_variance * eye
-            # Excess covariance = interference the model doesn't know about;
-            # clip it to positive semidefinite to reject sampling noise.
-            excess = smoothed[k] - model_cov
-            values, vectors = np.linalg.eigh(0.5 * (excess + hermitian(excess)))
-            values = np.clip(values - 0.5 * noise_variance, 0.0, None)
-            interference_cov = (vectors * values) @ hermitian(vectors)
-            covariance = model_cov + interference_cov
-            inverse = np.linalg.inv(covariance)
-            w = hermitian(a) @ inverse  # (n_streams, n_rx)
-            z = w @ y  # (n_streams, n_symbols)
-            for s in range(n_streams):
-                gain = (w[s] @ a[:, s]).real
-                if abs(gain) < 1e-12:
-                    continue
-                estimates[s, :, k] = z[s] / gain
-                # Post-MMSE SINR: γ = q / (1 − q) with q = aᴴ R_tot⁻¹ a.
-                gain = min(gain, 1.0 - 1e-9)
-                sinr[k, s] = max(gain / (1.0 - gain), 0.0)
+        started = time.perf_counter()
+        with col.span("phy.mmse", subcarriers=n_sc, streams=n_streams):
+            estimates, sinr = _mmse_equalize(scaled, rx_grids, sample_cov, noise_variance)
+        col.observe("phy.mmse.frame_us", (time.perf_counter() - started) * 1e6)
 
         # --- per-stream soft decoding ---
-        bits_per_symbol = self.mcs.modulation.bits_per_symbol
         num, den = self.mcs.code_rate
         decoded: List[np.ndarray] = []
         errors: List[int] = []
@@ -290,16 +383,17 @@ class MimoTransceiver:
                 errors.append(0)
                 continue
             symbols = estimates[s][:, used]
+            # One noise variance per *subcarrier index* — never grouped by
+            # float value, so nearly-equal variances cannot merge cells.
             noise_per_cell = 1.0 / np.maximum(sinr[used, s], 1e-9)
-            llrs = np.empty(symbols.size * bits_per_symbol)
             flat = symbols.ravel()
             flat_noise = np.broadcast_to(noise_per_cell[None, :], symbols.shape).ravel()
-            for variance in np.unique(flat_noise):
-                mask = flat_noise == variance
-                block = llr_demodulate(flat[mask], self.mcs.modulation, float(variance))
-                llrs[np.repeat(mask, bits_per_symbol)] = block
+            llrs = llr_demodulate(flat, self.mcs.modulation, flat_noise)
             n_info = llrs.size * num // den
-            out = viterbi_decode_soft(llrs, self.mcs.code_rate, n_info_bits=n_info)
+            started = time.perf_counter()
+            with col.span("phy.viterbi", stream=s, n_info_bits=n_info):
+                out = viterbi_decode_soft(llrs, self.mcs.code_rate, n_info_bits=n_info)
+            col.observe("phy.viterbi.decode_us", (time.perf_counter() - started) * 1e6)
             decoded.append(out)
             if expected:
                 reference = frame.stream_bits[s]

@@ -71,6 +71,101 @@ def _trellis() -> Tuple[np.ndarray, np.ndarray]:
     return next_state, outputs
 
 
+@lru_cache(maxsize=1)
+def _acs_tables() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Predecessor (butterfly) tables for the add-compare-select kernel.
+
+    With the most-recent-first shift register, state ``n`` has exactly two
+    trellis predecessors ``p_j = 2 * (n mod 32) + j`` for ``j in {0, 1}``,
+    both reached by input bit ``n >> 5`` (the bit that became the new MSB).
+    Returns
+
+    * ``prev`` — (64, 2) predecessor state indices,
+    * ``prev_out`` — (64, 2) packed coded output (a * 2 + b) emitted on
+      the transition ``p_j -> n``,
+    * ``state_bit`` — (64,) the input bit that leads *into* each state,
+      which during traceback is the decoded bit.
+    """
+    _, outputs = _trellis()
+    states = np.arange(_N_STATES)
+    state_bit = states >> (CONSTRAINT_LENGTH - 2)
+    base = (states & (_N_STATES // 2 - 1)) << 1
+    prev = np.stack([base, base + 1], axis=1)
+    prev_out = outputs[prev, state_bit[:, None]]
+    return prev, prev_out, state_bit
+
+
+def _acs_forward(
+    branch: np.ndarray,
+    metrics: np.ndarray,
+    maximize: bool,
+    ceiling=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the whole trellis through one table-driven ACS kernel.
+
+    ``branch`` is an (n_steps, 4) table of per-step branch metrics indexed
+    by packed coded output; ``metrics`` the initial path metrics (consumed).
+    Returns ``(final_metrics, back)`` where ``back[t, n]`` is the surviving
+    predecessor of state ``n`` after step ``t``.
+
+    Semantics match the reference per-step implementation bit for bit:
+    ties select the lower-indexed predecessor, and states whose
+    predecessors are all unreached stay pinned at the sentinel (``ceiling``
+    clamps the hard decoder's integer infinity; the soft decoder's −inf
+    propagates by itself).
+    """
+    prev, prev_out, _ = _acs_tables()
+    n_steps = branch.shape[0]
+    step_branch = branch[:, prev_out]  # (n_steps, 64, 2), one gather up front
+    back = np.empty((n_steps, _N_STATES), dtype=np.int8)
+    prev0 = prev[:, 0].astype(np.int8)
+    for t in range(n_steps):
+        cand = metrics[prev]
+        cand += step_branch[t]
+        c0, c1 = cand[:, 0], cand[:, 1]
+        take1 = c1 > c0 if maximize else c1 < c0
+        metrics = np.where(take1, c1, c0)
+        if ceiling is not None:
+            np.minimum(metrics, ceiling, out=metrics)
+        back[t] = prev0 + take1
+    return metrics, back
+
+
+def _traceback(back: np.ndarray, final_state: int) -> np.ndarray:
+    """Walk the survivor pointers; the decoded bit is each state's MSB."""
+    _, _, state_bit = _acs_tables()
+    n_steps = back.shape[0]
+    decoded = np.empty(n_steps, dtype=np.int8)
+    state = final_state
+    for t in range(n_steps - 1, -1, -1):
+        decoded[t] = state_bit[state]
+        state = int(back[t, state])
+    return decoded
+
+
+#: Packed coded outputs in table order: column ``o`` of a branch table is
+#: the metric of emitting the pair ``(o >> 1, o & 1)``.
+_OUT_A = np.array([0, 0, 1, 1], dtype=np.int64)
+_OUT_B = np.array([0, 1, 0, 1], dtype=np.int64)
+
+
+def _hard_branch_table(received: np.ndarray) -> np.ndarray:
+    """(n_steps, 4) Hamming branch metrics; erasures contribute nothing."""
+    pairs = received.reshape(-1, 2).astype(np.int64)
+    rx_a, rx_b = pairs[:, :1], pairs[:, 1:]
+    branch = ((rx_a != ERASURE) & (_OUT_A[None, :] != rx_a)).astype(np.int64)
+    branch += (rx_b != ERASURE) & (_OUT_B[None, :] != rx_b)
+    return branch
+
+
+def _soft_branch_table(llrs: np.ndarray) -> np.ndarray:
+    """(n_steps, 4) correlation branch metrics: +L for coded 0, −L for 1."""
+    pairs = llrs.reshape(-1, 2)
+    sign_a = 1.0 - 2.0 * _OUT_A
+    sign_b = 1.0 - 2.0 * _OUT_B
+    return sign_a[None, :] * pairs[:, :1] + sign_b[None, :] * pairs[:, 1:]
+
+
 def encode(bits) -> np.ndarray:
     """Rate-1/2 mother-code output, interleaved (a0, b0, a1, b1, ...).
 
@@ -134,6 +229,31 @@ def viterbi_decode(received, code_rate: Tuple[int, int] = (1, 2), n_info_bits: i
     The decoder assumes the encoder started in state 0 and traces back
     from the best final state.
     """
+    received = np.asarray(received, dtype=np.int8).ravel()
+    if code_rate != (1, 2) or n_info_bits is not None:
+        if n_info_bits is None:
+            num, den = code_rate
+            if (received.size * num) % den:
+                raise ValueError("received length inconsistent with code rate")
+            n_info_bits = received.size * num // den
+        received = depuncture(received, code_rate, n_info_bits)
+    if received.size % 2:
+        raise ValueError("depunctured stream must contain whole (a, b) pairs")
+    infinity = np.int64(1) << 40
+    metrics = np.full(_N_STATES, infinity, dtype=np.int64)
+    metrics[0] = 0
+    metrics, back = _acs_forward(
+        _hard_branch_table(received), metrics, maximize=False, ceiling=infinity
+    )
+    return _traceback(back, int(np.argmin(metrics)))
+
+
+def _reference_viterbi_decode(
+    received, code_rate: Tuple[int, int] = (1, 2), n_info_bits: int = None
+) -> np.ndarray:
+    """The original per-step hard decoder, retained as the equivalence and
+    perf baseline for the table-driven ACS kernel (``benchmarks/
+    bench_phy_hotpaths.py`` measures the speedup against this body)."""
     received = np.asarray(received, dtype=np.int8).ravel()
     if code_rate != (1, 2) or n_info_bits is not None:
         if n_info_bits is None:
@@ -237,6 +357,27 @@ def viterbi_decode_soft(
     punctured positions contribute nothing (zero LLR).  Worth roughly 2 dB
     over hard decisions on AWGN — the margin the test suite verifies.
     """
+    llrs = np.asarray(llrs, dtype=float).ravel()
+    if code_rate != (1, 2) or n_info_bits is not None:
+        if n_info_bits is None:
+            num, den = code_rate
+            if (llrs.size * num) % den:
+                raise ValueError("LLR length inconsistent with code rate")
+            n_info_bits = llrs.size * num // den
+        llrs = depuncture_soft(llrs, code_rate, n_info_bits)
+    if llrs.size % 2:
+        raise ValueError("depunctured LLR stream must contain whole (a, b) pairs")
+    metrics = np.full(_N_STATES, -np.inf)
+    metrics[0] = 0.0
+    metrics, back = _acs_forward(_soft_branch_table(llrs), metrics, maximize=True)
+    return _traceback(back, int(np.argmax(metrics)))
+
+
+def _reference_viterbi_decode_soft(
+    llrs, code_rate: Tuple[int, int] = (1, 2), n_info_bits: int = None
+) -> np.ndarray:
+    """The original per-step soft decoder, retained as the equivalence and
+    perf baseline for the table-driven ACS kernel."""
     llrs = np.asarray(llrs, dtype=float).ravel()
     if code_rate != (1, 2) or n_info_bits is not None:
         if n_info_bits is None:

@@ -11,6 +11,12 @@ import pytest
 
 from repro.core.schemes import Scheme
 from repro.obs import Collector, collector_payload, validate_payload
+from repro.phy.constants import MCS_TABLE
+from repro.phy.fading import TappedDelayLine, exponential_pdp
+from repro.phy.mimo import svd_beamformer
+from repro.phy.mimo_transceiver import MimoTransceiver
+from repro.phy.constants import N_FFT
+from repro.phy.ofdm import data_subcarrier_bins
 from repro.sim.config import SimConfig
 from repro.sim.emulation import run_emulated_experiment
 from repro.sim.experiment import ScenarioSpec, run_experiment
@@ -76,6 +82,65 @@ class TestSdaCoverage:
         assert f"scheme:{Scheme.CONC_SDA}" in names
         assert "sda.role" in names
         assert Scheme.CONC_SDA in result.records[0].outcome.schemes
+
+
+def _waveform_frame(trx, rng, n_streams=2):
+    pdp = exponential_pdp(60e-9, n_taps=10, tap_spacing_s=50e-9)
+    taps = TappedDelayLine.sample(2, 4, pdp, rng).taps
+    h = np.fft.fft(taps, N_FFT, axis=0)[data_subcarrier_bins(52)]
+    powers = np.ones((52, n_streams))
+    frame = trx.transmit(svd_beamformer(h, n_streams), powers, rng)
+    rx = trx.propagate(frame, taps)
+    noise_variance = float(np.mean(np.abs(rx) ** 2)) / 10 ** (28.0 / 10)
+    rx = rx + np.sqrt(noise_variance / 2) * (
+        rng.standard_normal(rx.shape) + 1j * rng.standard_normal(rx.shape)
+    )
+    return frame, powers, rx, noise_variance
+
+
+class TestPhyKernelWiring:
+    """The waveform receiver reports where PHY time goes (ISSUE 3)."""
+
+    def test_receive_records_kernel_spans_and_timing_histograms(self):
+        collector = Collector()
+        trx = MimoTransceiver(mcs=MCS_TABLE[3], n_ofdm_symbols=4, collector=collector)
+        frame, powers, rx, noise_variance = _waveform_frame(
+            trx, np.random.default_rng(42), n_streams=2
+        )
+        trx.receive(rx, frame, powers, noise_variance)
+
+        names = [span.name for span in collector.spans]
+        assert names.count("phy.mmse") == 1
+        assert names.count("phy.viterbi") == 2  # one per stream
+
+        histograms = collector.metrics.histograms
+        assert histograms["phy.mmse.frame_us"].count == 1
+        assert histograms["phy.mmse.frame_us"].minimum > 0.0
+        assert histograms["phy.viterbi.decode_us"].count == 2
+        assert histograms["phy.viterbi.decode_us"].minimum > 0.0
+
+    def test_observability_does_not_change_the_decode(self):
+        rng_args = dict(mcs=MCS_TABLE[3], n_ofdm_symbols=4)
+        plain = MimoTransceiver(**rng_args)
+        observed = MimoTransceiver(**rng_args, collector=Collector())
+        frame, powers, rx, noise_variance = _waveform_frame(
+            plain, np.random.default_rng(43), n_streams=2
+        )
+        a = plain.receive(rx, frame, powers, noise_variance)
+        b = observed.receive(rx, frame, powers, noise_variance)
+        assert a.bit_errors == b.bit_errors
+        for x, y in zip(a.stream_bits, b.stream_bits):
+            np.testing.assert_array_equal(x, y)
+        np.testing.assert_array_equal(a.post_mmse_sinr, b.post_mmse_sinr)
+
+    def test_payload_with_phy_metrics_validates(self):
+        collector = Collector()
+        trx = MimoTransceiver(mcs=MCS_TABLE[1], n_ofdm_symbols=4, collector=collector)
+        frame, powers, rx, noise_variance = _waveform_frame(
+            trx, np.random.default_rng(44), n_streams=1
+        )
+        trx.receive(rx, frame, powers, noise_variance)
+        validate_payload(collector_payload(collector, meta={"suite": "phy-wiring"}))
 
 
 class TestOtherSurfaces:

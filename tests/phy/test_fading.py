@@ -151,3 +151,43 @@ class TestFrequencyResponse:
             h = frequency_response(tdl)
             spreads.append(np.ptp(20 * np.log10(np.abs(h[:, 0, 0]) + 1e-12)))
         assert np.mean(spreads) > 8.0
+
+
+class TestCorrelationCaching:
+    """The lru-cached correlation matrices must be invisible to callers."""
+
+    def test_public_matrix_is_a_fresh_writable_copy(self):
+        from repro.phy.fading import _cached_correlation
+
+        first = correlation_matrix(4, 0.65)
+        first[0, 1] = 99.0  # caller mutation...
+        second = correlation_matrix(4, 0.65)
+        assert second[0, 1] == pytest.approx(0.65)  # ...never poisons the cache
+        assert second.flags.writeable
+        assert not _cached_correlation(4, 0.65).flags.writeable
+
+    def test_cached_sqrt_matches_direct_computation(self):
+        from repro.phy.fading import _correlation_sqrt, _matrix_sqrt
+
+        cached = _correlation_sqrt(3, 0.4)
+        direct = _matrix_sqrt(correlation_matrix(3, 0.4))
+        np.testing.assert_array_equal(cached, direct)
+        assert not cached.flags.writeable
+        assert _correlation_sqrt(3, 0.4) is cached  # second call is a hit
+
+    def test_sample_unchanged_by_caching(self):
+        """Correlated draws are bit-identical across repeated samples."""
+        pdp = exponential_pdp()
+        draws = [
+            TappedDelayLine.sample(
+                2, 4, pdp, np.random.default_rng(5), tx_correlation=0.65, rx_correlation=0.65
+            ).taps
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(draws[0], draws[1])
+
+    def test_validation_still_raised_before_cache(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(4, 1.0)
+        with pytest.raises(ValueError):
+            correlation_matrix(4, -0.1)

@@ -1,0 +1,77 @@
+"""The PHY perf-baseline harness: schema contract and committed baseline.
+
+``benchmarks/bench_phy_hotpaths.py`` is a script, not a package module, so
+it is loaded from its file path here.  The tests pin the
+``repro.bench/phy-v1`` schema (CI's perf-smoke job uploads payloads that
+must stay parseable across PRs) and keep the committed repo-root
+``BENCH_phy.json`` valid.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SCRIPT = os.path.join(_REPO_ROOT, "benchmarks", "bench_phy_hotpaths.py")
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_phy_hotpaths", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def quick_payload(bench):
+    return bench.run_benchmark(quick=True)
+
+
+class TestQuickRun:
+    def test_quick_payload_is_schema_valid(self, bench, quick_payload):
+        bench.validate_bench_payload(quick_payload)
+
+    def test_quick_payload_reports_every_kernel(self, quick_payload):
+        assert set(quick_payload["kernels"]) == {"mmse", "viterbi_soft", "viterbi_hard"}
+        for entry in quick_payload["kernels"].values():
+            assert entry["reference_us"] > 0 and entry["vectorized_us"] > 0
+            assert entry["speedup"] == pytest.approx(
+                entry["reference_us"] / entry["vectorized_us"], rel=1e-2
+            )
+
+    def test_report_formats(self, bench, quick_payload):
+        report = bench.format_report(quick_payload)
+        assert "mmse" in report and "viterbi_soft" in report
+        assert "StrategyEngine.run()" in report
+
+
+class TestSchemaValidation:
+    def test_committed_baseline_is_valid(self, bench):
+        path = os.path.join(_REPO_ROOT, "BENCH_phy.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        bench.validate_bench_payload(payload)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("schema"),
+            lambda p: p.update(schema="repro.bench/phy-v0"),
+            lambda p: p["kernels"].pop("mmse"),
+            lambda p: p["kernels"]["mmse"].update(speedup=0),
+            lambda p: p["kernels"]["mmse"].pop("reference_us"),
+            lambda p: p["workload"].pop("seed"),
+            lambda p: p["workload"].update(mcs_indices=[]),
+            lambda p: p["end_to_end"].update(engine_run_us=-1.0),
+            lambda p: p.update(quick="yes"),
+        ],
+    )
+    def test_rejects_malformed_payloads(self, bench, quick_payload, mutate):
+        payload = copy.deepcopy(quick_payload)
+        mutate(payload)
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(payload)
