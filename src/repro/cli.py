@@ -28,6 +28,22 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_int(value: str) -> int:
+    """argparse type: a retry budget (0 = fail on the first error)."""
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    """argparse type: a strictly positive timeout in seconds."""
+    parsed = float(value)
+    if not parsed > 0:
+        raise argparse.ArgumentTypeError("must be > 0 seconds")
+    return parsed
+
+
 def _default_workers() -> int:
     """CPU-count-aware default for ``--workers`` (overridable via env)."""
     env = os.environ.get("REPRO_WORKERS")
@@ -53,7 +69,40 @@ def _print_runner_stats(result) -> None:
     line += ")"
     if stats.fallback_reason:
         line += f"\nserial fallback: {stats.fallback_reason}"
+    if stats.retries or stats.timeouts or stats.fallbacks or stats.resumed:
+        line += (
+            f"\nfault tolerance: {stats.retries} retries, {stats.timeouts} timeouts,"
+            f" {stats.fallbacks} pool fallbacks, {stats.resumed} resumed from checkpoint"
+        )
     print(line)
+
+
+def _retry_policy(args):
+    """The runner's fault-tolerance policy from the CLI flags."""
+    from .sim.runner import RetryPolicy
+
+    return RetryPolicy(max_retries=args.max_retries, task_timeout_s=args.task_timeout)
+
+
+def _report_runner_failure(error) -> int:
+    """One line per failed topology instead of a raw pool traceback."""
+    print(f"error: {error}", file=sys.stderr)
+    for index in sorted(error.failures):
+        print(f"  topology[{index}]: {error.failures[index]}", file=sys.stderr)
+    if error.records:
+        print(
+            f"  {len(error.records)} of {error.total} topologies completed;"
+            " rerun with --checkpoint/--resume to keep them",
+            file=sys.stderr,
+        )
+    return 1
+
+
+def _check_resume_flags(args) -> bool:
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return False
+    return True
 
 import numpy as np
 
@@ -63,6 +112,7 @@ from .sim.emulation import run_emulated_experiment
 from .sim.experiment import ScenarioSpec, generate_channel_sets, run_experiment
 from .sim.metrics import compare
 from .sim.network import measure_nulling_effect
+from .sim.runner import RunnerError
 
 
 def _make_collector(args) -> "Collector | None":
@@ -112,24 +162,35 @@ def _cmd_run(args) -> int:
         include_copa_plus=args.plus,
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    if not _check_resume_flags(args):
+        return 2
     collector = _make_collector(args)
-    if args.interference:
-        result = run_emulated_experiment(
-            spec,
-            args.interference,
-            config,
-            workers=args.workers,
-            chunk_size=args.chunk_size,
-            collector=collector,
-        )
-    else:
-        result = run_experiment(
-            spec,
-            config,
-            workers=args.workers,
-            chunk_size=args.chunk_size,
-            collector=collector,
-        )
+    try:
+        if args.interference:
+            result = run_emulated_experiment(
+                spec,
+                args.interference,
+                config,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                collector=collector,
+                policy=_retry_policy(args),
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+        else:
+            result = run_experiment(
+                spec,
+                config,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                collector=collector,
+                policy=_retry_policy(args),
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+    except RunnerError as error:
+        return _report_runner_failure(error)
 
     print(f"scenario {result.spec.name}: {args.topologies} topologies")
     print(f"{'scheme':<16}{'mean Mbps':>11}{'median':>9}{'min':>8}{'max':>8}")
@@ -191,24 +252,35 @@ def _cmd_report(args) -> int:
         spec.name, spec.ap_antennas, spec.client_antennas, include_copa_plus=args.plus
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+    if not _check_resume_flags(args):
+        return 2
     collector = _make_collector(args)
-    if args.interference:
-        result = run_emulated_experiment(
-            spec,
-            args.interference,
-            config,
-            workers=args.workers,
-            chunk_size=args.chunk_size,
-            collector=collector,
-        )
-    else:
-        result = run_experiment(
-            spec,
-            config,
-            workers=args.workers,
-            chunk_size=args.chunk_size,
-            collector=collector,
-        )
+    try:
+        if args.interference:
+            result = run_emulated_experiment(
+                spec,
+                args.interference,
+                config,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                collector=collector,
+                policy=_retry_policy(args),
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+        else:
+            result = run_experiment(
+                spec,
+                config,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                collector=collector,
+                policy=_retry_policy(args),
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+    except RunnerError as error:
+        return _report_runner_failure(error)
     text = experiment_report(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -275,6 +347,32 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             default=None,
             help="write the trace + metrics as repro.obs/v1 JSON to PATH",
+        )
+        command.add_argument(
+            "--max-retries",
+            type=_nonnegative_int,
+            default=2,
+            help="re-attempts per topology before the run fails (default: 2)",
+        )
+        command.add_argument(
+            "--task-timeout",
+            type=_positive_float,
+            metavar="SECONDS",
+            default=None,
+            help="per-topology result-wait timeout on the pool path "
+            "(default: none)",
+        )
+        command.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help="journal completed topologies to PATH (repro.ckpt/v1)",
+        )
+        command.add_argument(
+            "--resume",
+            action="store_true",
+            help="reload completed topologies from --checkpoint instead of "
+            "recomputing them (bit-identical)",
         )
 
     run = sub.add_parser("run", help="run one scenario and print its CDF table")

@@ -1,0 +1,332 @@
+"""Checkpoint-resume journal for the experiment runner (``repro.ckpt/v1``).
+
+An interrupted 30-topology sweep should resume without recomputing the
+topologies that already finished — and the resumed run must be
+bit-identical to an uninterrupted one.  This module provides the on-disk
+journal that makes that possible: an append-only JSON-Lines file of
+completed :class:`repro.sim.runner.TaskResult` payloads keyed by
+``(config_hash, index)``.
+
+Determinism contract
+--------------------
+* ``config_hash`` is a SHA-256 fingerprint over everything that decides a
+  task's result: index, seed, coherence time, the COPA+ flag, the engine
+  options, the imperfection model and the raw channel bytes.  It
+  deliberately **excludes** execution details (``attempt``, ``observe``,
+  ``fault_plan``), so a chaos-interrupted run and its fault-free resume
+  share a hash.
+* Results are pickled NumPy-bearing dataclasses; pickling round-trips
+  arrays bit-exactly, so series assembled from journal entries equal the
+  freshly computed ones to the last bit (pinned by
+  ``tests/sim/test_checkpoint.py``).
+
+Schema (``repro.ckpt/v1``), one JSON object per line::
+
+    {"schema": "repro.ckpt/v1", "config_hash": str,
+     "n_tasks": int, "base_seed": int}                      # line 0
+    {"kind": "result", "index": int, "attempt": int,
+     "elapsed_s": float, "bytes": int, "sha256": str,
+     "blob": "<base64 pickle of TaskResult>"}               # per result
+
+Every entry line is flushed as soon as its task completes, so a crash
+loses at most the in-flight task.  :func:`validate_journal` checks the
+schema (and every blob digest) without unpickling anything — it is what
+the CI ``chaos-smoke`` job runs on the uploaded artifact.  Loading a
+journal *does* unpickle; journals are trusted local artifacts, never
+untrusted input.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_ID",
+    "CheckpointError",
+    "fingerprint_tasks",
+    "Journal",
+    "validate_journal",
+]
+
+SCHEMA_ID = "repro.ckpt/v1"
+
+
+class CheckpointError(ValueError):
+    """A journal is malformed, mismatched or otherwise unusable."""
+
+
+# ---------------------------------------------------------------------------
+# Config fingerprinting.
+# ---------------------------------------------------------------------------
+
+
+def _describe(value) -> str:
+    """A stable, address-free description of one option value."""
+    if value is None:
+        return "None"
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        name = getattr(value, "__qualname__", getattr(value, "__name__", repr(value)))
+        return f"callable:{module}.{name}"
+    return repr(value)
+
+
+def _update_with_channels(digest, channels) -> None:
+    digest.update(f"noise={channels.noise_floor_mw!r};nsc={channels.n_subcarriers}".encode())
+    for key in sorted(channels.channels):
+        array = np.ascontiguousarray(channels.channels[key])
+        digest.update(f"H|{key[0]}|{key[1]}|{array.dtype.str}|{array.shape}".encode())
+        digest.update(array.tobytes())
+    topology = channels.topology
+    for (a, b), gain in sorted(topology.link_gain_db.items()):
+        digest.update(f"gain|{a}|{b}|{gain!r}".encode())
+
+
+def fingerprint_tasks(tasks: Sequence) -> str:
+    """SHA-256 over everything that determines the tasks' results.
+
+    Execution-only fields (``attempt``, ``observe``, ``fault_plan``) are
+    excluded on purpose: retried, observed or chaos-injected runs of the
+    same experiment must resume each other's journals.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{SCHEMA_ID};tasks={len(tasks)}".encode())
+    for task in tasks:
+        digest.update(
+            f"task|{task.index}|seed={task.seed}|coh={task.coherence_s!r}"
+            f"|plus={int(task.include_copa_plus)}".encode()
+        )
+        for field in dataclasses.fields(task.options):
+            digest.update(
+                f"opt|{field.name}={_describe(getattr(task.options, field.name))}".encode()
+            )
+        digest.update(repr(task.imperfections).encode())
+        _update_with_channels(digest, task.channels)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The journal.
+# ---------------------------------------------------------------------------
+
+
+def _encode_result(result) -> Tuple[str, str, int]:
+    raw = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(raw).decode("ascii"), hashlib.sha256(raw).hexdigest(), len(raw)
+
+
+def _decode_blob(entry: dict) -> bytes:
+    try:
+        raw = base64.b64decode(entry["blob"].encode("ascii"), validate=True)
+    except Exception as error:
+        raise CheckpointError(f"entry for index {entry.get('index')}: bad base64 ({error})")
+    if hashlib.sha256(raw).hexdigest() != entry.get("sha256"):
+        raise CheckpointError(f"entry for index {entry.get('index')}: sha256 mismatch")
+    return raw
+
+
+class Journal:
+    """Append-only checkpoint journal for one runner invocation.
+
+    Open with :meth:`Journal.open`; completed results land in
+    :attr:`completed` (index → ``TaskResult``) when resuming.  Use as a
+    context manager so the file handle is always released.
+    """
+
+    def __init__(self, path: str, config_hash: str, completed: Dict[int, object], handle):
+        self.path = path
+        self.config_hash = config_hash
+        self.completed = completed
+        self._handle = handle
+
+    @classmethod
+    def open(cls, path: str, tasks: Sequence, resume: bool = False) -> "Journal":
+        """Create (or, with ``resume=True``, reload) the journal at ``path``.
+
+        Resuming verifies the stored ``config_hash`` against the tasks'
+        fingerprint and raises :class:`CheckpointError` on mismatch — a
+        journal never silently feeds results into a different experiment.
+        A missing file with ``resume=True`` simply starts fresh.
+        """
+        config_hash = fingerprint_tasks(tasks)
+        completed: Dict[int, object] = {}
+        if resume and os.path.exists(path):
+            header, entries = _read_lines(path, tolerate_partial_tail=True)
+            if header.get("schema") != SCHEMA_ID:
+                raise CheckpointError(
+                    f"{path}: schema {header.get('schema')!r} is not {SCHEMA_ID!r}"
+                )
+            if header.get("config_hash") != config_hash:
+                raise CheckpointError(
+                    f"{path}: journal was written by a different experiment "
+                    f"(config_hash {header.get('config_hash')!r} != {config_hash!r})"
+                )
+            for entry in entries:
+                index = entry.get("index")
+                if not isinstance(index, int) or not 0 <= index < len(tasks):
+                    raise CheckpointError(f"{path}: entry index {index!r} out of range")
+                completed[index] = pickle.loads(_decode_blob(entry))
+            handle = open(path, "a")
+        else:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            handle = open(path, "w")
+            base_seed = int(tasks[0].seed) if tasks else 0
+            handle.write(
+                json.dumps(
+                    {
+                        "schema": SCHEMA_ID,
+                        "config_hash": config_hash,
+                        "n_tasks": len(tasks),
+                        "base_seed": base_seed,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            handle.flush()
+        return cls(path, config_hash, completed, handle)
+
+    def record(self, result) -> None:
+        """Append one completed task result and flush it to disk."""
+        blob, sha256, n_bytes = _encode_result(result)
+        entry = {
+            "kind": "result",
+            "index": int(result.record.index),
+            "attempt": 0,
+            "elapsed_s": float(result.elapsed_s),
+            "bytes": n_bytes,
+            "sha256": sha256,
+            "blob": blob,
+        }
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.completed[int(result.record.index)] = result
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def _read_lines(path: str, tolerate_partial_tail: bool) -> Tuple[dict, List[dict]]:
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise CheckpointError(f"{path}: empty journal")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"{path}: unreadable header ({error})")
+    entries: List[dict] = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            # A crash mid-write leaves at most one partial final line;
+            # resuming tolerates (and recomputes) it, validation does not.
+            if tolerate_partial_tail and number == len(lines):
+                break
+            raise CheckpointError(f"{path}:{number}: unreadable entry ({error})")
+    return header, entries
+
+
+# ---------------------------------------------------------------------------
+# Validation (dependency-free; what the CI chaos-smoke job runs).
+# ---------------------------------------------------------------------------
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CheckpointError(message)
+
+
+def validate_journal(path: str) -> Dict[str, object]:
+    """Validate a journal file against ``repro.ckpt/v1``; returns a summary.
+
+    Checks the header, every entry's fields and every blob's SHA-256 —
+    without unpickling any payload.  Raises :class:`CheckpointError` on
+    the first violation.
+    """
+    header, entries = _read_lines(path, tolerate_partial_tail=False)
+    _require(isinstance(header, dict), "header must be an object")
+    _require(header.get("schema") == SCHEMA_ID, f"header.schema must be {SCHEMA_ID!r}")
+    missing = {"config_hash", "n_tasks", "base_seed"} - set(header)
+    _require(not missing, f"header missing fields: {sorted(missing)}")
+    _require(
+        isinstance(header["config_hash"], str) and len(header["config_hash"]) == 64,
+        "header.config_hash must be a 64-char hex digest",
+    )
+    _require(
+        isinstance(header["n_tasks"], int) and header["n_tasks"] >= 0,
+        "header.n_tasks must be a non-negative int",
+    )
+    _require(isinstance(header["base_seed"], int), "header.base_seed must be an int")
+
+    seen: set = set()
+    for position, entry in enumerate(entries):
+        _require(isinstance(entry, dict), f"entry[{position}] must be an object")
+        _require(entry.get("kind") == "result", f"entry[{position}].kind must be 'result'")
+        missing = {"index", "attempt", "elapsed_s", "bytes", "sha256", "blob"} - set(entry)
+        _require(not missing, f"entry[{position}] missing fields: {sorted(missing)}")
+        index = entry["index"]
+        _require(
+            isinstance(index, int) and 0 <= index < header["n_tasks"],
+            f"entry[{position}].index must be in [0, {header['n_tasks']})",
+        )
+        _require(
+            isinstance(entry["elapsed_s"], (int, float)) and entry["elapsed_s"] >= 0,
+            f"entry[{position}].elapsed_s must be >= 0",
+        )
+        raw = _decode_blob(entry)
+        _require(len(raw) == entry["bytes"], f"entry[{position}].bytes mismatches the blob")
+        seen.add(index)
+    return {
+        "schema": header["schema"],
+        "config_hash": header["config_hash"],
+        "n_tasks": header["n_tasks"],
+        "entries": len(entries),
+        "indices": sorted(seen),
+    }
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.sim.checkpoint PATH`` — validate and summarize."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.sim.checkpoint JOURNAL_PATH", file=sys.stderr)
+        return 2
+    try:
+        summary = validate_journal(argv[0])
+    except (OSError, CheckpointError) as error:
+        print(f"invalid journal: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"journal OK: schema {summary['schema']}, "
+        f"{summary['entries']} of {summary['n_tasks']} tasks checkpointed "
+        f"(indices {summary['indices']}), config {summary['config_hash'][:12]}…"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main())

@@ -22,6 +22,8 @@ from ..obs.collector import Collector, active
 from ..phy.channel import ChannelSet
 from ..phy.topology import Node, Topology
 from .config import DEFAULT_CONFIG, SimConfig
+from .faults import FaultPlan
+from .runner import RetryPolicy
 from .experiment import (
     ExperimentResult,
     ScenarioSpec,
@@ -52,14 +54,20 @@ def run_emulated_experiment(
     chunk_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Record the scenario's traces, weaken interference, replay (§4.4).
 
     The replay fans out to a process pool when ``workers`` asks for one;
     emulated traces are plain :class:`ChannelSet` data, so the parallel
     path is bit-identical to the serial one (see :mod:`repro.sim.runner`).
-    The execution/observability keywords (``workers``, ``chunk_size``,
-    ``options``, ``collector``) match :func:`repro.sim.experiment.run_experiment`.
+    The execution/observability/fault-tolerance keywords (``workers``,
+    ``chunk_size``, ``options``, ``collector``, ``policy``, ``checkpoint``,
+    ``resume``, ``fault_plan``) match
+    :func:`repro.sim.experiment.run_experiment`.
     """
     col = active(collector)
     with col.span("emulation", scenario=spec.name, offset_db=interference_offset_db):
@@ -82,6 +90,10 @@ def run_emulated_experiment(
             chunk_size=chunk_size,
             options=options,
             collector=collector,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+            fault_plan=fault_plan,
         )
 
 

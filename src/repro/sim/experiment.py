@@ -19,8 +19,9 @@ from ..core.schemes import SERIES_KEYS, Scheme, SeriesKey
 from ..obs.collector import Collector, active
 from ..phy.channel import ChannelSet
 from .config import DEFAULT_CONFIG, SimConfig
+from .faults import FaultPlan
 from .metrics import Summary, summarize
-from .runner import RunnerStats, TopologyRecord, build_tasks, run_tasks
+from .runner import RetryPolicy, RunnerStats, TopologyRecord, build_tasks, run_tasks
 
 __all__ = [
     "ScenarioSpec",
@@ -145,6 +146,10 @@ def run_experiment(
     chunk_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Run the full strategy evaluation over a scenario's topologies.
 
@@ -171,6 +176,17 @@ def run_experiment(
         setup, runner dispatch, one subtree per topology and scheme) and
         allocator/engine metrics.  ``None`` (default) disables
         observability on a no-op fast path.
+    ``policy``
+        a :class:`~repro.sim.runner.RetryPolicy` enabling per-task
+        timeouts and bounded retries with backoff; retried topologies are
+        pure seed replays, so results stay bit-identical.
+    ``checkpoint`` / ``resume``
+        path of a ``repro.ckpt/v1`` journal of completed topologies;
+        ``resume=True`` reloads finished indices instead of recomputing
+        them (see :mod:`repro.sim.checkpoint`).
+    ``fault_plan``
+        deterministic fault injection (:mod:`repro.sim.faults`) — the
+        chaos suite's hook; leave ``None`` for real runs.
     """
     col = active(collector)
     with col.span("experiment", scenario=spec.name, n_topologies=config.n_topologies):
@@ -185,8 +201,15 @@ def run_experiment(
             include_copa_plus=spec.include_copa_plus,
             engine_kwargs=engine_kwargs,
             options=options,
+            fault_plan=fault_plan,
         )
         records, stats = run_tasks(
-            tasks, workers=workers, chunk_size=chunk_size, collector=collector
+            tasks,
+            workers=workers,
+            chunk_size=chunk_size,
+            collector=collector,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
         )
     return ExperimentResult(spec=spec, records=records, stats=stats)

@@ -14,6 +14,7 @@ sweeps generalize the evaluation along the axes the paper discusses:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,6 +22,7 @@ import numpy as np
 
 from ..core.options import EngineOptions
 from ..obs.collector import Collector, active
+from .runner import RetryPolicy
 from .config import DEFAULT_CONFIG, SimConfig
 from .emulation import scaled_traces
 from .experiment import ExperimentResult, ScenarioSpec, generate_channel_sets, run_experiment
@@ -67,6 +69,18 @@ def _means(result: ExperimentResult) -> Dict[str, float]:
     return result.mean_table_mbps()
 
 
+def _point_checkpoint(checkpoint_dir: Optional[str], point_index: int) -> Optional[str]:
+    """Per-point journal path inside the sweep's checkpoint directory.
+
+    Journals are keyed by config-hash, so a resumed sweep only reuses a
+    point's journal when that point's tasks are identical.
+    """
+    if checkpoint_dir is None:
+        return None
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    return os.path.join(checkpoint_dir, f"point_{point_index:02d}.ckpt")
+
+
 def sweep_coherence_time(
     coherence_values_s: Sequence[float] = (0.004, 0.030, 0.120, 1.0),
     spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
@@ -75,6 +89,9 @@ def sweep_coherence_time(
     chunk_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
+    policy: Optional["RetryPolicy"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """COPA vs CSMA as the channel gets more static.
 
@@ -89,7 +106,7 @@ def sweep_coherence_time(
     with col.span("sweep", parameter="coherence_s", points=len(list(coherence_values_s))):
         traces = generate_channel_sets(spec, config)
         points = []
-        for coherence_s in coherence_values_s:
+        for point_index, coherence_s in enumerate(coherence_values_s):
             with col.span("sweep.point", value=float(coherence_s)):
                 result = run_experiment(
                     spec,
@@ -99,6 +116,9 @@ def sweep_coherence_time(
                     chunk_size=chunk_size,
                     options=options,
                     collector=collector,
+                    policy=policy,
+                    checkpoint=_point_checkpoint(checkpoint_dir, point_index),
+                    resume=resume,
                 )
             points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
             col.inc("sweep.points")
@@ -113,13 +133,16 @@ def sweep_interference(
     chunk_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
+    policy: Optional["RetryPolicy"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """§4.4 generalized: scale the cross links through a range of offsets."""
     col = active(collector)
     with col.span("sweep", parameter="interference_offset_db", points=len(list(offsets_db))):
         traces = generate_channel_sets(spec, config)
         points = []
-        for offset in offsets_db:
+        for point_index, offset in enumerate(offsets_db):
             with col.span("sweep.point", value=float(offset)):
                 emulated = scaled_traces(traces, offset) if offset else list(traces)
                 result = run_experiment(
@@ -130,6 +153,9 @@ def sweep_interference(
                     chunk_size=chunk_size,
                     options=options,
                     collector=collector,
+                    policy=policy,
+                    checkpoint=_point_checkpoint(checkpoint_dir, point_index),
+                    resume=resume,
                 )
             points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
             col.inc("sweep.points")
@@ -143,6 +169,9 @@ def sweep_antenna_configurations(
     chunk_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
+    policy: Optional["RetryPolicy"] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """The §4 progression: spatial degrees of freedom vs COPA's win.
 
@@ -152,7 +181,7 @@ def sweep_antenna_configurations(
     col = active(collector)
     with col.span("sweep", parameter="antennas", points=len(list(configurations))):
         points = []
-        for ap_antennas, client_antennas in configurations:
+        for point_index, (ap_antennas, client_antennas) in enumerate(configurations):
             spec = ScenarioSpec(
                 f"{ap_antennas}x{client_antennas}",
                 ap_antennas,
@@ -167,6 +196,9 @@ def sweep_antenna_configurations(
                     chunk_size=chunk_size,
                     options=options,
                     collector=collector,
+                    policy=policy,
+                    checkpoint=_point_checkpoint(checkpoint_dir, point_index),
+                    resume=resume,
                 )
             points.append(
                 SweepPoint(

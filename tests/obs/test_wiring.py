@@ -143,6 +143,74 @@ class TestPhyKernelWiring:
         validate_payload(collector_payload(collector, meta={"suite": "phy-wiring"}))
 
 
+class TestPartialFailureMerge:
+    """A worker that dies *after* emitting spans must not pollute the trace.
+
+    Only the single accepted result per topology may graft its spans and
+    metrics; the crashed attempt's partial observations are discarded with
+    the attempt.  The merged trace therefore equals a fault-free run's
+    trace except for the explicit ``runner.*`` fault-telemetry spans.
+    """
+
+    SPEC = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+    CONFIG = SimConfig(n_topologies=3)
+
+    @staticmethod
+    def _non_runner_counters(collector):
+        return {
+            key: value
+            for key, value in collector.metrics.counters.items()
+            if not key.startswith("runner.") or key == "runner.tasks"
+        }
+
+    @pytest.mark.parametrize("workers", [1, 3], ids=["serial", "parallel"])
+    def test_crashed_attempt_spans_are_not_grafted(self, workers):
+        from repro.sim.faults import FaultKind, FaultPlan
+        from repro.sim.runner import RetryPolicy
+
+        policy = RetryPolicy(max_retries=2, sleep=lambda s: None)
+        plan = FaultPlan.at([1], FaultKind.CRASH, when="after")
+
+        clean, faulted = Collector(), Collector()
+        reference = run_experiment(
+            self.SPEC, self.CONFIG, workers=workers, policy=policy, collector=clean
+        )
+        result = run_experiment(
+            self.SPEC,
+            self.CONFIG,
+            workers=workers,
+            policy=policy,
+            fault_plan=plan,
+            collector=faulted,
+        )
+
+        # The crash was invisible in the data...
+        for key in reference.available_series():
+            np.testing.assert_array_equal(
+                result.series_mbps(key), reference.series_mbps(key)
+            )
+        # ...and in the trace: span names match except runner.* telemetry,
+        faulted_names = [
+            s.name for s in faulted.spans if not s.name.startswith("runner.")
+        ]
+        clean_names = [s.name for s in clean.spans if not s.name.startswith("runner.")]
+        assert sorted(faulted_names) == sorted(clean_names)
+        # no topology grafted twice,
+        all_names = [s.name for s in faulted.spans]
+        for index in range(self.CONFIG.n_topologies):
+            assert all_names.count(f"topology[{index}]") == 1
+        # engine metrics count one accepted evaluation per topology,
+        assert self._non_runner_counters(faulted) == self._non_runner_counters(clean)
+        assert (
+            faulted.metrics.histograms.keys() == clean.metrics.histograms.keys()
+        )
+        for key, histogram in faulted.metrics.histograms.items():
+            assert histogram.count == clean.metrics.histograms[key].count
+        # and the retry is reported where it belongs: explicit telemetry.
+        assert faulted.metrics.counters["runner.retry"] == 1
+        assert [s.name for s in faulted.spans].count("runner.retry") == 1
+
+
 class TestOtherSurfaces:
     def test_sweep_forwards_collector(self):
         collector = Collector()

@@ -1,0 +1,327 @@
+"""Chaos suite: every fault class, zero tolerance for drifting results.
+
+The contract under test is the strongest one the runner makes: whatever
+faults are injected — crashes, hangs, corrupt results, pool breakage —
+at whatever (seeded) random indices, on the serial *and* the parallel
+path, the final :class:`ExperimentResult` is **bit-identical** to a
+fault-free run.  Retries are pure seed replays, so fault tolerance is
+invisible in the data and visible only in the telemetry.
+
+Also pinned here: the RunnerStats counter arithmetic under combined
+fault injection (so retry/timeout/fallback semantics can't silently
+drift) and checkpoint interrupt-resume equivalence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import Collector
+from repro.sim.config import SimConfig
+from repro.sim.experiment import ScenarioSpec, generate_channel_sets, run_experiment
+from repro.sim.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    SimulatedPoolBreak,
+)
+from repro.sim.runner import (
+    RetryPolicy,
+    RunnerError,
+    build_tasks,
+    evaluate_topology,
+    run_tasks,
+)
+
+SPEC = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+N_TOPOLOGIES = 5
+CONFIG = SimConfig(n_topologies=N_TOPOLOGIES)
+
+#: Instant backoff so the suite never actually sleeps between retries.
+NO_SLEEP = RetryPolicy(max_retries=2, sleep=lambda s: None)
+#: Pool-path timeout: generously above a ~0.1 s topology evaluation,
+#: comfortably below the 4 s default hang.
+TIMEOUT = RetryPolicy(max_retries=2, task_timeout_s=1.0, sleep=lambda s: None)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free reference every chaos run must reproduce exactly."""
+    return run_experiment(SPEC, CONFIG, workers=1)
+
+
+def assert_identical(result, reference):
+    """Bit-identical series and identical strategy choices."""
+    assert result.available_series() == reference.available_series()
+    for key in reference.available_series():
+        np.testing.assert_array_equal(
+            result.series_mbps(key),
+            reference.series_mbps(key),
+            err_msg=f"series {key!r} drifted under fault injection",
+        )
+    for ours, theirs in zip(result.records, reference.records):
+        assert ours.index == theirs.index
+        assert ours.outcome.copa_choice == theirs.outcome.copa_choice
+        assert ours.outcome.copa_fair_choice == theirs.outcome.copa_fair_choice
+
+
+class TestFaultPlans:
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(seed=42, n_tasks=30, kind=FaultKind.CRASH, n_faults=5)
+        b = FaultPlan.random(seed=42, n_tasks=30, kind=FaultKind.CRASH, n_faults=5)
+        assert a.indices() == b.indices()
+        assert len(a.indices()) == 5
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(seed=1, n_tasks=30, kind=FaultKind.CRASH, n_faults=5)
+        b = FaultPlan.random(seed=2, n_tasks=30, kind=FaultKind.CRASH, n_faults=5)
+        assert a.indices() != b.indices()
+
+    def test_fault_only_fires_below_trips(self):
+        plan = FaultPlan.at([3], FaultKind.CRASH, trips=2)
+        assert plan.active(3, 0) is not None
+        assert plan.active(3, 1) is not None
+        assert plan.active(3, 2) is None
+        assert plan.active(4, 0) is None
+
+    def test_crash_fires_through_evaluate_topology(self):
+        import dataclasses
+
+        tasks = build_tasks(
+            generate_channel_sets(SPEC, SimConfig(n_topologies=1)),
+            base_seed=CONFIG.seed,
+            coherence_s=CONFIG.coherence_s,
+            imperfections=CONFIG.imperfections(),
+            fault_plan=FaultPlan.at([0], FaultKind.CRASH),
+        )
+        with pytest.raises(InjectedCrash):
+            evaluate_topology(tasks[0])
+        # The retry attempt replays clean.
+        retry = dataclasses.replace(tasks[0], attempt=1)
+        assert evaluate_topology(retry).record.index == 0
+
+    def test_pool_break_is_indistinguishable_from_real_breakage(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert issubclass(SimulatedPoolBreak, BrokenProcessPool)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CRASH, trips=0)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CRASH, when="midway")
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, n_tasks=3, kind=FaultKind.CRASH, n_faults=4)
+
+
+class TestChaosEquivalence:
+    """Every fault class × both paths → bit-identical results."""
+
+    @pytest.mark.parametrize("workers", [1, 3], ids=["serial", "parallel"])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_crash(self, baseline, workers, seed):
+        plan = FaultPlan.random(seed=seed, n_tasks=N_TOPOLOGIES, kind=FaultKind.CRASH, n_faults=2)
+        result = run_experiment(SPEC, CONFIG, workers=workers, policy=NO_SLEEP, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.retries == 2
+        assert result.stats.parallel == (workers > 1)
+
+    @pytest.mark.parametrize("workers", [1, 3], ids=["serial", "parallel"])
+    def test_crash_after_worker_emitted_spans(self, baseline, workers):
+        """A worker that dies *after* doing the work is still a clean retry."""
+        plan = FaultPlan.random(
+            seed=5, n_tasks=N_TOPOLOGIES, kind=FaultKind.CRASH, when="after"
+        )
+        result = run_experiment(SPEC, CONFIG, workers=workers, policy=NO_SLEEP, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.retries == 1
+
+    @pytest.mark.parametrize("workers", [1, 3], ids=["serial", "parallel"])
+    @pytest.mark.parametrize("seed", [7, 19])
+    def test_corrupt_result(self, baseline, workers, seed):
+        plan = FaultPlan.random(seed=seed, n_tasks=N_TOPOLOGIES, kind=FaultKind.CORRUPT)
+        result = run_experiment(SPEC, CONFIG, workers=workers, policy=NO_SLEEP, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.retries == 1
+
+    def test_hang_parallel_times_out_and_replays(self, baseline):
+        plan = FaultPlan.random(seed=3, n_tasks=N_TOPOLOGIES, kind=FaultKind.HANG, hang_s=4.0)
+        result = run_experiment(SPEC, CONFIG, workers=2, policy=TIMEOUT, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.timeouts == 1
+        assert result.stats.retries == 1
+        assert result.stats.parallel
+
+    def test_hang_serial_is_detected_post_hoc(self, baseline):
+        """The serial path can't pre-empt; it records the overrun and keeps
+        the (valid) completed result — no retry, no drift."""
+        plan = FaultPlan.random(seed=3, n_tasks=N_TOPOLOGIES, kind=FaultKind.HANG, hang_s=1.5)
+        policy = RetryPolicy(max_retries=2, task_timeout_s=1.0, sleep=lambda s: None)
+        result = run_experiment(SPEC, CONFIG, workers=1, policy=policy, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.timeouts == 1
+        assert result.stats.retries == 0
+
+    @pytest.mark.parametrize("seed", [2, 31])
+    def test_pool_break_parallel_degrades_to_serial(self, baseline, seed):
+        plan = FaultPlan.random(seed=seed, n_tasks=N_TOPOLOGIES, kind=FaultKind.POOL_BREAK)
+        result = run_experiment(SPEC, CONFIG, workers=2, policy=NO_SLEEP, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.fallbacks == 1
+        assert result.stats.retries == 1
+        # The pool genuinely ran before it broke.
+        assert result.stats.parallel
+        assert "re-dispatching" in result.stats.fallback_reason
+
+    def test_pool_break_serial_is_an_ordinary_retry(self, baseline):
+        plan = FaultPlan.random(seed=2, n_tasks=N_TOPOLOGIES, kind=FaultKind.POOL_BREAK)
+        result = run_experiment(SPEC, CONFIG, workers=1, policy=NO_SLEEP, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert result.stats.fallbacks == 0
+        assert result.stats.retries == 1
+
+    @pytest.mark.parametrize("workers", [1, 3], ids=["serial", "parallel"])
+    def test_persistent_fault_raises_after_all_others_finish(self, workers):
+        """Retries exhausted → RunnerError, but every survivor completed."""
+        plan = FaultPlan.at([2], FaultKind.CRASH, trips=100)
+        with pytest.raises(RunnerError) as excinfo:
+            run_experiment(
+                SPEC,
+                CONFIG,
+                workers=workers,
+                policy=RetryPolicy(max_retries=1, sleep=lambda s: None),
+                fault_plan=plan,
+            )
+        error = excinfo.value
+        assert set(error.failures) == {2}
+        assert "InjectedCrash" in error.failures[2]
+        assert error.total == N_TOPOLOGIES
+        assert [record.index for record in error.records] == [0, 1, 3, 4]
+
+    def test_interrupted_run_resumed_from_journal_matches_exactly(self, baseline, tmp_path):
+        path = str(tmp_path / "chaos.ckpt")
+        plan = FaultPlan.at([3], FaultKind.CRASH, trips=100)
+        with pytest.raises(RunnerError):
+            run_experiment(
+                SPEC,
+                CONFIG,
+                workers=1,
+                policy=RetryPolicy(max_retries=0, sleep=lambda s: None),
+                fault_plan=plan,
+                checkpoint=path,
+            )
+        resumed = run_experiment(SPEC, CONFIG, workers=1, checkpoint=path, resume=True)
+        assert_identical(resumed, baseline)
+        assert resumed.stats.resumed == N_TOPOLOGIES - 1
+
+    def test_interrupted_parallel_run_resumes_on_parallel_path(self, baseline, tmp_path):
+        path = str(tmp_path / "chaos-par.ckpt")
+        plan = FaultPlan.at([1], FaultKind.CRASH, trips=100)
+        with pytest.raises(RunnerError):
+            run_experiment(
+                SPEC,
+                CONFIG,
+                workers=3,
+                policy=RetryPolicy(max_retries=0, sleep=lambda s: None),
+                fault_plan=plan,
+                checkpoint=path,
+            )
+        resumed = run_experiment(SPEC, CONFIG, workers=3, checkpoint=path, resume=True)
+        assert_identical(resumed, baseline)
+        assert resumed.stats.resumed == N_TOPOLOGIES - 1
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.35)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.35)  # capped
+
+    def test_backoff_sleep_is_actually_called(self, baseline):
+        slept = []
+        policy = RetryPolicy(
+            max_retries=2, backoff_base_s=0.01, backoff_factor=3.0, sleep=slept.append
+        )
+        plan = FaultPlan.at([1], FaultKind.CRASH, trips=2)
+        result = run_experiment(SPEC, CONFIG, workers=1, policy=policy, fault_plan=plan)
+        assert_identical(result, baseline)
+        assert slept == [pytest.approx(0.01), pytest.approx(0.03)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestRunnerStatsRegression:
+    """Pin the counter arithmetic under combined fault injection.
+
+    One run, every fault class at once, explicit indices so the expected
+    counts are derivable by hand:
+
+    * crash@0   → 1 retry
+    * hang@1    → 1 timeout + 1 retry (pool path pre-empts and replays)
+    * corrupt@2 → 1 retry (integrity check rejects the poisoned result)
+    * break@3   → 1 fallback + 1 retry (serial replay of the culprit)
+    """
+
+    COMBINED = FaultPlan(
+        faults={
+            0: FaultSpec(FaultKind.CRASH),
+            1: FaultSpec(FaultKind.HANG, hang_s=4.0),
+            2: FaultSpec(FaultKind.CORRUPT),
+            3: FaultSpec(FaultKind.POOL_BREAK),
+        }
+    )
+
+    @pytest.fixture(scope="class")
+    def combined_run(self, tmp_path_factory):
+        tasks = build_tasks(
+            generate_channel_sets(SPEC, CONFIG),
+            base_seed=CONFIG.seed,
+            coherence_s=CONFIG.coherence_s,
+            imperfections=CONFIG.imperfections(),
+            fault_plan=self.COMBINED,
+        )
+        collector = Collector()
+        records, stats = run_tasks(
+            tasks, workers=2, collector=collector, policy=TIMEOUT
+        )
+        return records, stats, collector
+
+    def test_pinned_counters(self, combined_run):
+        _, stats, _ = combined_run
+        assert stats.retries == 4
+        assert stats.timeouts == 1
+        assert stats.fallbacks == 1
+        assert stats.resumed == 0
+
+    def test_results_survive_combined_chaos(self, combined_run, baseline):
+        records, _, _ = combined_run
+        assert [record.index for record in records] == list(range(N_TOPOLOGIES))
+        for ours, theirs in zip(records, baseline.records):
+            assert ours.outcome.copa_choice == theirs.outcome.copa_choice
+
+    def test_observability_counters_match_stats(self, combined_run):
+        _, stats, collector = combined_run
+        counters = collector.metrics.counters
+        assert counters["runner.retry"] == stats.retries
+        assert counters["runner.timeout"] == stats.timeouts
+        assert counters["runner.fallback"] == stats.fallbacks
+        assert counters["runner.tasks"] == N_TOPOLOGIES
+
+    def test_observed_and_spans_merged(self, combined_run):
+        _, stats, collector = combined_run
+        assert stats.observed
+        assert stats.spans_merged == len(collector.spans)
+        names = [span.name for span in collector.spans]
+        assert names.count("runner.retry") == stats.retries
+        assert names.count("runner.timeout") == stats.timeouts
+        assert names.count("runner.fallback") == stats.fallbacks
+        # Exactly one accepted evaluation merged per topology.
+        for index in range(N_TOPOLOGIES):
+            assert names.count(f"topology[{index}]") == 1

@@ -71,3 +71,84 @@ class TestArgumentValidation:
     def test_positive_count_accepted(self):
         args = build_parser().parse_args(["run", "4x2", "-n", "7"])
         assert args.topologies == 7
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "1x1", "--max-retries", "-1"])
+
+    def test_zero_max_retries_accepted(self):
+        args = build_parser().parse_args(["run", "1x1", "--max-retries", "0"])
+        assert args.max_retries == 0
+
+    @pytest.mark.parametrize("bad", ["0", "-2.5"])
+    def test_nonpositive_task_timeout_rejected(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "1x1", "--task-timeout", bad])
+
+    def test_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["run", "1x1"])
+        assert args.max_retries == 2
+        assert args.task_timeout is None
+        assert args.checkpoint is None
+        assert args.resume is False
+
+
+class TestFaultTolerance:
+    def test_run_accepts_retry_and_timeout_flags(self, capsys):
+        assert (
+            main(["run", "1x1", "-n", "2", "--max-retries", "1", "--task-timeout", "30"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "copa" in out
+        # A clean run reports no fault-tolerance activity.
+        assert "fault tolerance:" not in out
+
+    def test_checkpoint_then_resume_roundtrip(self, tmp_path, capsys):
+        from repro.sim.checkpoint import validate_journal
+
+        path = str(tmp_path / "run.ckpt")
+        assert main(["run", "1x1", "-n", "2", "--checkpoint", path]) == 0
+        first = capsys.readouterr().out
+        summary = validate_journal(path)
+        assert summary["entries"] == 2 and summary["indices"] == [0, 1]
+
+        assert main(["run", "1x1", "-n", "2", "--checkpoint", path, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "2 resumed from checkpoint" in second
+        # Bit-identical output, modulo the wall-clock and stats lines.
+        def strip(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "fault tolerance" not in line and "topologies in" not in line
+            ]
+
+        assert strip(second) == strip(first)
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        assert main(["run", "1x1", "-n", "2", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_report_resume_without_checkpoint_rejected(self, capsys):
+        assert main(["report", "1x1", "-n", "2", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_permanent_failure_reports_per_topology(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.sim.runner import RunnerError
+
+        def explode(*args, **kwargs):
+            raise RunnerError(
+                failures={1: "InjectedCrash: injected CRASH (attempt 3)"},
+                records=[object()] * 2,
+                total=3,
+            )
+
+        monkeypatch.setattr(cli, "run_experiment", explode)
+        assert main(["run", "1x1", "-n", "3"]) == 1
+        err = capsys.readouterr().err
+        assert "error: 1 of 3 topologies failed permanently" in err
+        assert "topology[1]: InjectedCrash" in err
+        assert "2 of 3 topologies completed" in err
+        assert "--checkpoint/--resume" in err
