@@ -1,0 +1,295 @@
+"""Perf acceptance for the result cache: warm reruns and the no-cache path.
+
+Two budgets guard the ``repro.cache`` subsystem:
+
+* a **warm** rerun of an experiment (every artifact already on disk) must
+  be at least ``SPEEDUP_FLOOR``x faster than the **cold** run that
+  populated the cache — otherwise the cache is not pulling its weight;
+* with ``cache=None`` the experiment entry points must cost (almost)
+  nothing extra: like the observability fast path, the cache code is
+  gated behind ``cache is not None`` guards that each execute O(1) times
+  per run, so the overhead bound is (guards per run) x (cost of one
+  ``None`` check), and it must stay under ``NO_CACHE_BUDGET``.
+
+Before timing anything the harness asserts that baseline (cache-free),
+cold and warm runs produce bit-identical per-series arrays — a cache
+that is fast but wrong must never post a number.
+
+Run it as a script (CI can use ``--quick --check``)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py [--quick]
+        [--output BENCH_cache.json] [--check] [--validate PATH]
+
+``--check`` exits non-zero if the warm speedup drops below 5x or the
+no-cache overhead bound exceeds 1%; ``--validate PATH`` only validates
+an existing payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+SCHEMA_ID = "repro.bench/cache-v1"
+DEFAULT_OUTPUT = "BENCH_cache.json"
+SEED = 2015
+
+#: Warm rerun must beat the cold run by at least this factor (--check).
+SPEEDUP_FLOOR = 5.0
+#: The cache=None path may slow an experiment by at most this fraction.
+NO_CACHE_BUDGET = 0.01
+
+
+def _workload(quick: bool):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import ScenarioSpec
+
+    spec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False)
+    config = SimConfig(n_topologies=3 if quick else 10, seed=SEED)
+    return spec, config
+
+
+def _series_of(result) -> Dict[str, np.ndarray]:
+    return {key: result.series_mbps(key) for key in result.available_series()}
+
+
+def _assert_identical(reference: Dict[str, np.ndarray], candidate, label: str) -> None:
+    series = _series_of(candidate)
+    assert series.keys() == reference.keys(), f"{label}: series set drifted"
+    for key, values in reference.items():
+        np.testing.assert_array_equal(
+            series[key], values, err_msg=f"{label}: series {key!r} not bit-identical"
+        )
+
+
+def _guards_per_run() -> int:
+    """Static count of ``cache``-``None`` guards on the experiment path.
+
+    Every guard in these modules executes at most once per experiment on
+    the ``cache=None`` path (none sit inside per-task loops), so the
+    source occurrence count is a per-run upper bound that tracks the code
+    automatically instead of hard-coding today's call sites.
+    """
+    from repro.sim import emulation, experiment, runner, sweep
+
+    count = 0
+    for module in (runner, experiment, emulation, sweep):
+        source = inspect.getsource(module)
+        count += source.count("cache is not None") + source.count("cache is None")
+    return count
+
+
+def _none_check_cost_s(n: int = 1_000_000) -> float:
+    """Seconds per ``x is not None`` check on this host."""
+    cache = None
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(n):
+        if cache is not None:
+            sink += 1
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / n
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    """Time cold/warm/no-cache runs and build the cache-v1 payload."""
+    from repro.cache import ResultCache
+    from repro.sim.experiment import run_experiment
+
+    spec, config = _workload(quick)
+    repeats = 3 if quick else 5
+    workdir = tempfile.mkdtemp(prefix="bench_cache_")
+    try:
+        # --- correctness gate: baseline vs cold vs warm, bit-identical ---
+        baseline = _series_of(run_experiment(spec, config, workers=1))
+        gate_cache = ResultCache(os.path.join(workdir, "gate"))
+        _assert_identical(
+            baseline, run_experiment(spec, config, workers=1, cache=gate_cache), "cold"
+        )
+        warm_result = run_experiment(spec, config, workers=1, cache=gate_cache)
+        assert warm_result.stats.cache_hits == config.n_topologies
+        _assert_identical(baseline, warm_result, "warm")
+
+        # --- cold vs warm timing (fresh cache dir per cold sample) ---
+        cold_samples, warm_samples = [], []
+        bytes_written = artifacts = 0
+        for index in range(repeats):
+            root = os.path.join(workdir, f"timed_{index}")
+            cache = ResultCache(root)
+            start = time.perf_counter()
+            run_experiment(spec, config, workers=1, cache=cache)
+            cold_samples.append(time.perf_counter() - start)
+            bytes_written = cache.stats.bytes_written
+            artifacts = cache.stats.stores
+            start = time.perf_counter()
+            run_experiment(spec, config, workers=1, cache=cache)
+            warm_samples.append(time.perf_counter() - start)
+        cold_s = float(statistics.median(cold_samples))
+        warm_s = float(statistics.median(warm_samples))
+
+        # --- no-cache overhead bound (analytic, obs-bench style) ---
+        guards = _guards_per_run()
+        guard_cost_s = _none_check_cost_s()
+        start = time.perf_counter()
+        run_experiment(spec, config, workers=1)
+        no_cache_run_s = time.perf_counter() - start
+        # Generous 10x pad for argument plumbing around the guards.
+        overhead_bound = 10 * guards * guard_cost_s / no_cache_run_s
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA_ID,
+        "quick": quick,
+        "workload": {
+            "scenario": spec.name,
+            "n_topologies": config.n_topologies,
+            "seed": SEED,
+            "series": sorted(baseline),
+        },
+        "cache": {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "repeats": repeats,
+            "artifacts": artifacts,
+            "bytes_written": bytes_written,
+        },
+        "no_cache": {
+            "guards_per_run": guards,
+            "none_check_ns": round(guard_cost_s * 1e9, 2),
+            "run_s": round(no_cache_run_s, 4),
+            "overhead_bound": round(overhead_bound, 8),
+            "budget": NO_CACHE_BUDGET,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid cache-v1 document."""
+
+    def fail(message: str):
+        raise ValueError(f"BENCH_cache payload invalid: {message}")
+
+    if not isinstance(payload, dict):
+        fail("payload must be an object")
+    if payload.get("schema") != SCHEMA_ID:
+        fail(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("quick"), bool):
+        fail("quick must be a boolean")
+    workload = payload.get("workload")
+    if not isinstance(workload, dict):
+        fail("workload must be an object")
+    for key in ("n_topologies", "seed"):
+        if not isinstance(workload.get(key), int):
+            fail(f"workload.{key} must be an integer")
+    if not isinstance(workload.get("series"), list) or not workload["series"]:
+        fail("workload.series must be a non-empty list")
+    cache = payload.get("cache")
+    if not isinstance(cache, dict):
+        fail("cache must be an object")
+    for key in ("cold_s", "warm_s", "speedup"):
+        value = cache.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"cache.{key} must be a positive number")
+    for key in ("repeats", "artifacts", "bytes_written"):
+        if not isinstance(cache.get(key), int) or cache[key] < 1:
+            fail(f"cache.{key} must be a positive integer")
+    no_cache = payload.get("no_cache")
+    if not isinstance(no_cache, dict):
+        fail("no_cache must be an object")
+    if not isinstance(no_cache.get("guards_per_run"), int) or no_cache["guards_per_run"] < 1:
+        fail("no_cache.guards_per_run must be a positive integer")
+    value = no_cache.get("overhead_bound")
+    if not isinstance(value, (int, float)) or value < 0:
+        fail("no_cache.overhead_bound must be a non-negative number")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    cache = payload["cache"]
+    no_cache = payload["no_cache"]
+    return "\n".join(
+        [
+            f"{'cold run (median)':<28}{cache['cold_s'] * 1e3:>10.1f} ms",
+            f"{'warm run (median)':<28}{cache['warm_s'] * 1e3:>10.1f} ms",
+            f"{'warm speedup':<28}{cache['speedup']:>9.1f}x  (floor {cache['speedup_floor']:.0f}x)",
+            f"{'artifacts written':<28}{cache['artifacts']:>10}  ({cache['bytes_written']} B)",
+            f"{'no-cache guards / run':<28}{no_cache['guards_per_run']:>10}",
+            f"{'no-cache overhead bound':<28}{no_cache['overhead_bound']:>10.6%}"
+            f"  (budget {no_cache['budget']:.0%})",
+        ]
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI profile: 3 topologies, 3 repeats")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="payload path (default BENCH_cache.json)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless warm speedup >= {SPEEDUP_FLOOR:.0f}x and "
+        f"no-cache overhead bound <= {NO_CACHE_BUDGET:.0%}",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing payload file and exit (no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        print(f"{args.validate}: valid {SCHEMA_ID} payload")
+        return 0
+
+    payload = run_benchmark(quick=args.quick)
+    validate_bench_payload(payload)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if payload["cache"]["speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"warm speedup {payload['cache']['speedup']}x below the "
+                f"{SPEEDUP_FLOOR:.0f}x floor"
+            )
+        if payload["no_cache"]["overhead_bound"] > NO_CACHE_BUDGET:
+            failures.append(
+                f"no-cache overhead bound {payload['no_cache']['overhead_bound']:.4%} "
+                f"exceeds the {NO_CACHE_BUDGET:.0%} budget"
+            )
+        if failures:
+            print("FAIL: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

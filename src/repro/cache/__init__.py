@@ -1,0 +1,20 @@
+"""``repro.cache`` — content-addressed, on-disk result memoization.
+
+A full per-topology :class:`~repro.core.strategy.StrategyEngine`
+evaluation is a pure function of a config fingerprint (the property the
+``repro.ckpt/v1`` checkpoint layer already proved); this package turns
+that purity into speed: every :class:`~repro.sim.runner.TaskResult` and
+every realized channel-set list is stored once on disk under its SHA-256
+content address and reloaded bit-identically on the next run, sweep
+point or plot refresh that needs it.
+
+Zero dependencies beyond the standard library and NumPy; crash-safe
+atomic writes; advisory file locking so concurrent runners can share one
+cache directory; corruption falls back to recompute, never to failure.
+See :mod:`repro.cache.store` for the ``repro.cache/v1`` on-disk schema.
+"""
+
+from .lock import FileLock
+from .store import SCHEMA_ID, CacheStats, ResultCache
+
+__all__ = ["SCHEMA_ID", "CacheStats", "FileLock", "ResultCache"]

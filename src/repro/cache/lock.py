@@ -1,0 +1,81 @@
+"""Advisory file locking for the shared cache directory.
+
+Multiple runner processes may point at one cache dir (that is the point
+of a shared cache), so every artifact read/write is bracketed by an
+advisory ``flock`` on a sidecar ``.lock`` file: writers take it
+exclusive for the whole write-then-rename, readers take it shared.  The
+atomic tmp-file + :func:`os.replace` protocol already guarantees a
+reader can never open a half-written artifact; the lock additionally
+serializes writers (no duplicated write work, deterministic loser) and
+gives readers a consistent artifact-plus-unlink view during corruption
+cleanup.
+
+``flock`` locks live on the open file description, so two handles in
+*one* process contend just like two processes do — which is what lets
+the torn-read test drive real contention with plain threads.  On
+platforms without :mod:`fcntl` the lock degrades to a no-op; atomic
+renames alone still keep readers safe there.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - import result depends on the platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """Context-managed advisory lock on ``path`` (created if missing).
+
+    ``shared=True`` takes a read lock (many readers may hold it at
+    once); the default is an exclusive write lock.  Acquisition blocks
+    until the lock is granted — cache critical sections are short
+    (one artifact's IO), so there is no timeout machinery.
+    """
+
+    def __init__(self, path: str, shared: bool = False):
+        self.path = path
+        self.shared = shared
+        self._handle = None
+
+    @property
+    def locked(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> "FileLock":
+        if self._handle is not None:
+            raise RuntimeError(f"lock {self.path!r} is already held")
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        handle = open(self.path, "a+b")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX)
+            except OSError:
+                handle.close()
+                raise
+        self._handle = handle
+        return self
+
+    def release(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False

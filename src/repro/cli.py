@@ -74,7 +74,38 @@ def _print_runner_stats(result) -> None:
             f"\nfault tolerance: {stats.retries} retries, {stats.timeouts} timeouts,"
             f" {stats.fallbacks} pool fallbacks, {stats.resumed} resumed from checkpoint"
         )
+    if stats.cache_hits or stats.cache_misses:
+        line += f"\ncache: {stats.cache_hits} hits, {stats.cache_misses} misses"
     print(line)
+
+
+def _make_cache(args):
+    """A ResultCache when --cache-dir asked for one (and --no-cache didn't veto).
+
+    ``None`` keeps every experiment entry point on the cache-free fast
+    path — no lookups, no key hashing, no filesystem traffic.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "no_cache", False) or not cache_dir:
+        return None
+    from .cache import ResultCache
+
+    return ResultCache(cache_dir)
+
+
+def _print_cache_stats(args, cache) -> None:
+    if not getattr(args, "cache_stats", False):
+        return
+    if cache is None:
+        print("cache: disabled")
+        return
+    stats = cache.stats
+    print(
+        f"cache: {stats.hits} hits, {stats.misses} misses"
+        f" ({stats.hit_rate:.0%} hit rate), {stats.corrupt} corrupt,"
+        f" {stats.stores} stores, {stats.bytes_read} B read,"
+        f" {stats.bytes_written} B written [{cache.root}]"
+    )
 
 
 def _retry_policy(args):
@@ -165,6 +196,7 @@ def _cmd_run(args) -> int:
     if not _check_resume_flags(args):
         return 2
     collector = _make_collector(args)
+    cache = _make_cache(args)
     try:
         if args.interference:
             result = run_emulated_experiment(
@@ -177,6 +209,7 @@ def _cmd_run(args) -> int:
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                cache=cache,
             )
         else:
             result = run_experiment(
@@ -188,6 +221,7 @@ def _cmd_run(args) -> int:
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                cache=cache,
             )
     except RunnerError as error:
         return _report_runner_failure(error)
@@ -204,6 +238,7 @@ def _cmd_run(args) -> int:
         rescue = compare(result.series_mbps("copa"), result.series_mbps("null"))
         print(f"COPA improves on nulling by {rescue.mean_improvement:.0%} mean")
     _print_runner_stats(result)
+    _print_cache_stats(args, cache)
     _emit_observability(
         args,
         collector,
@@ -255,6 +290,7 @@ def _cmd_report(args) -> int:
     if not _check_resume_flags(args):
         return 2
     collector = _make_collector(args)
+    cache = _make_cache(args)
     try:
         if args.interference:
             result = run_emulated_experiment(
@@ -267,6 +303,7 @@ def _cmd_report(args) -> int:
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                cache=cache,
             )
         else:
             result = run_experiment(
@@ -278,6 +315,7 @@ def _cmd_report(args) -> int:
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                cache=cache,
             )
     except RunnerError as error:
         return _report_runner_failure(error)
@@ -288,6 +326,7 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    _print_cache_stats(args, cache)
     _emit_observability(
         args,
         collector,
@@ -373,6 +412,24 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="reload completed topologies from --checkpoint instead of "
             "recomputing them (bit-identical)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            default=os.environ.get("REPRO_CACHE_DIR"),
+            help="content-addressed result cache root (repro.cache/v1); "
+            "warm runs reload channel realizations and per-topology "
+            "results bit-identically (default: $REPRO_CACHE_DIR)",
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache-dir / $REPRO_CACHE_DIR and recompute everything",
+        )
+        command.add_argument(
+            "--cache-stats",
+            action="store_true",
+            help="print cache hit/miss/corrupt counts and byte totals after the run",
         )
 
     run = sub.add_parser("run", help="run one scenario and print its CDF table")

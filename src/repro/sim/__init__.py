@@ -4,6 +4,11 @@ from .analysis import SubcarrierSharing, power_concentration, sharing_across_top
 from .checkpoint import CheckpointError, Journal, fingerprint_tasks, validate_journal
 from .config import DEFAULT_CONFIG, SimConfig
 from .emulation import run_emulated_experiment, scaled_traces, load_trace, save_trace
+from .fingerprint import (
+    fingerprint_channel_config,
+    fingerprint_channels,
+    fingerprint_task,
+)
 from .faults import (
     FaultKind,
     FaultPlan,
@@ -72,6 +77,9 @@ __all__ = [
     "RunnerStats",
     "SimulatedPoolBreak",
     "TopologyTask",
+    "fingerprint_channel_config",
+    "fingerprint_channels",
+    "fingerprint_task",
     "fingerprint_tasks",
     "validate_journal",
     "OVERCONSTRAINED_3X2",

@@ -39,7 +39,6 @@ untrusted input.
 from __future__ import annotations
 
 import base64
-import dataclasses
 import hashlib
 import json
 import os
@@ -47,7 +46,14 @@ import pickle
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+# Fingerprinting is hoisted into repro.sim.fingerprint so the checkpoint
+# journal and the result cache (repro.cache) share one definition of
+# "result-determining state"; re-exported here for backward compatibility.
+from .fingerprint import (  # noqa: F401  (re-exports)
+    describe_value as _describe,
+    fingerprint_tasks,
+    update_digest_with_channels as _update_with_channels,
+)
 
 __all__ = [
     "SCHEMA_ID",
@@ -62,56 +68,6 @@ SCHEMA_ID = "repro.ckpt/v1"
 
 class CheckpointError(ValueError):
     """A journal is malformed, mismatched or otherwise unusable."""
-
-
-# ---------------------------------------------------------------------------
-# Config fingerprinting.
-# ---------------------------------------------------------------------------
-
-
-def _describe(value) -> str:
-    """A stable, address-free description of one option value."""
-    if value is None:
-        return "None"
-    if callable(value):
-        module = getattr(value, "__module__", "?")
-        name = getattr(value, "__qualname__", getattr(value, "__name__", repr(value)))
-        return f"callable:{module}.{name}"
-    return repr(value)
-
-
-def _update_with_channels(digest, channels) -> None:
-    digest.update(f"noise={channels.noise_floor_mw!r};nsc={channels.n_subcarriers}".encode())
-    for key in sorted(channels.channels):
-        array = np.ascontiguousarray(channels.channels[key])
-        digest.update(f"H|{key[0]}|{key[1]}|{array.dtype.str}|{array.shape}".encode())
-        digest.update(array.tobytes())
-    topology = channels.topology
-    for (a, b), gain in sorted(topology.link_gain_db.items()):
-        digest.update(f"gain|{a}|{b}|{gain!r}".encode())
-
-
-def fingerprint_tasks(tasks: Sequence) -> str:
-    """SHA-256 over everything that determines the tasks' results.
-
-    Execution-only fields (``attempt``, ``observe``, ``fault_plan``) are
-    excluded on purpose: retried, observed or chaos-injected runs of the
-    same experiment must resume each other's journals.
-    """
-    digest = hashlib.sha256()
-    digest.update(f"{SCHEMA_ID};tasks={len(tasks)}".encode())
-    for task in tasks:
-        digest.update(
-            f"task|{task.index}|seed={task.seed}|coh={task.coherence_s!r}"
-            f"|plus={int(task.include_copa_plus)}".encode()
-        )
-        for field in dataclasses.fields(task.options):
-            digest.update(
-                f"opt|{field.name}={_describe(getattr(task.options, field.name))}".encode()
-            )
-        digest.update(repr(task.imperfections).encode())
-        _update_with_channels(digest, task.channels)
-    return digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------

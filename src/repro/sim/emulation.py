@@ -58,6 +58,7 @@ def run_emulated_experiment(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    cache=None,
 ) -> ExperimentResult:
     """Record the scenario's traces, weaken interference, replay (§4.4).
 
@@ -66,13 +67,15 @@ def run_emulated_experiment(
     path is bit-identical to the serial one (see :mod:`repro.sim.runner`).
     The execution/observability/fault-tolerance keywords (``workers``,
     ``chunk_size``, ``options``, ``collector``, ``policy``, ``checkpoint``,
-    ``resume``, ``fault_plan``) match
-    :func:`repro.sim.experiment.run_experiment`.
+    ``resume``, ``fault_plan``, ``cache``) match
+    :func:`repro.sim.experiment.run_experiment`; with a cache, the base
+    (unscaled) traces are memoized once and every offset's scaled replay
+    is derived from — and cached under — its own content address.
     """
     col = active(collector)
     with col.span("emulation", scenario=spec.name, offset_db=interference_offset_db):
         with col.span("record_traces"):
-            traces = generate_channel_sets(spec, config)
+            traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
         with col.span("transform_traces"):
             emulated = scaled_traces(traces, interference_offset_db)
         emulated_spec = ScenarioSpec(
@@ -94,6 +97,7 @@ def run_emulated_experiment(
             checkpoint=checkpoint,
             resume=resume,
             fault_plan=fault_plan,
+            cache=cache,
         )
 
 

@@ -118,12 +118,23 @@ class ExperimentResult:
 def generate_channel_sets(
     spec: ScenarioSpec,
     config: SimConfig = DEFAULT_CONFIG,
+    cache=None,
+    collector: Optional[Collector] = None,
 ) -> List[ChannelSet]:
     """Draw the scenario's channel realizations (its "traces").
 
     Separated from :func:`run_experiment` so trace-driven emulation
     (§4.4 / Fig. 12) can transform recorded channels before replaying.
+
+    ``cache`` (a :class:`repro.cache.ResultCache`) memoizes the whole
+    list under a fingerprint of the channel-determining spec/config
+    fields — two configs differing only in engine-side parameters (e.g.
+    ``coherence_s``) share one realization, bit-identically.
     """
+    if cache is not None:
+        hit = cache.load_channel_sets(spec, config, collector=collector)
+        if hit is not None:
+            return hit
     generator = config.topology_generator()
     model = config.channel_model()
     sets = []
@@ -134,6 +145,8 @@ def generate_channel_sets(
         if spec.interference_offset_db:
             channels = channels.scaled_interference(spec.interference_offset_db)
         sets.append(channels)
+    if cache is not None:
+        cache.store_channel_sets(spec, config, sets, collector=collector)
     return sets
 
 
@@ -150,6 +163,7 @@ def run_experiment(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    cache=None,
 ) -> ExperimentResult:
     """Run the full strategy evaluation over a scenario's topologies.
 
@@ -187,12 +201,20 @@ def run_experiment(
     ``fault_plan``
         deterministic fault injection (:mod:`repro.sim.faults`) — the
         chaos suite's hook; leave ``None`` for real runs.
+    ``cache``
+        a :class:`repro.cache.ResultCache`: channel realizations and
+        per-topology results are looked up by content address before
+        being recomputed, and stored after harvest.  Cached results are
+        bit-identical to cold ones; ``None`` (default) skips every cache
+        code path.
     """
     col = active(collector)
     with col.span("experiment", scenario=spec.name, n_topologies=config.n_topologies):
         if channel_sets is None:
             with col.span("generate_channel_sets"):
-                channel_sets = generate_channel_sets(spec, config)
+                channel_sets = generate_channel_sets(
+                    spec, config, cache=cache, collector=collector
+                )
         tasks = build_tasks(
             channel_sets,
             base_seed=config.seed,
@@ -211,5 +233,6 @@ def run_experiment(
             policy=policy,
             checkpoint=checkpoint,
             resume=resume,
+            cache=cache,
         )
     return ExperimentResult(spec=spec, records=records, stats=stats)

@@ -1,0 +1,163 @@
+"""Config fingerprinting shared by checkpoints and the result cache.
+
+Both the ``repro.ckpt/v1`` journal (:mod:`repro.sim.checkpoint`) and the
+content-addressed result cache (:mod:`repro.cache`) need the same answer
+to the same question: *which inputs decide a task's result?*  Keeping the
+answer in one module means the two subsystems cannot drift — a field that
+invalidates a cache entry also invalidates a journal, and vice versa.
+
+Determinism contract
+--------------------
+Every fingerprint here is a SHA-256 over **result-determining state
+only**:
+
+* per-task: index, seed, coherence time, the COPA+ flag, every
+  :class:`~repro.core.options.EngineOptions` field, the imperfection
+  model, and the raw channel bytes (dict order is canonicalized by
+  sorting, so insertion order never matters);
+* execution-only task fields (``attempt``, ``observe``, ``fault_plan``)
+  are deliberately **excluded** — a retried, observed or chaos-injected
+  run produces the same bytes, so it must share keys with a clean run;
+* callables are described by ``module.qualname``, never by ``repr`` (a
+  memory address would change every process restart).
+
+The resulting hex digests are stable across processes, machines and
+Python versions for a given repo state; ``tests/sim/test_fingerprint.py``
+pins golden values to catch accidental drift.
+
+Everything here is duck-typed (tasks, channel sets, scenario specs and
+sim configs are only touched through their public attributes), so this
+module imports nothing from the rest of the package and sits below both
+:mod:`repro.sim.checkpoint` and :mod:`repro.cache` in the layering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "describe_value",
+    "update_digest_with_channels",
+    "fingerprint_channels",
+    "fingerprint_task",
+    "fingerprint_tasks",
+    "fingerprint_channel_config",
+]
+
+#: Salt for per-task fingerprints; bump when the hashed fields change.
+TASK_SALT = "repro.task/v1"
+#: Salt for channel-realization config fingerprints.
+CHANNELS_SALT = "repro.channels/v1"
+
+#: :class:`repro.sim.config.SimConfig` fields that do **not** influence
+#: :func:`repro.sim.experiment.generate_channel_sets`.  Everything not
+#: listed here is hashed, so a *new* config field conservatively changes
+#: the channel key until it is proven irrelevant and added to this set.
+CHANNEL_IRRELEVANT_CONFIG_FIELDS = frozenset(
+    {"coherence_s", "csi_error_db", "tx_evm_db", "carrier_leakage_db"}
+)
+
+#: :class:`repro.sim.experiment.ScenarioSpec` fields that do not influence
+#: channel realization (``name`` is presentational; ``include_copa_plus``
+#: only selects which engines run over the same channels).
+CHANNEL_IRRELEVANT_SPEC_FIELDS = frozenset({"name", "include_copa_plus"})
+
+
+def describe_value(value) -> str:
+    """A stable, address-free description of one option value."""
+    if value is None:
+        return "None"
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        name = getattr(value, "__qualname__", getattr(value, "__name__", repr(value)))
+        return f"callable:{module}.{name}"
+    return repr(value)
+
+
+def update_digest_with_channels(digest, channels) -> None:
+    """Feed one :class:`~repro.phy.channel.ChannelSet` into ``digest``.
+
+    Channel matrices are hashed in sorted key order with their dtype and
+    shape, so two sets holding bit-identical arrays fingerprint equal no
+    matter how their dicts were built.
+    """
+    digest.update(f"noise={channels.noise_floor_mw!r};nsc={channels.n_subcarriers}".encode())
+    for key in sorted(channels.channels):
+        array = np.ascontiguousarray(channels.channels[key])
+        digest.update(f"H|{key[0]}|{key[1]}|{array.dtype.str}|{array.shape}".encode())
+        digest.update(array.tobytes())
+    topology = channels.topology
+    for (a, b), gain in sorted(topology.link_gain_db.items()):
+        digest.update(f"gain|{a}|{b}|{gain!r}".encode())
+
+
+def fingerprint_channels(channels) -> str:
+    """SHA-256 over one realized channel set's content."""
+    digest = hashlib.sha256()
+    update_digest_with_channels(digest, channels)
+    return digest.hexdigest()
+
+
+def _update_digest_with_task(digest, task) -> None:
+    digest.update(
+        f"task|{task.index}|seed={task.seed}|coh={task.coherence_s!r}"
+        f"|plus={int(task.include_copa_plus)}".encode()
+    )
+    for field in dataclasses.fields(task.options):
+        digest.update(f"opt|{field.name}={describe_value(getattr(task.options, field.name))}".encode())
+    digest.update(repr(task.imperfections).encode())
+    update_digest_with_channels(digest, task.channels)
+
+
+def fingerprint_task(task) -> str:
+    """SHA-256 over everything that determines one task's result.
+
+    This is the result cache's content address for the task's
+    :class:`~repro.sim.runner.TaskResult`: two tasks share a key exactly
+    when a correct engine must produce bit-identical records for them.
+    """
+    digest = hashlib.sha256()
+    digest.update(TASK_SALT.encode())
+    _update_digest_with_task(digest, task)
+    return digest.hexdigest()
+
+
+def fingerprint_tasks(tasks: Sequence) -> str:
+    """SHA-256 over everything that determines the tasks' results.
+
+    Execution-only fields (``attempt``, ``observe``, ``fault_plan``) are
+    excluded on purpose: retried, observed or chaos-injected runs of the
+    same experiment must resume each other's journals.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro.ckpt/v1;tasks={len(tasks)}".encode())
+    for task in tasks:
+        _update_digest_with_task(digest, task)
+    return digest.hexdigest()
+
+
+def fingerprint_channel_config(spec, config) -> str:
+    """SHA-256 key for a scenario's full list of channel realizations.
+
+    Hashes every :class:`ScenarioSpec` and :class:`SimConfig` field
+    *except* the explicitly channel-irrelevant ones, so e.g. two configs
+    differing only in ``coherence_s`` or ``csi_error_db`` share one set
+    of realized channels while any seed/geometry/fading change gets a
+    fresh key.  Unknown future fields are hashed by default — stale
+    reuse is the one failure mode this must never have.
+    """
+    digest = hashlib.sha256()
+    digest.update(CHANNELS_SALT.encode())
+    for field in dataclasses.fields(spec):
+        if field.name in CHANNEL_IRRELEVANT_SPEC_FIELDS:
+            continue
+        digest.update(f"spec|{field.name}={describe_value(getattr(spec, field.name))}".encode())
+    for field in dataclasses.fields(config):
+        if field.name in CHANNEL_IRRELEVANT_CONFIG_FIELDS:
+            continue
+        digest.update(f"config|{field.name}={describe_value(getattr(config, field.name))}".encode())
+    return digest.hexdigest()

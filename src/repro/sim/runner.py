@@ -30,6 +30,15 @@ Checkpoint-resume: pass ``checkpoint=`` (a path) and every completed
 :mod:`repro.sim.checkpoint`); ``resume=True`` reloads completed indices
 instead of recomputing them, bit-identically.
 
+Result caching: pass ``cache=`` (a :class:`repro.cache.ResultCache`) and
+every task is looked up by its content address before dispatch — hits
+skip evaluation entirely — while freshly computed results are stored
+after harvest.  Cache keys exclude execution-only state (attempt,
+observation, fault plans), so caching composes with retries, chaos
+injection and checkpoints: the journal fingerprint still covers the full
+task list, and a cached result is bit-identical to a cold one (pinned by
+``tests/sim/test_cache_differential.py``).
+
 Graceful degradation: with ``workers=1`` (or one task, or an unpicklable
 task, or a pool that fails to start) the runner evaluates serially in the
 calling process and records why in :attr:`RunnerStats.fallback_reason`; it
@@ -334,6 +343,11 @@ class RunnerStats:
     fallbacks: int = 0
     #: Topologies restored from a checkpoint journal instead of recomputed.
     resumed: int = 0
+    #: Topologies served from the content-addressed result cache.
+    cache_hits: int = 0
+    #: Topologies that missed the cache and were (re)computed (0 when no
+    #: cache was attached).
+    cache_misses: int = 0
 
     @property
     def n_topologies(self) -> int:
@@ -669,6 +683,7 @@ def run_tasks(
     policy: Optional[RetryPolicy] = None,
     checkpoint: Optional[Union[str, Journal]] = None,
     resume: bool = False,
+    cache=None,
 ) -> Tuple[List[TopologyRecord], RunnerStats]:
     """Evaluate every task, in parallel when possible; results in task order.
 
@@ -689,6 +704,12 @@ def run_tasks(
     When ``collector`` is given, every task is observed (worker-local
     spans + metrics, merged back here) regardless of which path ran it —
     so serial and parallel runs yield the same trace shape.
+
+    When ``cache`` is given (a :class:`repro.cache.ResultCache`), each
+    task is looked up by content address first; hits are excluded from
+    dispatch and fresh results are stored after harvest.  A checkpoint
+    journal, if any, is still fingerprinted over the *full* task list,
+    so cached and uncached runs of one experiment share journals.
     """
     col = active(collector)
     tasks = list(tasks)
@@ -699,6 +720,14 @@ def run_tasks(
     )
     if col.enabled:
         tasks = [replace(task, observe=True) for task in tasks]
+    all_tasks = tasks
+    cached: Dict[int, TaskResult] = {}
+    if cache is not None:
+        for task in all_tasks:
+            hit = cache.load_result(task, collector=collector)
+            if hit is not None:
+                cached[task.index] = hit
+        tasks = [task for task in all_tasks if task.index not in cached]
     n_workers = resolve_workers(workers)
     chunk = int(chunk_size) if chunk_size else auto_chunk_size(len(tasks), n_workers)
     dispatch_start_s = col.tracer.now()
@@ -711,7 +740,9 @@ def run_tasks(
     resumed = 0
 
     if not fault_tolerant:
-        if n_workers <= 1:
+        if not tasks:
+            results = []  # everything was served from the cache
+        elif n_workers <= 1:
             fallback_reason = None if workers in (None, 1) else "resolved to a single worker"
         elif len(tasks) <= 1:
             fallback_reason = "one task or fewer; pool overhead not worth it"
@@ -734,7 +765,10 @@ def run_tasks(
         if isinstance(checkpoint, Journal):
             journal = checkpoint
         elif checkpoint is not None:
-            journal = Journal.open(str(checkpoint), tasks, resume=resume)
+            # Fingerprint over the full task list (not just cache misses)
+            # so the journal stays resumable whether or not a cache was
+            # attached, and however the hit pattern falls.
+            journal = Journal.open(str(checkpoint), all_tasks, resume=resume)
             owns_journal = True
         try:
             if n_workers <= 1 and workers not in (None, 1):
@@ -748,10 +782,20 @@ def run_tasks(
             if owns_journal and journal is not None:
                 journal.close()
         if failures:
-            survivors = [completed[t.index].record for t in tasks if t.index in completed]
-            raise RunnerError(failures, records=survivors, total=len(tasks))
+            survivors = [
+                (cached.get(t.index) or completed[t.index]).record
+                for t in all_tasks
+                if t.index in cached or t.index in completed
+            ]
+            raise RunnerError(failures, records=survivors, total=len(all_tasks))
         results = [completed[task.index] for task in tasks]
         chunk = 1 if parallel else chunk
+
+    if cache is not None:
+        for task, result in zip(tasks, results):
+            cache.store_result(task, result, collector=collector)
+        computed = {task.index: result for task, result in zip(tasks, results)}
+        results = [cached.get(task.index) or computed[task.index] for task in all_tasks]
 
     n_spans = 0
     if col.enabled:
@@ -778,5 +822,7 @@ def run_tasks(
         timeouts=_count(events, "timeout"),
         fallbacks=_count(events, "fallback"),
         resumed=resumed,
+        cache_hits=len(cached),
+        cache_misses=len(tasks) if cache is not None else 0,
     )
     return [result.record for result in results], stats

@@ -92,6 +92,7 @@ def sweep_coherence_time(
     policy: Optional["RetryPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    cache=None,
 ) -> SweepResult:
     """COPA vs CSMA as the channel gets more static.
 
@@ -100,11 +101,13 @@ def sweep_coherence_time(
     effect on end-to-end throughput.  The execution/observability keywords
     (``workers``, ``chunk_size``, ``options``, ``collector``) are the same
     surface :func:`repro.sim.experiment.run_experiment` takes and are
-    forwarded to every point's experiment.
+    forwarded to every point's experiment.  With ``cache`` the shared
+    traces are memoized once and each point's per-topology results are
+    cached under their own coherence-specific content addresses.
     """
     col = active(collector)
     with col.span("sweep", parameter="coherence_s", points=len(list(coherence_values_s))):
-        traces = generate_channel_sets(spec, config)
+        traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
         points = []
         for point_index, coherence_s in enumerate(coherence_values_s):
             with col.span("sweep.point", value=float(coherence_s)):
@@ -119,6 +122,7 @@ def sweep_coherence_time(
                     policy=policy,
                     checkpoint=_point_checkpoint(checkpoint_dir, point_index),
                     resume=resume,
+                    cache=cache,
                 )
             points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
             col.inc("sweep.points")
@@ -136,11 +140,19 @@ def sweep_interference(
     policy: Optional["RetryPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    cache=None,
 ) -> SweepResult:
-    """§4.4 generalized: scale the cross links through a range of offsets."""
+    """§4.4 generalized: scale the cross links through a range of offsets.
+
+    One base channel realization is drawn (or, with ``cache``, reloaded
+    from the channel cache) and every point derives its operating
+    conditions from it via :meth:`ChannelSet.scaled_interference` — the
+    cheap transform — so the cache holds a single base realization plus
+    per-offset result artifacts, never one realization per offset.
+    """
     col = active(collector)
     with col.span("sweep", parameter="interference_offset_db", points=len(list(offsets_db))):
-        traces = generate_channel_sets(spec, config)
+        traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
         points = []
         for point_index, offset in enumerate(offsets_db):
             with col.span("sweep.point", value=float(offset)):
@@ -156,6 +168,7 @@ def sweep_interference(
                     policy=policy,
                     checkpoint=_point_checkpoint(checkpoint_dir, point_index),
                     resume=resume,
+                    cache=cache,
                 )
             points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
             col.inc("sweep.points")
@@ -172,6 +185,7 @@ def sweep_antenna_configurations(
     policy: Optional["RetryPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    cache=None,
 ) -> SweepResult:
     """The §4 progression: spatial degrees of freedom vs COPA's win.
 
@@ -199,6 +213,7 @@ def sweep_antenna_configurations(
                     policy=policy,
                     checkpoint=_point_checkpoint(checkpoint_dir, point_index),
                     resume=resume,
+                    cache=cache,
                 )
             points.append(
                 SweepPoint(

@@ -1,0 +1,252 @@
+"""Fingerprint stability: the cache/checkpoint keys and what moves them.
+
+The contract pinned here is the one both ``repro.ckpt/v1`` journals and
+the ``repro.cache/v1`` store build on: a fingerprint is a pure function
+of **result-determining state only**.  Execution detail (retry attempt,
+observation, fault plans, dict insertion order, freshly constructed but
+equal-valued options) must not move a key; anything that changes the
+computed numbers (seed, coherence, engine options, channel bytes) must.
+
+Golden values at the bottom pin the exact hex digests so accidental
+hashing changes are caught even when they are internally consistent.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.sim.checkpoint as checkpoint
+import repro.sim.fingerprint as fingerprint_module
+from repro.core.options import EngineOptions
+from repro.phy.channel import ChannelSet
+from repro.sim.config import SimConfig
+from repro.sim.experiment import ScenarioSpec, generate_channel_sets
+from repro.sim.faults import FaultKind, FaultPlan
+from repro.sim.fingerprint import (
+    CHANNEL_IRRELEVANT_CONFIG_FIELDS,
+    CHANNEL_IRRELEVANT_SPEC_FIELDS,
+    describe_value,
+    fingerprint_channel_config,
+    fingerprint_channels,
+    fingerprint_task,
+    fingerprint_tasks,
+)
+from repro.sim.runner import build_tasks
+
+CONFIG = SimConfig(n_topologies=2)
+SPEC = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return build_tasks(
+        generate_channel_sets(SPEC, CONFIG),
+        base_seed=CONFIG.seed,
+        coherence_s=CONFIG.coherence_s,
+        imperfections=CONFIG.imperfections(),
+    )
+
+
+class TestHoisting:
+    """The checkpoint module re-exports the shared fingerprint machinery."""
+
+    def test_checkpoint_reexports_the_same_function(self):
+        assert checkpoint.fingerprint_tasks is fingerprint_module.fingerprint_tasks
+
+    def test_fingerprints_are_in_the_sim_namespace(self):
+        import repro.sim as sim
+
+        assert sim.fingerprint_task is fingerprint_task
+        assert sim.fingerprint_channels is fingerprint_channels
+        assert sim.fingerprint_channel_config is fingerprint_channel_config
+
+
+class TestDescribeValue:
+    def test_callables_described_by_qualname_not_address(self):
+        from repro.core.mercury import mercury_allocate
+
+        described = describe_value(mercury_allocate)
+        assert described == "callable:repro.core.mercury.mercury_allocate"
+        assert "0x" not in described
+
+    def test_none_and_scalars(self):
+        assert describe_value(None) == "None"
+        assert describe_value(3.5) == "3.5"
+
+
+class TestTaskKeyStability:
+    def test_repeated_calls_agree(self, tasks):
+        assert fingerprint_task(tasks[0]) == fingerprint_task(tasks[0])
+        assert fingerprint_tasks(tasks) == fingerprint_tasks(tasks)
+
+    def test_rebuilt_tasks_agree(self, tasks):
+        rebuilt = build_tasks(
+            generate_channel_sets(SPEC, CONFIG),
+            base_seed=CONFIG.seed,
+            coherence_s=CONFIG.coherence_s,
+            imperfections=CONFIG.imperfections(),
+        )
+        assert [fingerprint_task(t) for t in rebuilt] == [fingerprint_task(t) for t in tasks]
+
+    def test_keys_are_distinct_per_topology(self, tasks):
+        keys = {fingerprint_task(task) for task in tasks}
+        assert len(keys) == len(tasks)
+
+    def test_channel_dict_order_is_canonicalized(self, tasks):
+        channels = tasks[0].channels
+        shuffled = ChannelSet(
+            topology=channels.topology,
+            channels=dict(reversed(list(channels.channels.items()))),
+            noise_floor_mw=channels.noise_floor_mw,
+            n_subcarriers=channels.n_subcarriers,
+        )
+        assert fingerprint_channels(shuffled) == fingerprint_channels(channels)
+        assert fingerprint_task(dataclasses.replace(tasks[0], channels=shuffled)) == (
+            fingerprint_task(tasks[0])
+        )
+
+    def test_fresh_equal_valued_options_do_not_move_the_key(self, tasks):
+        same = dataclasses.replace(tasks[0], options=EngineOptions())
+        assert fingerprint_task(same) == fingerprint_task(tasks[0])
+
+
+class TestExecutionOnlyFieldsExcluded:
+    """Retried, observed or chaos-injected runs must share keys."""
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"attempt": 3},
+            {"observe": True},
+            {"fault_plan": FaultPlan.at([0], FaultKind.CRASH)},
+        ],
+        ids=["attempt", "observe", "fault_plan"],
+    )
+    def test_field_does_not_move_task_key(self, tasks, override):
+        changed = dataclasses.replace(tasks[0], **override)
+        assert fingerprint_task(changed) == fingerprint_task(tasks[0])
+        assert fingerprint_tasks([changed, tasks[1]]) == fingerprint_tasks(tasks)
+
+
+class TestResultDeterminingFieldsIncluded:
+    """Anything that changes the computed numbers must change the key."""
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 1},
+            {"coherence_s": 0.120},
+            {"include_copa_plus": True},
+            {"options": EngineOptions(max_iterations=3)},
+            {"options": EngineOptions(tx_power_dbm=10.0)},
+        ],
+        ids=["seed", "coherence", "plus", "max_iterations", "tx_power"],
+    )
+    def test_field_moves_task_key(self, tasks, override):
+        changed = dataclasses.replace(tasks[0], **override)
+        assert fingerprint_task(changed) != fingerprint_task(tasks[0])
+
+    def test_channel_bytes_move_the_key(self, tasks):
+        channels = tasks[0].channels
+        (key, h), *rest = channels.channels.items()
+        perturbed = dict(channels.channels)
+        perturbed[key] = h + 1e-12
+        changed = ChannelSet(
+            topology=channels.topology,
+            channels=perturbed,
+            noise_floor_mw=channels.noise_floor_mw,
+            n_subcarriers=channels.n_subcarriers,
+        )
+        assert fingerprint_channels(changed) != fingerprint_channels(channels)
+        assert fingerprint_task(dataclasses.replace(tasks[0], channels=changed)) != (
+            fingerprint_task(tasks[0])
+        )
+
+
+class TestChannelConfigKey:
+    """generate_channel_sets' cache key: realization inputs only."""
+
+    def test_engine_side_fields_do_not_move_the_key(self):
+        base = fingerprint_channel_config(SPEC, CONFIG)
+        for field_name, value in [
+            ("coherence_s", 1.0),
+            ("csi_error_db", -10.0),
+            ("tx_evm_db", -20.0),
+            ("carrier_leakage_db", -50.0),
+        ]:
+            assert fingerprint_channel_config(SPEC, CONFIG.with_(**{field_name: value})) == base
+
+    def test_spec_presentation_fields_do_not_move_the_key(self):
+        base = fingerprint_channel_config(SPEC, CONFIG)
+        renamed = dataclasses.replace(SPEC, name="renamed")
+        with_plus = dataclasses.replace(SPEC, include_copa_plus=True)
+        assert fingerprint_channel_config(renamed, CONFIG) == base
+        assert fingerprint_channel_config(with_plus, CONFIG) == base
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 7},
+            {"n_topologies": 3},
+            {"rms_delay_spread_s": 100e-9},
+            {"antenna_correlation": 0.3},
+        ],
+        ids=["seed", "n_topologies", "delay_spread", "correlation"],
+    )
+    def test_realization_fields_move_the_key(self, override):
+        base = fingerprint_channel_config(SPEC, CONFIG)
+        assert fingerprint_channel_config(SPEC, CONFIG.with_(**override)) != base
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"ap_antennas": 4},
+            {"client_antennas": 2},
+            {"interference_offset_db": -10.0},
+        ],
+        ids=["ap_antennas", "client_antennas", "interference"],
+    )
+    def test_spec_geometry_fields_move_the_key(self, override):
+        base = fingerprint_channel_config(SPEC, CONFIG)
+        assert fingerprint_channel_config(dataclasses.replace(SPEC, **override), CONFIG) != base
+
+    def test_exclusion_lists_name_real_fields(self):
+        config_fields = {f.name for f in dataclasses.fields(SimConfig)}
+        spec_fields = {f.name for f in dataclasses.fields(ScenarioSpec)}
+        assert CHANNEL_IRRELEVANT_CONFIG_FIELDS <= config_fields
+        assert CHANNEL_IRRELEVANT_SPEC_FIELDS <= spec_fields
+
+
+class TestGoldenKeys:
+    """Pinned hex digests for ``SimConfig(n_topologies=2)`` / 1×1.
+
+    These catch hashing changes that are internally consistent (both
+    store and lookup move together) but would silently orphan every
+    artifact in existing cache directories and checkpoint journals.
+    Update policy: if a change to the hashed fields is *intentional*,
+    bump the relevant salt (``TASK_SALT`` / ``CHANNELS_SALT`` /
+    ``repro.ckpt/v1``) and regenerate these constants; never update the
+    constants without a salt bump.
+    """
+
+    GOLDEN_TASK_KEYS = [
+        "39e1b78d1a50010e961d31a81965313aef9883de80e96b3951d66fcfaf34ded8",
+        "1c14ca28d183b598c3be39841c8064809fb669a79281d52325e82ade00b1c532",
+    ]
+    GOLDEN_TASKS_KEY = "c886fbae786c3ea3f1425621af6fe4cc6c39c633dff8b9b7856b360081cf8a3d"
+    GOLDEN_CHANNELS_KEY = "0cf68c3b6cf4194bdce22e4b984dc5f082e2d4079b42df6cfa2785783f9a38e3"
+
+    def test_task_keys(self, tasks):
+        assert [fingerprint_task(task) for task in tasks] == self.GOLDEN_TASK_KEYS
+
+    def test_tasks_key(self, tasks):
+        assert fingerprint_tasks(tasks) == self.GOLDEN_TASKS_KEY
+
+    def test_channel_config_key(self):
+        assert fingerprint_channel_config(SPEC, CONFIG) == self.GOLDEN_CHANNELS_KEY
+
+    def test_keys_are_hex_sha256(self, tasks):
+        for key in [fingerprint_task(tasks[0]), fingerprint_channel_config(SPEC, CONFIG)]:
+            assert len(key) == 64
+            int(key, 16)

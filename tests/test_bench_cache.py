@@ -1,0 +1,84 @@
+"""The cache perf harness: schema contract and committed baseline.
+
+``benchmarks/bench_cache.py`` is a script, not a package module, so it
+is loaded from its file path here.  The tests pin the
+``repro.bench/cache-v1`` schema (the CI cache-smoke job uploads payloads
+that must stay parseable across PRs) and keep the committed repo-root
+``BENCH_cache.json`` valid.  The timing acceptance itself (warm >= 5x,
+no-cache overhead <= 1%) runs in CI via ``--quick --check``; re-running
+the full benchmark here would double the suite's wall-clock for numbers
+the committed baseline already records.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SCRIPT = os.path.join(_REPO_ROOT, "benchmarks", "bench_cache.py")
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_cache", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baseline_payload():
+    with open(os.path.join(_REPO_ROOT, "BENCH_cache.json")) as handle:
+        return json.load(handle)
+
+
+class TestCommittedBaseline:
+    def test_is_schema_valid(self, bench, baseline_payload):
+        bench.validate_bench_payload(baseline_payload)
+
+    def test_meets_the_acceptance_budgets(self, bench, baseline_payload):
+        assert baseline_payload["cache"]["speedup"] >= bench.SPEEDUP_FLOOR
+        assert baseline_payload["no_cache"]["overhead_bound"] <= bench.NO_CACHE_BUDGET
+
+    def test_report_formats(self, bench, baseline_payload):
+        report = bench.format_report(baseline_payload)
+        assert "warm speedup" in report
+        assert "no-cache overhead bound" in report
+
+
+class TestSchemaValidation:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("schema"),
+            lambda p: p.__setitem__("schema", "repro.bench/phy-v1"),
+            lambda p: p.pop("cache"),
+            lambda p: p["cache"].__setitem__("speedup", -1),
+            lambda p: p["cache"].__setitem__("artifacts", 0),
+            lambda p: p.pop("no_cache"),
+            lambda p: p["no_cache"].__setitem__("overhead_bound", "fast"),
+            lambda p: p["workload"].__setitem__("series", []),
+        ],
+        ids=[
+            "missing_schema",
+            "wrong_schema",
+            "missing_cache",
+            "negative_speedup",
+            "zero_artifacts",
+            "missing_no_cache",
+            "non_numeric_bound",
+            "empty_series",
+        ],
+    )
+    def test_damaged_payloads_are_rejected(self, bench, baseline_payload, mutate):
+        payload = copy.deepcopy(baseline_payload)
+        mutate(payload)
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(payload)
+
+    def test_guard_count_matches_the_source(self, bench):
+        """The analytic overhead bound counts real guards, not zero."""
+        assert bench._guards_per_run() >= 4

@@ -134,6 +134,69 @@ class TestFaultTolerance:
         assert main(["report", "1x1", "-n", "2", "--resume"]) == 2
         assert "--resume requires --checkpoint" in capsys.readouterr().err
 
+    def test_cache_flag_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["run", "1x1"])
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.cache_stats is False
+
+    def test_cache_dir_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/envcache")
+        args = build_parser().parse_args(["run", "1x1"])
+        assert args.cache_dir == "/tmp/envcache"
+
+    def test_run_twice_hits_the_cache(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        flags = ["run", "1x1", "-n", "2", "-w", "1", "--cache-dir", root, "--cache-stats"]
+        assert main(flags) == 0
+        cold = capsys.readouterr().out
+        assert "cache: 0 hits, 2 misses" in cold
+        assert "stores" in cold
+
+        assert main(flags) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 2 hits, 0 misses" in warm
+        assert "(100% hit rate)" in warm
+
+        # Identical scheme tables, modulo the wall-clock and cache lines.
+        def table(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "topologies in" not in line and "cache" not in line
+            ]
+
+        assert table(warm) == table(cold)
+
+    def test_no_cache_disables_lookup_and_store(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["run", "1x1", "-n", "2", "-w", "1", "--cache-dir", root]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "run", "1x1", "-n", "2", "-w", "1",
+                    "--cache-dir", root, "--no-cache", "--cache-stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+        assert "hits" not in out
+
+    def test_report_shares_the_run_cache(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["run", "1x1", "-n", "2", "-w", "1", "--cache-dir", root]) == 0
+        capsys.readouterr()
+        assert (
+            main(["report", "1x1", "-n", "2", "-w", "1", "--cache-dir", root, "--cache-stats"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(100% hit rate)" in out
+
     def test_permanent_failure_reports_per_topology(self, capsys, monkeypatch):
         import repro.cli as cli
         from repro.sim.runner import RunnerError
