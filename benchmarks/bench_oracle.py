@@ -1,0 +1,214 @@
+"""Acceptance benchmark for the allocator oracle and differential harness.
+
+Two guarantees guard the ``repro.core.oracle`` subsystem:
+
+* **agreement** — on a seeded sweep of random office topologies the
+  iterative allocators must match the optimization oracle within the
+  documented per-scheme tolerance (:data:`repro.core.oracle.ORACLE_RTOL`)
+  with **zero** mismatches;
+* **equilibrium sanity** — best-response regrets on random N-player
+  interference graphs must stay in ``[0, 1]`` (a regret outside that
+  range means the checker itself is broken, not the heuristic).
+
+The payload also records the measured worst relative gap per scheme and
+the per-case solve cost, so tolerance or performance drift shows up as a
+diff against the committed ``BENCH_oracle.json``.
+
+Run it as a script (CI uses ``--quick --check``)::
+
+    PYTHONPATH=src python benchmarks/bench_oracle.py [--quick]
+        [--output BENCH_oracle.json] [--check] [--validate PATH]
+
+``--check`` exits non-zero on any oracle-vs-implementation mismatch or
+out-of-range regret; ``--validate PATH`` only validates an existing
+payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+SCHEMA_ID = "repro.bench/oracle-v1"
+DEFAULT_OUTPUT = "BENCH_oracle.json"
+
+#: Seeds per scheme for the differential sweep (full / --quick profile).
+N_SEEDS, N_SEEDS_QUICK = 30, 8
+#: Seeds and players for the N-player equilibrium sweep.
+EQ_SEEDS, EQ_SEEDS_QUICK, EQ_PLAYERS = 5, 2, 3
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    """Run the differential + equilibrium sweeps, build the oracle-v1 payload."""
+    from repro.core import differential
+    from repro.core.oracle import ORACLE_RTOL, solver_available
+
+    n_seeds = N_SEEDS_QUICK if quick else N_SEEDS
+    schemes: Dict[str, Dict[str, object]] = {}
+    for scheme in sorted(differential.SCHEMES):
+        start = time.perf_counter()
+        report = differential.differential_sweep(scheme, range(n_seeds))
+        sweep_s = time.perf_counter() - start
+        schemes[scheme] = {
+            "n_seeds": n_seeds,
+            "n_cases": report.n_total,
+            "mismatches": len(report.mismatches),
+            "worst_gap": float(report.worst_gap),
+            "tolerance": ORACLE_RTOL[scheme],
+            "sweep_s": round(sweep_s, 3),
+            "per_case_ms": round(sweep_s / report.n_total * 1e3, 3),
+        }
+
+    eq_seeds = EQ_SEEDS_QUICK if quick else EQ_SEEDS
+    start = time.perf_counter()
+    eq_report = differential.equilibrium_sweep(range(eq_seeds), n_players=EQ_PLAYERS)
+    eq_s = time.perf_counter() - start
+
+    return {
+        "schema": SCHEMA_ID,
+        "quick": quick,
+        "schemes": schemes,
+        "equilibrium": {
+            "n_seeds": eq_seeds,
+            "n_players": EQ_PLAYERS,
+            "worst_regret": round(float(eq_report.worst_regret), 6),
+            "mean_regret": round(float(eq_report.mean_regret), 6),
+            "sweep_s": round(eq_s, 3),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy_solver": solver_available(),
+        },
+    }
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid oracle-v1 document."""
+
+    def fail(message: str):
+        raise ValueError(f"BENCH_oracle payload invalid: {message}")
+
+    if not isinstance(payload, dict):
+        fail("payload must be an object")
+    if payload.get("schema") != SCHEMA_ID:
+        fail(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("quick"), bool):
+        fail("quick must be a boolean")
+    schemes = payload.get("schemes")
+    if not isinstance(schemes, dict) or not schemes:
+        fail("schemes must be a non-empty object")
+    for name, entry in schemes.items():
+        if not isinstance(entry, dict):
+            fail(f"schemes.{name} must be an object")
+        for key in ("n_seeds", "n_cases", "mismatches"):
+            if not isinstance(entry.get(key), int) or entry[key] < 0:
+                fail(f"schemes.{name}.{key} must be a non-negative integer")
+        if entry["n_cases"] < entry["n_seeds"]:
+            fail(f"schemes.{name}: fewer cases than seeds")
+        for key in ("worst_gap", "tolerance", "sweep_s", "per_case_ms"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"schemes.{name}.{key} must be a non-negative number")
+    equilibrium = payload.get("equilibrium")
+    if not isinstance(equilibrium, dict):
+        fail("equilibrium must be an object")
+    for key in ("n_seeds", "n_players"):
+        if not isinstance(equilibrium.get(key), int) or equilibrium[key] < 1:
+            fail(f"equilibrium.{key} must be a positive integer")
+    for key in ("worst_regret", "mean_regret"):
+        value = equilibrium.get(key)
+        if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+            fail(f"equilibrium.{key} must be a number in [0, 1]")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = []
+    for name, entry in sorted(payload["schemes"].items()):
+        lines.append(
+            f"{name:<12} {entry['n_cases']:>4} cases  "
+            f"worst gap {entry['worst_gap']:>9.2e}  "
+            f"(tol {entry['tolerance']:.0e})  "
+            f"{entry['per_case_ms']:>7.1f} ms/case  "
+            f"mismatches {entry['mismatches']}"
+        )
+    eq = payload["equilibrium"]
+    lines.append(
+        f"{'equilibrium':<12} {eq['n_seeds']} graphs x {eq['n_players']} players  "
+        f"worst regret {eq['worst_regret']:.3f}  mean {eq['mean_regret']:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def check_payload(payload: Dict[str, object]) -> List[str]:
+    """Return the list of acceptance failures (empty = pass)."""
+    failures = []
+    for name, entry in payload["schemes"].items():
+        if entry["mismatches"]:
+            failures.append(f"{name}: {entry['mismatches']} oracle mismatches")
+        if entry["worst_gap"] > entry["tolerance"]:
+            failures.append(
+                f"{name}: worst gap {entry['worst_gap']:.3g} exceeds "
+                f"tolerance {entry['tolerance']:g}"
+            )
+    eq = payload["equilibrium"]
+    if not 0.0 <= eq["worst_regret"] <= 1.0:
+        failures.append(f"equilibrium: worst regret {eq['worst_regret']} outside [0, 1]")
+    return failures
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI profile: {N_SEEDS_QUICK} seeds/scheme, {EQ_SEEDS_QUICK} graphs",
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="payload path (default BENCH_oracle.json)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any oracle mismatch or out-of-range regret",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing payload file and exit (no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        print(f"{args.validate}: valid {SCHEMA_ID} payload")
+        return 0
+
+    payload = run_benchmark(quick=args.quick)
+    validate_bench_payload(payload)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_payload(payload)
+        if failures:
+            print("FAIL: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

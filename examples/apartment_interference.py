@@ -8,8 +8,13 @@ interval — for half a second of simulated air time, then reports what the
 two households actually got, with and without COPA's incentive-compatible
 fairness rule.
 
-Run:  python examples/apartment_interference.py
+Run:  python examples/apartment_interference.py [duration_s]
+
+The optional argument shortens (or lengthens) the simulated air time —
+e.g. ``0.05`` for a quick smoke run; the default is half a second.
 """
+
+import sys
 
 import numpy as np
 
@@ -40,13 +45,13 @@ def build_apartment_topology() -> Topology:
     return topology
 
 
-def run_session(channels, fair: bool, seed: int):
+def run_session(channels, fair: bool, seed: int, duration_s: float = 0.5):
     session = CopaSession(channels, fair=fair, rng=np.random.default_rng(seed))
-    records = session.run(duration_s=0.5)
+    records = session.run(duration_s=duration_s)
     return session, records
 
 
-def main() -> None:
+def main(duration_s: float = 0.5) -> None:
     rng = np.random.default_rng(11)
     topology = build_apartment_topology()
     channels = ChannelModel().realize(topology, rng)
@@ -56,7 +61,7 @@ def main() -> None:
         print(f"  household {i + 1}: signal {signal:.1f} dBm, interference {interference:.1f} dBm")
 
     for fair in (False, True):
-        session, records = run_session(channels, fair, seed=3)
+        session, records = run_session(channels, fair, seed=3, duration_s=duration_s)
         t1, t2 = CopaSession.throughput_mbps(records)
         schemes = {}
         for record in records:
@@ -72,4 +77,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(duration_s=float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -7,8 +7,13 @@ strategy selection, and the chosen strategy changes as the interference
 geometry changes — strong signal / weak interference near home, heavy
 cross-interference in the overlap zone.
 
-Run:  python examples/mobility_walkthrough.py
+Run:  python examples/mobility_walkthrough.py [n_steps]
+
+The optional argument controls how many half-second steps of the walk
+are simulated (default 10); e.g. ``2`` for a quick smoke run.
 """
+
+import sys
 
 import numpy as np
 
@@ -35,7 +40,7 @@ def build_topology(client1_x: float) -> Topology:
     return topology
 
 
-def main() -> None:
+def main(n_steps: int = 10) -> None:
     coherence = coherence_time_s(WALK_SPEED_M_S, CARRIER_WAVELENGTH_M)
     print(
         f"walking at {WALK_SPEED_M_S * 3.6:.0f} km/h -> coherence time "
@@ -50,7 +55,7 @@ def main() -> None:
     print(f"{'t (s)':>6} {'C1 x (m)':>9} {'SIR (dB)':>9} {'choice':>10} "
           f"{'copa Mbps':>10} {'csma Mbps':>10}")
     rng = np.random.default_rng(123)
-    for step in range(10):
+    for step in range(n_steps):
         t = step * STEP_S
         x = 3.5 + WALK_SPEED_M_S * t
         topology = build_topology(x)
@@ -73,4 +78,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(n_steps=int(sys.argv[1]) if len(sys.argv) > 1 else 10)

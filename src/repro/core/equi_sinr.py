@@ -30,6 +30,7 @@ __all__ = [
     "StreamAllocator",
     "ConcurrentContext",
     "ConcurrentAllocation",
+    "effective_gains",
     "radiated_powers",
     "allocate_single",
     "allocate_concurrent",
@@ -83,6 +84,28 @@ def radiated_powers(powers: np.ndarray, used: np.ndarray, leakage_linear: float)
     return radiated
 
 
+def effective_gains(
+    gains: np.ndarray,
+    interference: Optional[np.ndarray],
+    noise_mw: float,
+) -> np.ndarray:
+    """Per-(subcarrier, stream) S(I)NR-per-mW: ``g / (I + σ²)``.
+
+    The quantity Algorithm 1 consumes in its Equi-SINR flavour (§3.2.1):
+    passing these gains to a plain Equi-SNR allocator equalizes SINR.
+    Shared by :func:`allocate_single` and the optimization oracle so both
+    agree on the problem being solved before comparing solutions.
+    """
+    gains = np.asarray(gains, dtype=float)
+    n_sc = gains.shape[0]
+    denominator = noise_mw + (
+        np.zeros(n_sc) if interference is None else np.asarray(interference, dtype=float)
+    )
+    if gains.ndim == 1:
+        return gains / denominator
+    return gains / denominator[:, None]
+
+
 #: A per-stream allocator: (effective gains, power budget) → Allocation.
 #: ``equi_snr.allocate`` implements Equi-S(I)NR; ``mercury.mercury_allocate``
 #: implements the COPA+ mercury/water-filling variant.
@@ -127,7 +150,7 @@ def allocate_single(
     if gains.ndim != 2:
         raise ValueError("gains must have shape (n_subcarriers, n_streams)")
     n_sc, n_streams = gains.shape
-    denominator = noise_mw + (np.zeros(n_sc) if interference is None else np.asarray(interference, dtype=float))
+    effective = effective_gains(gains, interference, noise_mw)
     budgets = _stream_budgets(gains, total_power, stream_split)
     empty = Allocation(
         powers=np.zeros(n_sc),
@@ -137,7 +160,7 @@ def allocate_single(
         goodput_bps=0.0,
     )
     allocations = [
-        allocator(gains[:, s] / denominator, float(budgets[s])) if budgets[s] > 0 else empty
+        allocator(effective[:, s], float(budgets[s])) if budgets[s] > 0 else empty
         for s in range(n_streams)
     ]
     powers = np.stack([a.powers for a in allocations], axis=1)

@@ -24,6 +24,7 @@ from ..phy.ber import uncoded_ber
 from ..phy.constants import MCS_TABLE, MPDU_PAYLOAD_BYTES, N_DATA_SUBCARRIERS, Mcs
 
 __all__ = [
+    "MIN_GAIN",
     "Allocation",
     "equalizing_powers",
     "uniform_goodput",
@@ -32,8 +33,12 @@ __all__ = [
     "allocate_selection_only",
 ]
 
-#: Gains below this (per mW) are treated as unusable outright.
-_MIN_GAIN = 1e-12
+#: Gains below this (per mW) are treated as unusable outright.  Public
+#: because the usability cutoff is part of the allocator's contract: the
+#: optimization oracle (:mod:`repro.core.oracle`) must agree on which
+#: subcarriers are candidates at all before comparing allocations.
+MIN_GAIN = 1e-12
+_MIN_GAIN = MIN_GAIN  # back-compat alias
 
 
 @dataclass(frozen=True)

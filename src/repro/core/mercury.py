@@ -35,10 +35,12 @@ from ..phy.rates import best_rate
 from .equi_snr import Allocation
 
 __all__ = [
+    "DEFAULT_DROPS",
     "mmse_pam",
     "mmse_curve",
     "mmse_of_snr",
     "mmse_inverse",
+    "mutual_information_of_snr",
     "mercury_waterfilling",
     "mercury_allocate",
 ]
@@ -115,6 +117,50 @@ def mmse_of_snr(snr_linear, modulation: Modulation) -> np.ndarray:
     return np.interp(snr, grid, values, left=1.0, right=0.0)
 
 
+@lru_cache(maxsize=None)
+def _mi_table(bits_per_symbol: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cumulative exact integral of the piecewise-linear MMSE interpolant.
+
+    Returns ``(grid, mmse values, I(grid))`` with the mutual information in
+    nats.  Below the grid the MMSE is 1 (so I(s) = s there); the cumulative
+    values integrate the same interpolant :func:`mmse_of_snr` evaluates, so
+    the pair (I, mmse) is an exactly consistent (objective, gradient) pair
+    for optimizers — the I-MMSE relation dI/dsnr = mmse(snr).
+    """
+    grid, values = mmse_curve(bits_per_symbol)
+    segments = np.diff(grid) * (values[:-1] + values[1:]) / 2.0
+    cumulative = grid[0] + np.concatenate([[0.0], np.cumsum(segments)])
+    return grid, values, cumulative
+
+
+def mutual_information_of_snr(snr_linear, modulation: Modulation) -> np.ndarray:
+    """Mutual information (nats) of the constellation at the given SNR.
+
+    Defined as the exact integral of the interpolated MMSE curve, so
+    :func:`mmse_of_snr` is its derivative everywhere — the property the
+    oracle's concave program relies on.  Saturates at the constellation's
+    entropy-limited ceiling once the MMSE table reaches zero.
+    """
+    grid, values, cumulative = _mi_table(modulation.bits_per_symbol)
+    snr = np.atleast_1d(np.asarray(snr_linear, dtype=float))
+    out = np.empty_like(snr)
+
+    below = snr <= grid[0]
+    above = snr >= grid[-1]
+    inside = ~(below | above)
+    out[below] = np.maximum(snr[below], 0.0)
+    out[above] = cumulative[-1]
+    if inside.any():
+        s = snr[inside]
+        index = np.searchsorted(grid, s, side="right") - 1
+        g0, g1 = grid[index], grid[index + 1]
+        v0, v1 = values[index], values[index + 1]
+        slope = (v1 - v0) / (g1 - g0)
+        ds = s - g0
+        out[inside] = cumulative[index] + v0 * ds + 0.5 * slope * ds**2
+    return out if np.ndim(snr_linear) else float(out[0])
+
+
 def mmse_inverse(target, modulation: Modulation) -> np.ndarray:
     """SNR at which the constellation's MMSE equals ``target`` ∈ (0, 1].
 
@@ -188,7 +234,11 @@ def mercury_waterfilling(
 #: Default drop-count candidates for the subcarrier-selection loop.  The
 #: mercury rule already zeroes hopeless subcarriers, so a coarse sweep of
 #: explicit drops (which also shrink the decoder's codeword) suffices.
-_DEFAULT_DROPS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 26, 32, 40)
+#: Public because the candidate grid is part of the algorithm's contract:
+#: the optimization oracle (:mod:`repro.core.oracle`) sweeps the same grid
+#: with an independent inner solver.
+DEFAULT_DROPS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 26, 32, 40)
+_DEFAULT_DROPS = DEFAULT_DROPS  # back-compat alias
 
 
 def mercury_allocate(

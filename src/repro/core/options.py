@@ -43,12 +43,20 @@ class EngineOptions:
         Cap on the Figure-6 concurrent allocation iteration.
     tx_power_dbm:
         Per-AP transmit power budget.
+    oracle_check:
+        Shadow-validate sequential power allocations against the
+        optimization oracle (:mod:`repro.core.oracle`) while the engine
+        runs.  Mismatches are *recorded* (``oracle.mismatch`` counter on
+        the engine's collector), never raised — an oracle bug must not be
+        able to fail an experiment.  Off by default: each check costs an
+        extra oracle solve per stream.
     """
 
     allocator: Optional[Callable] = None
     rate_selector: Optional[Callable] = None
     max_iterations: Optional[int] = None
     tx_power_dbm: Optional[float] = None
+    oracle_check: Optional[bool] = None
 
     def __post_init__(self):
         if self.allocator is not None and not callable(self.allocator):
@@ -67,6 +75,10 @@ class EngineOptions:
                 raise TypeError("tx_power_dbm must be a number")
             if not math.isfinite(self.tx_power_dbm):
                 raise ValueError("tx_power_dbm must be finite")
+        if self.oracle_check is not None and not isinstance(self.oracle_check, bool):
+            raise TypeError(
+                f"oracle_check must be a bool, got {type(self.oracle_check).__name__}"
+            )
 
     def engine_kwargs(self) -> Dict[str, Any]:
         """The non-default fields, as keyword arguments for the engine."""

@@ -158,6 +158,11 @@ class StrategyEngine:
         Optional :class:`repro.obs.Collector`; when given, :meth:`run`
         records one span per scheme (design, allocation, measurement) and
         allocator metrics.  ``None`` costs a no-op context per stage.
+    oracle_check:
+        Shadow-validate sequential allocations against the optimization
+        oracle (:mod:`repro.core.oracle`).  Agreement/mismatch is recorded
+        on the collector (``oracle.agree`` / ``oracle.mismatch``), never
+        raised; off by default (one extra oracle solve per stream).
     """
 
     def __init__(
@@ -172,6 +177,7 @@ class StrategyEngine:
         max_iterations: int = 8,
         rate_selector=best_rate,
         collector: Optional[Collector] = None,
+        oracle_check: bool = False,
     ):
         self.collector = active(collector)
         self.channels = channels
@@ -182,6 +188,7 @@ class StrategyEngine:
         self.tx_power_mw = float(dbm_to_mw(tx_power_dbm))
         self.allocator = allocator
         self.max_iterations = max_iterations
+        self.oracle_check = oracle_check
         #: Maps per-cell SINRs to a rate selection; ``best_rate`` models the
         #: single-decoder constraint, ``per_subcarrier_rates`` the §4.6
         #: one-decoder-per-coding-rate hardware.
@@ -274,12 +281,29 @@ class StrategyEngine:
     def _sequential_allocation(self, design: TransmissionDesign) -> StreamAllocation:
         """Equi-SNR (Algorithm 1) per stream, no concurrent interference."""
         gains = stream_gains(self.csi[(design.ap, design.client)], design)
-        return allocate_single(
+        allocation = allocate_single(
             gains,
             self.tx_power_mw,
             noise_mw=self.channels.noise_floor_mw,
             allocator=self.allocator,
         )
+        if self.oracle_check:
+            # Shadow mode: record agreement, never fail the engine.  The
+            # concurrent path is covered offline by the differential
+            # harness (repro.core.differential), whose problems are exactly
+            # reproducible; the best-seen concurrent allocation is not
+            # re-checkable post hoc against any single interference vector.
+            from .oracle import shadow_check_single
+
+            shadow_check_single(
+                gains,
+                self.tx_power_mw,
+                allocation,
+                self.allocator,
+                noise_mw=self.channels.noise_floor_mw,
+                collector=self.collector if self.collector.enabled else None,
+            )
+        return allocation
 
     def _concurrent_allocation(self, designs: Sequence[TransmissionDesign]) -> List[StreamAllocation]:
         """The Fig. 6 iterative Equi-SINR joint allocation."""

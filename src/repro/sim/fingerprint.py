@@ -12,12 +12,14 @@ Every fingerprint here is a SHA-256 over **result-determining state
 only**:
 
 * per-task: index, seed, coherence time, the COPA+ flag, every
-  :class:`~repro.core.options.EngineOptions` field, the imperfection
-  model, and the raw channel bytes (dict order is canonicalized by
-  sorting, so insertion order never matters);
+  result-determining :class:`~repro.core.options.EngineOptions` field,
+  the imperfection model, and the raw channel bytes (dict order is
+  canonicalized by sorting, so insertion order never matters);
 * execution-only task fields (``attempt``, ``observe``, ``fault_plan``)
-  are deliberately **excluded** — a retried, observed or chaos-injected
-  run produces the same bytes, so it must share keys with a clean run;
+  and observation-only options (:data:`RESULT_IRRELEVANT_OPTION_FIELDS`)
+  are deliberately **excluded** — a retried, observed, chaos-injected or
+  oracle-shadowed run produces the same bytes, so it must share keys
+  with a clean run;
 * callables are described by ``module.qualname``, never by ``repr`` (a
   memory address would change every process restart).
 
@@ -66,6 +68,14 @@ CHANNEL_IRRELEVANT_CONFIG_FIELDS = frozenset(
 #: only selects which engines run over the same channels).
 CHANNEL_IRRELEVANT_SPEC_FIELDS = frozenset({"name", "include_copa_plus"})
 
+#: :class:`repro.core.options.EngineOptions` fields that do **not**
+#: influence results, like the execution-only task fields.
+#: ``oracle_check`` shadow-validates allocations and records counters but
+#: never alters what the engine returns, so a checked run must share keys
+#: with an unchecked one.  Everything not listed here is hashed, so a new
+#: option field conservatively changes the key until proven irrelevant.
+RESULT_IRRELEVANT_OPTION_FIELDS = frozenset({"oracle_check"})
+
 
 def describe_value(value) -> str:
     """A stable, address-free description of one option value."""
@@ -108,6 +118,8 @@ def _update_digest_with_task(digest, task) -> None:
         f"|plus={int(task.include_copa_plus)}".encode()
     )
     for field in dataclasses.fields(task.options):
+        if field.name in RESULT_IRRELEVANT_OPTION_FIELDS:
+            continue
         digest.update(f"opt|{field.name}={describe_value(getattr(task.options, field.name))}".encode())
     digest.update(repr(task.imperfections).encode())
     update_digest_with_channels(digest, task.channels)

@@ -78,8 +78,10 @@ class TestOrdering:
         full = allocate(faded_gains, 1.0).goodput_bps
         power_only = allocate_power_only(faded_gains, 1.0).goodput_bps
         selection_only = allocate_selection_only(faded_gains, 1.0).goodput_bps
-        assert full >= power_only - 1e-6
-        assert full >= selection_only - 1e-6
+        # Relative slack: goodputs are tens of Mbps, so 1e-9 relative
+        # admits only float rounding, never a genuine regression.
+        assert full >= power_only * (1 - 1e-9)
+        assert full >= selection_only * (1 - 1e-9)
 
     def test_each_half_beats_equal_power(self, faded_gains):
         from repro.phy.rates import best_rate

@@ -7,9 +7,15 @@ Invariants every allocator must honour regardless of the channel draw:
   zero allocated power (leakage is modelled downstream, not here);
 * **permutation equivariance** — relabelling subcarriers permutes the
   allocation but changes nothing else (the algorithms sort by gain, so
-  this catches any accidental dependence on input order).
+  this catches any accidental dependence on input order);
+* **power-scaling monotonicity** — more budget can never predict less
+  goodput (every candidate configuration improves pointwise with SNR).
 
-The gain draws are seeded, so failures reproduce exactly.
+The same invariants, suitably translated, cover the §4.6 multi-decoder
+rate selection (conservation of the per-code-rate decomposition instead
+of a power budget) and the N-pair scheduler (conservation of delivered
+throughput across rounds).  The gain draws are seeded, so failures
+reproduce exactly.
 """
 
 import numpy as np
@@ -18,6 +24,8 @@ import pytest
 from repro.core.equi_sinr import allocate_single
 from repro.core.equi_snr import allocate, allocate_power_only, allocate_selection_only
 from repro.core.mercury import mercury_allocate
+from repro.core.multi_decoder import per_subcarrier_rates
+from repro.core.scheduler import MultiApScheduler, Neighbourhood
 
 N_SUBCARRIERS = 52
 TOTAL_POWER_MW = 100.0
@@ -72,6 +80,17 @@ class TestStreamAllocatorProperties:
         if base.mcs is not None:
             assert permuted.mcs.index == base.mcs.index
 
+    def test_power_scaling_monotone(self, name, seed):
+        """Doubling the budget can never reduce predicted goodput."""
+        gains = draw_gains(seed)
+        allocator = STREAM_ALLOCATORS[name]
+        goodputs = [
+            allocator(gains, scale * TOTAL_POWER_MW).goodput_bps
+            for scale in (0.5, 1.0, 2.0, 4.0)
+        ]
+        for lower, higher in zip(goodputs, goodputs[1:]):
+            assert higher >= lower * (1 - 1e-9)
+
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("n_streams", [1, 2])
@@ -111,3 +130,95 @@ def test_unusable_gains_allocate_nothing():
         assert not allocation.used.any(), name
         assert float(allocation.powers.sum()) == 0.0, name
         assert allocation.goodput_bps == 0.0, name
+
+
+def draw_sinr(seed: int, n_streams: int = 2) -> np.ndarray:
+    """Per-cell SINRs spanning the useless-to-saturated range."""
+    rng = np.random.default_rng(seed)
+    return rng.exponential(scale=1.0, size=(N_SUBCARRIERS, n_streams)) * 10.0 ** (
+        rng.uniform(-0.5, 2.0)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestMultiDecoderProperties:
+    """The allocator invariants, translated for §4.6 rate selection."""
+
+    def test_goodput_conserves_per_code_rate_decomposition(self, seed):
+        """The total is exactly the sum of its per-decoder contributions."""
+        selection = per_subcarrier_rates(draw_sinr(seed))
+        assert selection.goodput_bps == pytest.approx(
+            sum(selection.per_code_rate_bps.values()), rel=1e-12
+        )
+        assert selection.goodput_bps >= 0.0
+
+    def test_masked_cells_carry_nothing(self, seed):
+        """Unused cells must read -1; masking cells cannot raise goodput."""
+        sinr = draw_sinr(seed)
+        mask = np.random.default_rng(seed + 3000).random(sinr.shape) < 0.7
+        selection = per_subcarrier_rates(sinr, used=mask)
+        assert np.all(selection.mcs_indices[~mask] == -1)
+        unmasked = per_subcarrier_rates(sinr)
+        assert selection.goodput_bps <= unmasked.goodput_bps * (1 + 1e-9)
+
+    def test_permutation_equivariant(self, seed):
+        sinr = draw_sinr(seed)
+        permutation = np.random.default_rng(seed + 4000).permutation(N_SUBCARRIERS)
+        base = per_subcarrier_rates(sinr)
+        permuted = per_subcarrier_rates(sinr[permutation])
+        np.testing.assert_array_equal(permuted.mcs_indices, base.mcs_indices[permutation])
+        assert permuted.goodput_bps == pytest.approx(base.goodput_bps, rel=1e-9)
+
+    def test_power_scaling_monotone(self, seed):
+        """Scaling every cell's SINR up can never reduce goodput."""
+        sinr = draw_sinr(seed)
+        goodputs = [
+            per_subcarrier_rates(sinr * factor).goodput_bps for factor in (0.5, 1.0, 2.0, 4.0)
+        ]
+        for lower, higher in zip(goodputs, goodputs[1:]):
+            assert higher >= lower * (1 - 1e-9)
+
+
+class TestSchedulerProperties:
+    """Conservation and determinism invariants for the N-pair scheduler."""
+
+    N_PAIRS = 3
+    N_ROUNDS = 6
+
+    def _schedule(self, seed: int, mode: str):
+        neighbourhood = Neighbourhood.sample(
+            self.N_PAIRS, np.random.default_rng(seed), ap_antennas=2, client_antennas=2
+        )
+        scheduler = MultiApScheduler(neighbourhood, rng=np.random.default_rng(seed + 1))
+        return scheduler.run(self.N_ROUNDS, mode=mode)
+
+    @pytest.mark.parametrize("mode", ["copa", "csma"])
+    def test_throughput_conserves_delivered_bits(self, mode):
+        """Mean throughputs must re-aggregate to the per-round deliveries."""
+        result = self._schedule(0, mode)
+        delivered = {i: 0.0 for i in range(self.N_PAIRS)}
+        for record in result.rounds:
+            for client, bps in record.delivered_bps.items():
+                delivered[client] += bps
+        for client in range(self.N_PAIRS):
+            assert result.throughput_bps[client] == pytest.approx(
+                delivered[client] / self.N_ROUNDS, rel=1e-12
+            )
+        assert result.aggregate_bps >= 0.0
+        assert 0.0 < result.fairness <= 1.0 + 1e-12
+
+    def test_copa_rounds_deliver_to_pairs_csma_to_leaders(self):
+        copa = self._schedule(1, "copa")
+        for record in copa.rounds:
+            assert record.partner is not None
+            assert set(record.delivered_bps) == {record.leader, record.partner}
+        csma = self._schedule(1, "csma")
+        for record in csma.rounds:
+            assert record.partner is None
+            assert set(record.delivered_bps) == {record.leader}
+
+    def test_deterministic_under_fixed_seeds(self):
+        first = self._schedule(2, "copa")
+        second = self._schedule(2, "copa")
+        assert first.throughput_bps == second.throughput_bps
+        assert [r.leader for r in first.rounds] == [r.leader for r in second.rounds]

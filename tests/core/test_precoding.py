@@ -12,6 +12,12 @@ from repro.core.precoding import (
 )
 from repro.util import is_unitary_columns
 
+#: Absolute tolerance for "this beam is nulled" checks.  The null-space
+#: projector comes from an SVD of unit-variance channels, so any residual
+#: leakage is pure float64 rounding (~1e-15); 1e-10 leaves five orders of
+#: magnitude of headroom while still catching a broken projector.
+NULL_ATOL = 1e-10
+
 
 def _channel(rng, n_sc=16, n_rx=2, n_tx=4):
     shape = (n_sc, n_rx, n_tx)
@@ -43,7 +49,7 @@ class TestNullingDesign:
     def test_nulls_victim(self, rng):
         own, cross = _channel(rng), _channel(rng)
         design = nulling_design(own, cross, "AP1", "C1")
-        assert np.max(np.abs(cross @ design.precoder)) < 1e-10
+        np.testing.assert_allclose(cross @ design.precoder, 0.0, atol=NULL_ATOL)
 
     def test_overconstrained_raises(self, rng):
         own = _channel(rng, n_tx=2)
@@ -62,7 +68,7 @@ class TestNullingDesign:
         )
         assert design.n_streams == 2
         leakage = cross[:, [0], :] @ design.precoder
-        assert np.max(np.abs(leakage)) < 1e-10
+        np.testing.assert_allclose(leakage, 0.0, atol=NULL_ATOL)
 
     def test_reduced_rank_3x2(self, rng):
         """3 TX antennas vs a 2-antenna victim: one nulled stream fits."""
@@ -70,7 +76,7 @@ class TestNullingDesign:
         cross = _channel(rng, n_tx=3)
         design = nulling_design(own, cross, "AP1", "C1")
         assert design.n_streams == 1
-        assert np.max(np.abs(cross @ design.precoder)) < 1e-10
+        np.testing.assert_allclose(cross @ design.precoder, 0.0, atol=NULL_ATOL)
 
 
 class TestSdaDesigns:
@@ -110,7 +116,7 @@ class TestSdaDesigns:
         )
         kept = follower.active_rx[0]
         leakage = leader_cross[:, [kept], :] @ leader.precoder
-        assert np.max(np.abs(leakage)) < 1e-10
+        np.testing.assert_allclose(leakage, 0.0, atol=NULL_ATOL)
 
     def test_follower_nulls_both_leader_antennas(self, rng):
         leader_own = _channel(rng, n_tx=3)
@@ -121,7 +127,7 @@ class TestSdaDesigns:
             "AP1", "C1", "AP2", "C2",
         )
         leakage = follower_cross @ follower.precoder
-        assert np.max(np.abs(leakage)) < 1e-10
+        np.testing.assert_allclose(leakage, 0.0, atol=NULL_ATOL)
 
 
 class TestGainsAndCoupling:
@@ -142,7 +148,8 @@ class TestGainsAndCoupling:
         own, cross = _channel(rng), _channel(rng)
         design = nulling_design(own, cross, "AP1", "C1")
         coupling = cross_coupling(cross, design)
-        assert np.max(coupling) < 1e-18
+        # Coupling is |leakage|^2, so the nulling tolerance squares.
+        np.testing.assert_allclose(coupling, 0.0, atol=NULL_ATOL**2)
 
     def test_cross_coupling_positive_for_beamforming(self, rng):
         own, cross = _channel(rng), _channel(rng)

@@ -26,6 +26,7 @@ from repro.sim.faults import FaultKind, FaultPlan
 from repro.sim.fingerprint import (
     CHANNEL_IRRELEVANT_CONFIG_FIELDS,
     CHANNEL_IRRELEVANT_SPEC_FIELDS,
+    RESULT_IRRELEVANT_OPTION_FIELDS,
     describe_value,
     fingerprint_channel_config,
     fingerprint_channels,
@@ -128,6 +129,11 @@ class TestExecutionOnlyFieldsExcluded:
         assert fingerprint_task(changed) == fingerprint_task(tasks[0])
         assert fingerprint_tasks([changed, tasks[1]]) == fingerprint_tasks(tasks)
 
+    def test_oracle_check_option_does_not_move_the_key(self, tasks):
+        """Shadow validation observes, never alters — keys must not move."""
+        checked = dataclasses.replace(tasks[0], options=EngineOptions(oracle_check=True))
+        assert fingerprint_task(checked) == fingerprint_task(tasks[0])
+
 
 class TestResultDeterminingFieldsIncluded:
     """Anything that changes the computed numbers must change the key."""
@@ -214,8 +220,10 @@ class TestChannelConfigKey:
     def test_exclusion_lists_name_real_fields(self):
         config_fields = {f.name for f in dataclasses.fields(SimConfig)}
         spec_fields = {f.name for f in dataclasses.fields(ScenarioSpec)}
+        option_fields = {f.name for f in dataclasses.fields(EngineOptions)}
         assert CHANNEL_IRRELEVANT_CONFIG_FIELDS <= config_fields
         assert CHANNEL_IRRELEVANT_SPEC_FIELDS <= spec_fields
+        assert RESULT_IRRELEVANT_OPTION_FIELDS <= option_fields
 
 
 class TestGoldenKeys:

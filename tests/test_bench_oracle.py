@@ -1,0 +1,96 @@
+"""The oracle acceptance harness: schema contract and committed baseline.
+
+``benchmarks/bench_oracle.py`` is a script, not a package module, so it
+is loaded from its file path here.  The tests pin the
+``repro.bench/oracle-v1`` schema (the CI oracle-smoke job uploads
+payloads that must stay parseable across PRs) and keep the committed
+repo-root ``BENCH_oracle.json`` valid and mismatch-free.  The sweeps
+themselves run in CI via ``--quick --check`` and, at full depth, in
+``tests/core/test_differential_oracle.py``; re-running them here would
+double the suite's wall-clock for numbers the baseline already records.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SCRIPT = os.path.join(_REPO_ROOT, "benchmarks", "bench_oracle.py")
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_oracle", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baseline_payload():
+    with open(os.path.join(_REPO_ROOT, "BENCH_oracle.json")) as handle:
+        return json.load(handle)
+
+
+class TestCommittedBaseline:
+    def test_is_schema_valid(self, bench, baseline_payload):
+        bench.validate_bench_payload(baseline_payload)
+
+    def test_passes_the_acceptance_check(self, bench, baseline_payload):
+        assert bench.check_payload(baseline_payload) == []
+
+    def test_covers_every_registered_scheme(self, baseline_payload):
+        from repro.core import differential
+
+        assert set(baseline_payload["schemes"]) == set(differential.SCHEMES)
+
+    def test_tolerances_match_the_documented_policy(self, baseline_payload):
+        from repro.core.oracle import ORACLE_RTOL
+
+        for name, entry in baseline_payload["schemes"].items():
+            assert entry["tolerance"] == ORACLE_RTOL[name]
+
+    def test_report_formats(self, bench, baseline_payload):
+        report = bench.format_report(baseline_payload)
+        assert "worst gap" in report
+        assert "equilibrium" in report
+
+
+class TestSchemaValidation:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("schema"),
+            lambda p: p.__setitem__("schema", "repro.bench/cache-v1"),
+            lambda p: p.__setitem__("schemes", {}),
+            lambda p: p["schemes"]["equi_snr"].__setitem__("mismatches", -1),
+            lambda p: p["schemes"]["equi_snr"].__setitem__("worst_gap", "tiny"),
+            lambda p: p["schemes"]["mercury"].__setitem__("n_cases", 0),
+            lambda p: p.pop("equilibrium"),
+            lambda p: p["equilibrium"].__setitem__("worst_regret", 1.5),
+        ],
+        ids=[
+            "missing_schema",
+            "wrong_schema",
+            "empty_schemes",
+            "negative_mismatches",
+            "non_numeric_gap",
+            "fewer_cases_than_seeds",
+            "missing_equilibrium",
+            "regret_out_of_range",
+        ],
+    )
+    def test_damaged_payloads_are_rejected(self, bench, baseline_payload, mutate):
+        payload = copy.deepcopy(baseline_payload)
+        mutate(payload)
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(payload)
+
+    def test_check_flags_a_mismatch(self, bench, baseline_payload):
+        payload = copy.deepcopy(baseline_payload)
+        payload["schemes"]["equi_snr"]["mismatches"] = 2
+        failures = bench.check_payload(payload)
+        assert any("mismatch" in failure for failure in failures)

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs headless, end to end.
+
+Each script in ``examples/`` is executed as a subprocess with a tiny
+configuration (short duration, few steps/topologies) so the whole sweep
+stays within a few seconds.  A non-zero exit or an exception in any
+example is a test failure — these scripts are the repo's executable
+documentation and must never rot.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name → argv for a tiny headless run (empty = already fast).
+EXAMPLES = {
+    "apartment_interference.py": ["0.05"],  # simulated seconds of air time
+    "concurrent_waveforms.py": [],
+    "dense_office_survey.py": ["2"],  # topologies surveyed
+    "mobility_walkthrough.py": ["2"],  # half-second walking steps
+    "protocol_trace.py": [],
+    "quickstart.py": ["7"],  # seed
+    "signal_level_link.py": [],
+}
+
+
+def test_manifest_covers_every_example():
+    """A new example script must be added to the smoke manifest."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs_headless(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["MPLBACKEND"] = "Agg"  # never require a display
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *EXAMPLES[script]],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{script} exited with {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
