@@ -55,6 +55,14 @@ def _default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def _engine_options(args) -> EngineOptions:
+    """Typed engine options from the environment plus CLI overrides."""
+    options = EngineOptions.from_env()
+    if getattr(args, "backend", None):
+        options = options.replace(backend=args.backend)
+    return options
+
+
 def _print_runner_stats(result) -> None:
     stats = result.stats
     if stats is None:
@@ -137,6 +145,8 @@ def _check_resume_flags(args) -> bool:
 
 import numpy as np
 
+from .core.backend import available_backends
+from .core.options import EngineOptions
 from .obs import Collector, format_trace, write_json
 from .sim.config import DEFAULT_CONFIG
 from .sim.emulation import run_emulated_experiment
@@ -205,6 +215,8 @@ def _cmd_run(args) -> int:
                 config,
                 workers=args.workers,
                 chunk_size=args.chunk_size,
+                batch_size=args.batch_size,
+                options=_engine_options(args),
                 collector=collector,
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
@@ -217,6 +229,8 @@ def _cmd_run(args) -> int:
                 config,
                 workers=args.workers,
                 chunk_size=args.chunk_size,
+                batch_size=args.batch_size,
+                options=_engine_options(args),
                 collector=collector,
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
@@ -299,6 +313,8 @@ def _cmd_report(args) -> int:
                 config,
                 workers=args.workers,
                 chunk_size=args.chunk_size,
+                batch_size=args.batch_size,
+                options=_engine_options(args),
                 collector=collector,
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
@@ -311,6 +327,8 @@ def _cmd_report(args) -> int:
                 config,
                 workers=args.workers,
                 chunk_size=args.chunk_size,
+                batch_size=args.batch_size,
+                options=_engine_options(args),
                 collector=collector,
                 policy=_retry_policy(args),
                 checkpoint=args.checkpoint,
@@ -375,6 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
             type=_positive_int,
             default=None,
             help="topologies per worker dispatch (default: auto)",
+        )
+        command.add_argument(
+            "--batch-size",
+            type=_positive_int,
+            default=None,
+            help="topologies per batched-engine dispatch; 1 = legacy "
+            "per-topology evaluation (default: auto, bit-identical)",
+        )
+        command.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default=None,
+            help="array backend for the batched engine "
+            "(default: $REPRO_BACKEND, else numpy)",
         )
         command.add_argument(
             "--trace",

@@ -1,0 +1,191 @@
+"""Pluggable array backend behind the batched strategy engine.
+
+The batched engine (:mod:`repro.core.batch`) evaluates whole stacks of
+topologies as ``(n_topologies, n_sc, n_rx, n_tx)`` arrays.  All of its
+dense array work goes through an :class:`ArrayBackend`, a *thin* shim
+over an array namespace plus the handful of linear-algebra entry points
+the engine needs (batched SVD, Hermitian solve, matmul).  The shipped
+implementation is NumPy — the same kernels the serial engine uses, which
+is what makes bit-identity between the two paths provable — but the
+protocol deliberately mirrors the array-API subset a CuPy or JAX
+namespace provides, so a GPU backend is an implementation of this class,
+not a rewrite of the engine.
+
+Backends are looked up by name in a process-global registry so that
+:class:`repro.core.options.EngineOptions` can validate its ``backend``
+field at construction time (a typo fails in the caller's stack frame,
+not inside a worker process) and so the CLI can enumerate valid
+``--backend`` choices.
+
+Determinism contract
+--------------------
+The ``"numpy"`` backend is the reference: results computed through it
+are bit-identical to the serial engine by construction (same ufuncs,
+same LAPACK drivers, same reduction orders).  Alternative backends are
+*not* required to be bit-identical to NumPy — floating-point results on
+other hardware legitimately differ in the last ulp — but they must pass
+:func:`check_backend_conformance`, which pins the shapes, dtypes and
+round-trip semantics the engine relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "check_backend_conformance",
+    "DEFAULT_BACKEND",
+]
+
+#: Name resolved when ``EngineOptions.backend`` is left unset.
+DEFAULT_BACKEND = "numpy"
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """What the batched engine needs from an array library.
+
+    ``xp`` is the backend's array namespace (``numpy`` itself for the
+    reference backend; ``cupy``/``jax.numpy`` for future ones) and must
+    provide the array-API-style subset the engine calls through it
+    (``matmul``, ``where``, ``einsum``, elementwise ufuncs, reductions).
+    The named methods below are the operations whose spelling differs
+    across libraries often enough to deserve explicit seams.
+    """
+
+    #: Registry name, e.g. ``"numpy"``.
+    name: str
+    #: The array namespace used for elementwise ops and reductions.
+    xp: object
+
+    def asarray(self, array, dtype=None):
+        """Move/convert ``array`` into this backend's native array type."""
+        ...
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Materialize a backend array as a host :class:`numpy.ndarray`."""
+        ...
+
+    def matmul(self, a, b):
+        """Batched matrix multiply over the leading axes."""
+        ...
+
+    def svd(self, a, full_matrices: bool = True):
+        """Batched singular value decomposition (per trailing 2-D slice)."""
+        ...
+
+    def solve(self, a, b):
+        """Batched linear solve (per trailing 2-D slice)."""
+        ...
+
+
+class NumpyBackend:
+    """The reference backend: plain NumPy, shared with the serial engine."""
+
+    name = "numpy"
+    xp = np
+
+    def asarray(self, array, dtype=None):
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def matmul(self, a, b):
+        return np.matmul(a, b)
+
+    def svd(self, a, full_matrices: bool = True):
+        return np.linalg.svd(a, full_matrices=full_matrices)
+
+    def solve(self, a, b):
+        return np.linalg.solve(a, b)
+
+
+_REGISTRY: Dict[str, Callable[[], ArrayBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register ``factory`` under ``name`` (e.g. at import of a plugin).
+
+    Registration is what makes a name valid for ``EngineOptions.backend``
+    and the CLI ``--backend`` flag; the factory is only called when the
+    backend is first requested, so registering a backend whose library is
+    not installed is harmless until someone selects it.
+    """
+    if not name or not isinstance(name, str):
+        raise TypeError(f"backend name must be a non-empty str, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted for stable CLI/help output."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> ArrayBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered backends: {available_backends()}"
+        ) from None
+    return factory()
+
+
+def check_backend_conformance(backend: ArrayBackend) -> None:
+    """Assert the invariants the batched engine relies on.
+
+    Any future backend must pass this before being registered for real
+    use; ``tests/core/test_backend.py`` runs it over every registered
+    backend.  Raises :class:`AssertionError` with a specific message on
+    the first violated invariant.
+    """
+    assert isinstance(backend.name, str) and backend.name, "backend.name must be a non-empty str"
+    xp = backend.xp
+    for attr in ("matmul", "where", "einsum", "abs", "sqrt", "cumsum", "argsort", "interp"):
+        assert hasattr(xp, attr), f"backend namespace lacks required function {attr!r}"
+
+    # Host round trip preserves values, dtype kind and shape.
+    host = np.arange(12, dtype=float).reshape(3, 4)
+    native = backend.asarray(host)
+    back = backend.to_numpy(native)
+    assert back.shape == host.shape, "asarray/to_numpy round trip changed the shape"
+    assert np.allclose(back, host), "asarray/to_numpy round trip changed the values"
+
+    # Complex dtype survives the round trip (channels are complex128).
+    cplx = backend.to_numpy(backend.asarray(np.array([1 + 2j, 3 - 4j])))
+    assert np.iscomplexobj(cplx), "complex dtype lost in the asarray/to_numpy round trip"
+
+    # Batched matmul broadcasts over the leading axis.
+    a = backend.asarray(np.ones((5, 2, 3)))
+    b = backend.asarray(np.ones((5, 3, 4)))
+    product = backend.to_numpy(backend.matmul(a, b))
+    assert product.shape == (5, 2, 4), f"batched matmul shape wrong: {product.shape}"
+    assert np.allclose(product, 3.0), "batched matmul values wrong"
+
+    # Batched SVD decomposes each trailing 2-D slice.
+    rng = np.random.default_rng(0)
+    matrices = rng.standard_normal((4, 3, 3)) + 1j * rng.standard_normal((4, 3, 3))
+    u, s, vh = backend.svd(backend.asarray(matrices), full_matrices=False)
+    u, s, vh = backend.to_numpy(u), backend.to_numpy(s), backend.to_numpy(vh)
+    assert s.shape == (4, 3), f"batched svd singular-value shape wrong: {s.shape}"
+    rebuilt = u @ (s[..., None] * vh)
+    assert np.allclose(rebuilt, matrices), "batched svd does not reconstruct its input"
+
+    # Batched Hermitian solve over the leading axis.
+    spd = np.einsum("kij,klj->kil", matrices, matrices.conj()) + 3 * np.eye(3)
+    rhs = rng.standard_normal((4, 3, 1))
+    solved = backend.to_numpy(backend.solve(backend.asarray(spd), backend.asarray(rhs)))
+    assert solved.shape == (4, 3, 1), f"batched solve shape wrong: {solved.shape}"
+    assert np.allclose(spd @ solved, rhs), "batched solve residual too large"
+
+
+register_backend("numpy", NumpyBackend)

@@ -22,18 +22,25 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..util import masked_row_means
 from . import equi_snr
-from .equi_snr import Allocation
+from .equi_snr import Allocation, BatchAllocation
 
 __all__ = [
     "StreamAllocation",
+    "BatchStreamAllocation",
     "StreamAllocator",
+    "BatchStreamAllocator",
     "ConcurrentContext",
+    "BatchConcurrentContext",
     "ConcurrentAllocation",
     "effective_gains",
     "radiated_powers",
+    "radiated_powers_batch",
     "allocate_single",
+    "allocate_single_batch",
     "allocate_concurrent",
+    "allocate_concurrent_batch",
 ]
 
 
@@ -81,6 +88,40 @@ def radiated_powers(powers: np.ndarray, used: np.ndarray, leakage_linear: float)
         fallback = float(column[used[:, s]].mean())
         neighbour_mean = np.where(neighbour_count > 0, neighbour_sum / np.maximum(neighbour_count, 1), fallback)
         radiated[dropped, s] = leakage_linear * neighbour_mean[dropped]
+    return radiated
+
+
+def radiated_powers_batch(powers: np.ndarray, used: np.ndarray, leakage_linear: float) -> np.ndarray:
+    """Topology-batched :func:`radiated_powers`, bit-identical per row.
+
+    ``powers``/``used`` have shape (n_rows, n_sc, n_streams).  The only
+    order-sensitive reduction — the mean over a stream's *used* powers
+    that dropped subcarriers without active neighbours fall back to — is
+    done with :func:`repro.util.masked_row_means`, which preserves the
+    serial pairwise-summation grouping exactly.
+    """
+    powers = np.asarray(powers, dtype=float)
+    used = np.asarray(used, dtype=bool)
+    radiated = np.where(used, powers, 0.0)
+    for s in range(powers.shape[2]):
+        stream_used = used[:, :, s]
+        dropped = ~stream_used
+        needs_fill = dropped.any(axis=1) & (stream_used.sum(axis=1) > 0)
+        if not needs_fill.any():
+            continue
+        column = powers[:, :, s]
+        above = np.roll(column, -1, axis=1)
+        below = np.roll(column, 1, axis=1)
+        above_used = np.roll(stream_used, -1, axis=1)
+        below_used = np.roll(stream_used, 1, axis=1)
+        neighbour_sum = np.where(above_used, above, 0.0) + np.where(below_used, below, 0.0)
+        neighbour_count = above_used.astype(float) + below_used.astype(float)
+        fallback = masked_row_means(column, stream_used)
+        neighbour_mean = np.where(
+            neighbour_count > 0, neighbour_sum / np.maximum(neighbour_count, 1), fallback[:, None]
+        )
+        fill = dropped & needs_fill[:, None]
+        radiated[:, :, s] = np.where(fill, leakage_linear * neighbour_mean, radiated[:, :, s])
     return radiated
 
 
@@ -166,6 +207,101 @@ def allocate_single(
     powers = np.stack([a.powers for a in allocations], axis=1)
     used = np.stack([a.used for a in allocations], axis=1)
     return StreamAllocation(powers=powers, used=used, per_stream=allocations)
+
+
+@dataclass
+class BatchStreamAllocation:
+    """Per-AP allocation for a whole batch of topologies.
+
+    The struct-of-arrays counterpart of :class:`StreamAllocation`: row
+    ``b`` of every field is what the serial path computes for topology
+    ``b``.  ``per_stream`` holds one :class:`BatchAllocation` per stream.
+    """
+
+    #: (n_rows, n_sc, n_streams) transmit powers in mW.
+    powers: np.ndarray
+    #: (n_rows, n_sc, n_streams) data-carrying mask.
+    used: np.ndarray
+    #: Per-stream batched Algorithm-1 results.
+    per_stream: List[BatchAllocation]
+
+    @property
+    def n_rows(self) -> int:
+        return self.powers.shape[0]
+
+    @property
+    def n_streams(self) -> int:
+        return self.powers.shape[2]
+
+    def predicted_goodput_bps(self) -> np.ndarray:
+        """(n_rows,) replica of ``StreamAllocation.predicted_goodput_bps``.
+
+        Accumulated stream by stream in order, mirroring the serial
+        ``sum()`` over per-stream goodputs exactly.
+        """
+        total = np.zeros(self.n_rows)
+        for allocation in self.per_stream:
+            total = total + allocation.goodput_bps
+        return total
+
+    def n_dropped(self) -> np.ndarray:
+        """(n_rows,) total dropped subcarriers across streams."""
+        total = np.zeros(self.n_rows, dtype=int)
+        for allocation in self.per_stream:
+            total = total + allocation.n_dropped()
+        return total
+
+    def row(self, b: int) -> StreamAllocation:
+        """Materialize row ``b`` as the serial :class:`StreamAllocation`."""
+        return StreamAllocation(
+            powers=self.powers[b].copy(),
+            used=self.used[b].copy(),
+            per_stream=[allocation.row(b) for allocation in self.per_stream],
+        )
+
+
+#: A batched per-stream allocator: ((n_rows, n_sc) effective gains, power
+#: budget) → BatchAllocation.  ``equi_snr.allocate_batch`` and
+#: ``mercury.mercury_allocate_batch`` are the shipped implementations.
+BatchStreamAllocator = Callable[[np.ndarray, float], BatchAllocation]
+
+
+def allocate_single_batch(
+    gains: np.ndarray,
+    total_power: float,
+    interference: Optional[np.ndarray] = None,
+    noise_mw: float = 1.0,
+    allocator: BatchStreamAllocator = equi_snr.allocate_batch,
+) -> BatchStreamAllocation:
+    """Topology-batched :func:`allocate_single` (equal stream split).
+
+    ``gains`` has shape (n_rows, n_sc, n_streams); ``interference`` is an
+    optional (n_rows, n_sc) array.  Row ``b`` of the result is
+    bit-identical to ``allocate_single(gains[b], ...)``.
+    """
+    gains = np.asarray(gains, dtype=float)
+    if gains.ndim != 3:
+        raise ValueError("gains must have shape (n_rows, n_subcarriers, n_streams)")
+    n_rows, n_sc, n_streams = gains.shape
+    denominator = noise_mw + (
+        np.zeros((n_rows, n_sc)) if interference is None else np.asarray(interference, dtype=float)
+    )
+    effective = gains / denominator[:, :, None]
+    budget = total_power / n_streams
+    empty = BatchAllocation(
+        powers=np.zeros((n_rows, n_sc)),
+        used=np.zeros((n_rows, n_sc), dtype=bool),
+        equalized_snr=np.zeros(n_rows),
+        mcs_index=np.full(n_rows, -1),
+        goodput_bps=np.zeros(n_rows),
+    )
+    allocations = [
+        allocator(effective[:, :, s], float(budget)) if budget > 0 else empty
+        for s in range(n_streams)
+    ]
+    powers = np.stack([a.powers for a in allocations], axis=2)
+    used = np.stack([a.used for a in allocations], axis=2)
+    return BatchStreamAllocation(powers=powers, used=used, per_stream=allocations)
 
 
 @dataclass
@@ -291,3 +427,163 @@ def allocate_concurrent(
         iterations=iterations_run,
         converged=converged,
     )
+
+
+@dataclass
+class BatchConcurrentContext:
+    """Batched :class:`ConcurrentContext`: one row per topology.
+
+    ``gains[a]``/``coupling[a]`` have shape (n_rows, n_sc, n_streams_a);
+    budgets and noise floors are shared across the batch (the engine only
+    batches topologies with identical configuration).
+    """
+
+    gains: Sequence[np.ndarray]
+    coupling: Sequence[np.ndarray]
+    budgets: Sequence[float]
+    noise_mw: Sequence[float]
+    leakage_linear: float = 10.0 ** (-27.0 / 10.0)
+
+    def __post_init__(self):
+        if len(self.gains) != 2 or len(self.coupling) != 2:
+            raise ValueError("exactly two APs are supported")
+        for a in range(2):
+            if self.gains[a].shape != self.coupling[a].shape:
+                raise ValueError("gains and coupling must have matching shapes")
+
+    @property
+    def n_rows(self) -> int:
+        return self.gains[0].shape[0]
+
+
+def _merge_batch_allocation(new: BatchAllocation, old: BatchAllocation, take) -> BatchAllocation:
+    """Rowwise ``new where take else old`` over every field."""
+    return BatchAllocation(
+        powers=np.where(take[:, None], new.powers, old.powers),
+        used=np.where(take[:, None], new.used, old.used),
+        equalized_snr=np.where(take, new.equalized_snr, old.equalized_snr),
+        mcs_index=np.where(take, new.mcs_index, old.mcs_index),
+        goodput_bps=np.where(take, new.goodput_bps, old.goodput_bps),
+    )
+
+
+def _merge_batch_stream(
+    new: BatchStreamAllocation, old: BatchStreamAllocation, take
+) -> BatchStreamAllocation:
+    return BatchStreamAllocation(
+        powers=np.where(take[:, None, None], new.powers, old.powers),
+        used=np.where(take[:, None, None], new.used, old.used),
+        per_stream=[
+            _merge_batch_allocation(n, o, take) for n, o in zip(new.per_stream, old.per_stream)
+        ],
+    )
+
+
+def allocate_concurrent_batch(
+    context: BatchConcurrentContext,
+    max_iterations: int = 8,
+    tolerance: float = 1e-3,
+    allocator: BatchStreamAllocator = equi_snr.allocate_batch,
+    collector=None,
+):
+    """Topology-batched Figure-6 iteration, bit-identical per row.
+
+    Returns ``(allocations, iterations, converged)`` where ``allocations``
+    is a list of two :class:`BatchStreamAllocation` (one per AP) holding
+    each row's best-seen solution, and ``iterations``/``converged`` are
+    (n_rows,) arrays.  Rows converge independently: a row that meets the
+    tolerance is frozen (its best solution, radiated powers and iteration
+    count stop updating) while the rest of the batch keeps iterating, so
+    every row sees exactly the serial iteration trajectory.
+
+    ``collector`` receives the same per-topology telemetry the serial
+    :func:`allocate_concurrent` records (iteration histogram, convergence
+    counters, dropped-subcarrier totals).
+    """
+    n_rows = context.n_rows
+    n_sc = context.gains[0].shape[1]
+
+    # Step 1: the other sender is assumed to spread power equally.
+    radiated = [
+        np.full(
+            context.gains[a].shape, context.budgets[a] / (context.gains[a].shape[2] * n_sc)
+        )
+        for a in range(2)
+    ]
+
+    best: Optional[List[BatchStreamAllocation]] = None
+    best_aggregate = np.zeros(n_rows)
+    previous_powers: Optional[List[np.ndarray]] = None
+    active = np.ones(n_rows, dtype=bool)
+    converged = np.zeros(n_rows, dtype=bool)
+    iterations = np.zeros(n_rows, dtype=int)
+
+    for iteration in range(1, max_iterations + 1):
+        iterations = np.where(active, iteration, iterations)
+        allocations: List[BatchStreamAllocation] = []
+        for a in range(2):
+            interference = np.sum(context.coupling[1 - a] * radiated[1 - a], axis=2)
+            allocations.append(
+                allocate_single_batch(
+                    context.gains[a],
+                    context.budgets[a],
+                    interference=interference,
+                    noise_mw=context.noise_mw[a],
+                    allocator=allocator,
+                )
+            )
+        aggregate = np.zeros(n_rows)
+        for allocation in allocations:
+            aggregate = aggregate + allocation.predicted_goodput_bps()
+        if best is None:
+            best = allocations
+            best_aggregate = aggregate
+        else:
+            improved = active & (aggregate > best_aggregate)
+            best = [
+                _merge_batch_stream(allocations[a], best[a], improved) for a in range(2)
+            ]
+            best_aggregate = np.where(improved, aggregate, best_aggregate)
+
+        new_radiated = [
+            radiated_powers_batch(
+                allocations[a].powers, allocations[a].used, context.leakage_linear
+            )
+            for a in range(2)
+        ]
+        if previous_powers is not None:
+            scale = sum(context.budgets)
+            change = np.zeros(n_rows)
+            for a in range(2):
+                change = change + np.abs(new_radiated[a] - previous_powers[a]).reshape(
+                    n_rows, -1
+                ).sum(axis=1)
+            newly_converged = active & (change <= tolerance * scale)
+            converged |= newly_converged
+            active &= ~newly_converged
+        if previous_powers is None:
+            previous_powers = new_radiated
+            radiated = new_radiated
+        else:
+            # Frozen rows stop updating; the serial loop has already
+            # broken out of them.
+            previous_powers = [
+                np.where(active[:, None, None], new_radiated[a], previous_powers[a])
+                for a in range(2)
+            ]
+            radiated = [
+                np.where(active[:, None, None], new_radiated[a], radiated[a]) for a in range(2)
+            ]
+        if not active.any():
+            break
+
+    assert best is not None
+    if collector is not None:
+        total_dropped = np.zeros(n_rows, dtype=int)
+        for allocation in best:
+            total_dropped = total_dropped + allocation.n_dropped()
+        for b in range(n_rows):
+            collector.observe("alloc.concurrent_iterations", int(iterations[b]))
+            collector.inc("alloc.converged" if converged[b] else "alloc.unconverged")
+        collector.inc("alloc.concurrent_dropped_subcarriers", int(total_dropped.sum()))
+    return best, iterations, converged

@@ -22,13 +22,17 @@ import numpy as np
 from ..phy.coding import coded_ber, frame_error_rate
 from ..phy.ber import uncoded_ber
 from ..phy.constants import MCS_TABLE, MPDU_PAYLOAD_BYTES, N_DATA_SUBCARRIERS, Mcs
+from ..util import masked_row_apply
 
 __all__ = [
     "MIN_GAIN",
     "Allocation",
+    "BatchAllocation",
     "equalizing_powers",
+    "equalizing_powers_batch",
     "uniform_goodput",
     "allocate",
+    "allocate_batch",
     "allocate_power_only",
     "allocate_selection_only",
 ]
@@ -168,6 +172,134 @@ def allocate(
         equalized_snr=float(equalized_snr),
         mcs=mcs,
         goodput_bps=float(best_goodput[best_i]),
+    )
+
+
+@dataclass
+class BatchAllocation:
+    """Algorithm-1 results for one stream of a whole *batch* of topologies.
+
+    The struct-of-arrays counterpart of :class:`Allocation`: row ``b`` of
+    every field is exactly what :func:`allocate` returns for row ``b`` of
+    the batched gains (bit-identical, see :func:`allocate_batch`).
+    ``mcs_index`` is the MCS table index, ``-1`` encoding ``mcs=None``.
+    """
+
+    #: (n_rows, n_sc) transmit powers; dropped subcarriers get 0.
+    powers: np.ndarray
+    #: (n_rows, n_sc) data-carrying mask.
+    used: np.ndarray
+    #: (n_rows,) equalized S(I)NR per row (0.0 for empty allocations).
+    equalized_snr: np.ndarray
+    #: (n_rows,) chosen MCS index per row; -1 means none works.
+    mcs_index: np.ndarray
+    #: (n_rows,) predicted PHY goodput per row in bit/s.
+    goodput_bps: np.ndarray
+
+    @property
+    def n_rows(self) -> int:
+        return self.powers.shape[0]
+
+    def n_dropped(self) -> np.ndarray:
+        """(n_rows,) dropped-subcarrier counts, as ints."""
+        return (~self.used).sum(axis=1)
+
+    def row(self, b: int, mcs_table: Sequence[Mcs] = MCS_TABLE) -> Allocation:
+        """Materialize row ``b`` as the serial :class:`Allocation`."""
+        index = int(self.mcs_index[b])
+        mcs = None if index < 0 else next(m for m in mcs_table if m.index == index)
+        return Allocation(
+            powers=self.powers[b].copy(),
+            used=self.used[b].copy(),
+            equalized_snr=float(self.equalized_snr[b]),
+            mcs=mcs,
+            goodput_bps=float(self.goodput_bps[b]),
+        )
+
+
+def equalizing_powers_batch(gains: np.ndarray, used: np.ndarray, total_power) -> tuple:
+    """Row-batched :func:`equalizing_powers`, bit-identical per row.
+
+    ``gains``/``used`` have shape (n_rows, n_sc); ``total_power`` is a
+    scalar or (n_rows,) budget.  The inverse-gain sum — the one
+    order-sensitive reduction — is evaluated per row over the masked-in
+    subcarriers in original order (grouped by count, which preserves
+    NumPy's pairwise-summation grouping exactly).
+    """
+    gains = np.asarray(gains, dtype=float)
+    used = np.asarray(used, dtype=bool)
+    budgets = np.broadcast_to(np.asarray(total_power, dtype=float), (gains.shape[0],))
+    inverse_sum = masked_row_apply(
+        gains, used, lambda gathered: np.sum(1.0 / gathered, axis=-1)
+    )
+    any_used = used.any(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        equalized = np.where(any_used, budgets / np.where(any_used, inverse_sum, 1.0), 0.0)
+        powers = np.where(used, equalized[:, None] / gains, 0.0)
+    return powers, equalized
+
+
+def allocate_batch(
+    gains,
+    total_power,
+    mcs_table: Sequence[Mcs] = MCS_TABLE,
+    payload_bytes: int = MPDU_PAYLOAD_BYTES,
+) -> BatchAllocation:
+    """Run Algorithm 1 over a whole batch of independent streams at once.
+
+    ``gains`` has shape (n_rows, n_sc): one row per (topology, stream)
+    problem; ``total_power`` is a scalar or per-row budget.  Row ``b`` of
+    the result is **bit-identical** to ``allocate(gains[b], ...)`` — every
+    per-row operation (argsort, suffix cumsum, elementwise goodput model,
+    argmax, equalization) reduces the same elements in the same order as
+    the serial code, just stacked along a leading axis.
+    """
+    gains = np.asarray(gains, dtype=float)
+    if gains.ndim != 2:
+        raise ValueError("gains must have shape (n_rows, n_subcarriers)")
+    n_rows, n = gains.shape
+    budgets = np.broadcast_to(np.asarray(total_power, dtype=float), (n_rows,))
+    if not np.all(budgets > 0):
+        raise ValueError("total_power must be positive")
+    usable = gains > _MIN_GAIN
+
+    order = np.argsort(gains, axis=1)  # weakest first, per row
+    sorted_gains = np.take_along_axis(gains, order, axis=1)
+    with np.errstate(divide="ignore"):
+        inv = np.where(sorted_gains > _MIN_GAIN, 1.0 / np.maximum(sorted_gains, _MIN_GAIN), 0.0)
+    inverse_suffix = np.cumsum(inv[:, ::-1], axis=1)[:, ::-1]
+    usable_sorted = np.take_along_axis(usable, order, axis=1)
+    usable_suffix = np.cumsum(usable_sorted[:, ::-1].astype(int), axis=1)[:, ::-1]
+
+    n_used = usable_suffix
+    with np.errstate(divide="ignore", invalid="ignore"):
+        equalized = np.where(inverse_suffix > 0, budgets[:, None] / inverse_suffix, 0.0)
+
+    best_goodput = np.zeros((n_rows, n))
+    best_mcs_index = np.full((n_rows, n), -1)
+    for mcs in mcs_table:
+        goodput = uniform_goodput(equalized, n_used, mcs, payload_bytes)
+        improved = goodput > best_goodput
+        best_goodput = np.where(improved, goodput, best_goodput)
+        best_mcs_index = np.where(improved, mcs.index, best_mcs_index)
+
+    best_i = np.argmax(best_goodput, axis=1)
+    rows = np.arange(n_rows)
+    row_goodput = best_goodput[rows, best_i]
+    nonempty = row_goodput > 0.0
+
+    kept_sorted = (np.arange(n)[None, :] >= best_i[:, None]) & usable_sorted
+    used = np.zeros((n_rows, n), dtype=bool)
+    np.put_along_axis(used, order, kept_sorted, axis=1)
+    used &= nonempty[:, None]
+
+    powers, equalized_snr = equalizing_powers_batch(gains, used, budgets)
+    return BatchAllocation(
+        powers=powers,
+        used=used,
+        equalized_snr=np.where(nonempty, equalized_snr, 0.0),
+        mcs_index=np.where(nonempty, best_mcs_index[rows, best_i], -1),
+        goodput_bps=np.where(nonempty, row_goodput, 0.0),
     )
 
 

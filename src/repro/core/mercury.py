@@ -31,8 +31,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..phy.constants import MCS_TABLE, MODULATIONS, Modulation
-from ..phy.rates import best_rate
-from .equi_snr import Allocation
+from ..phy.rates import best_rate, best_rate_batch
+from .equi_snr import Allocation, BatchAllocation
 
 __all__ = [
     "DEFAULT_DROPS",
@@ -42,7 +42,9 @@ __all__ = [
     "mmse_inverse",
     "mutual_information_of_snr",
     "mercury_waterfilling",
+    "mercury_waterfilling_batch",
     "mercury_allocate",
+    "mercury_allocate_batch",
 ]
 
 #: Gauss–Hermite order for the MMSE integrals.
@@ -231,6 +233,73 @@ def mercury_waterfilling(
     return powers * scale
 
 
+def mercury_waterfilling_batch(
+    gains,
+    total_power: float,
+    modulation: Modulation,
+    tolerance: float = 1e-9,
+    max_bisections: int = 80,
+) -> np.ndarray:
+    """Row-batched :func:`mercury_waterfilling`, bit-identical per row.
+
+    ``gains`` has shape (n_rows, n_sc) and must be strictly positive
+    (the batched caller routes rows with non-positive gains to the serial
+    path).  Every row follows exactly the serial water-level trajectory:
+    the same bracket expansion, the same per-row bisection sequence (rows
+    that converge freeze their bracket while the rest keep bisecting) and
+    the same final proportional rescale — so the returned powers match
+    the serial call row for row.
+    """
+    gains = np.asarray(gains, dtype=float)
+    if total_power <= 0:
+        raise ValueError("total_power must be positive")
+    if gains.ndim != 2:
+        raise ValueError("gains must have shape (n_rows, n_subcarriers)")
+    if not np.all(gains > 0):
+        raise ValueError("batched mercury/water-filling requires strictly positive gains")
+    n_rows = gains.shape[0]
+
+    def powers_for(eta: np.ndarray) -> np.ndarray:
+        active = gains > eta[:, None]
+        with np.errstate(over="ignore"):
+            ratio = np.where(active, eta[:, None] / gains, 0.0)
+            return np.where(active, mmse_inverse(ratio, modulation) / gains, 0.0)
+
+    # Total power decreases monotonically in eta; bisect in log space.
+    eta_high = gains.max(axis=1)
+    eta_low = eta_high * 1e-12
+    # Expand each row's lower bracket until it yields the requested power;
+    # rows exhausting the 60 tries are MMSE-saturated and skip bisection
+    # (their proportional rescale below matches the serial fallback).
+    bracketed = np.zeros(n_rows, dtype=bool)
+    for _ in range(60):
+        pending = ~bracketed
+        bracketed |= pending & (powers_for(eta_low).sum(axis=1) >= total_power)
+        pending = ~bracketed
+        if not pending.any():
+            break
+        eta_low = np.where(pending, eta_low / 1e3, eta_low)
+
+    settled = ~bracketed
+    for _ in range(max_bisections):
+        active_rows = ~settled
+        if not active_rows.any():
+            break
+        eta_mid = np.sqrt(eta_low * eta_high)
+        totals = powers_for(eta_mid).sum(axis=1)
+        converged = active_rows & (np.abs(totals - total_power) <= tolerance * total_power)
+        eta_low = np.where(converged, eta_mid, eta_low)
+        settled |= converged
+        active_rows &= ~converged
+        go_up = active_rows & (totals > total_power)
+        eta_low = np.where(go_up, eta_mid, eta_low)
+        eta_high = np.where(active_rows & ~go_up, eta_mid, eta_high)
+
+    powers = powers_for(eta_low)
+    scale = total_power / np.maximum(powers.sum(axis=1), 1e-300)
+    return powers * scale[:, None]
+
+
 #: Default drop-count candidates for the subcarrier-selection loop.  The
 #: mercury rule already zeroes hopeless subcarriers, so a coarse sweep of
 #: explicit drops (which also shrink the decoder's codeword) suffices.
@@ -295,4 +364,76 @@ def mercury_allocate(
         equalized_snr=0.0,  # mercury does not equalize; field unused here
         mcs=best_mcs,
         goodput_bps=float(best_goodput),
+    )
+
+
+def mercury_allocate_batch(
+    gains,
+    total_power: float,
+    drop_candidates: Optional[Sequence[int]] = None,
+    modulations: Sequence[Modulation] = MODULATIONS,
+) -> BatchAllocation:
+    """Row-batched :func:`mercury_allocate`, bit-identical per row.
+
+    ``gains`` has shape (n_rows, n_sc).  Rows with strictly positive
+    gains — the overwhelmingly common case, since the engine feeds
+    matched-filter gains over noise — share one vectorized sweep of the
+    (drop count × constellation) grid; any row with a non-positive gain
+    falls back to the serial :func:`mercury_allocate` (its kept-subcarrier
+    filter makes the batch ragged), so results match in every case.
+    """
+    gains = np.asarray(gains, dtype=float)
+    if gains.ndim != 2:
+        raise ValueError("gains must have shape (n_rows, n_subcarriers)")
+    n_rows, n = gains.shape
+    drops = _DEFAULT_DROPS if drop_candidates is None else tuple(drop_candidates)
+
+    best_goodput = np.zeros(n_rows)
+    best_powers = np.zeros((n_rows, n))
+    best_used = np.zeros((n_rows, n), dtype=bool)
+    best_mcs_index = np.full(n_rows, -1)
+
+    batchable = np.all(gains > 0, axis=1)
+    rows = np.nonzero(batchable)[0]
+    if rows.size:
+        sub = gains[rows]
+        order = np.argsort(sub, axis=1)
+        for drop in drops:
+            if drop >= n:
+                continue
+            kept = order[:, drop:]
+            sub_gains = np.take_along_axis(sub, kept, axis=1)
+            for modulation in modulations:
+                powers_kept = mercury_waterfilling_batch(sub_gains, total_power, modulation)
+                sinr = np.zeros((rows.size, n))
+                np.put_along_axis(sinr, kept, powers_kept * sub_gains, axis=1)
+                used = np.zeros((rows.size, n), dtype=bool)
+                np.put_along_axis(used, kept, powers_kept > 0, axis=1)
+                table = [m for m in MCS_TABLE if m.modulation == modulation]
+                selection = best_rate_batch(sinr, used=used, mcs_table=table)
+                improved = used.any(axis=1) & (selection.goodput_bps > best_goodput[rows])
+                if not improved.any():
+                    continue
+                powers_full = np.zeros((rows.size, n))
+                np.put_along_axis(powers_full, kept, powers_kept, axis=1)
+                take = np.zeros(n_rows, dtype=bool)
+                take[rows] = improved
+                best_goodput[take] = selection.goodput_bps[improved]
+                best_powers[take] = powers_full[improved]
+                best_used[take] = used[improved]
+                best_mcs_index[take] = selection.mcs_index[improved]
+
+    for b in np.nonzero(~batchable)[0]:
+        serial = mercury_allocate(gains[b], total_power, drop_candidates, modulations)
+        best_goodput[b] = serial.goodput_bps
+        best_powers[b] = serial.powers
+        best_used[b] = serial.used
+        best_mcs_index[b] = -1 if serial.mcs is None else serial.mcs.index
+
+    return BatchAllocation(
+        powers=best_powers,
+        used=best_used,
+        equalized_snr=np.zeros(n_rows),
+        mcs_index=best_mcs_index,
+        goodput_bps=best_goodput,
     )

@@ -19,12 +19,22 @@ a :class:`DeprecationWarning` (see the migration note in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import os
 import warnings
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, Mapping, Optional, Union
 
 __all__ = ["EngineOptions"]
+
+#: Fields that configure the *execution substrate*, not the engine's
+#: physics — they are never forwarded to :class:`StrategyEngine` and are
+#: excluded from result fingerprints (see ``repro.sim.fingerprint``).
+_NON_ENGINE_FIELDS = frozenset({"backend"})
+
+#: Environment variables read by :meth:`EngineOptions.from_env`.
+_ENV_BACKEND = "REPRO_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -50,6 +60,14 @@ class EngineOptions:
         the engine's collector), never raised — an oracle bug must not be
         able to fail an experiment.  Off by default: each check costs an
         extra oracle solve per stream.
+    backend:
+        Array backend for the batched engine, by registered name (see
+        :mod:`repro.core.backend`; ``None`` means ``"numpy"``).  Validated
+        against the registry at construction so a typo fails here, in the
+        caller's stack frame, instead of inside a worker process.  The
+        backend never influences results (the reference backend is
+        bit-identical to the serial path), so it is excluded from cache
+        fingerprints and from :meth:`engine_kwargs`.
     """
 
     allocator: Optional[Callable] = None
@@ -57,6 +75,7 @@ class EngineOptions:
     max_iterations: Optional[int] = None
     tx_power_dbm: Optional[float] = None
     oracle_check: Optional[bool] = None
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.allocator is not None and not callable(self.allocator):
@@ -79,14 +98,52 @@ class EngineOptions:
             raise TypeError(
                 f"oracle_check must be a bool, got {type(self.oracle_check).__name__}"
             )
+        if self.backend is not None:
+            if not isinstance(self.backend, str):
+                raise TypeError(f"backend must be a str, got {type(self.backend).__name__}")
+            from .backend import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown array backend {self.backend!r}; "
+                    f"registered backends: {available_backends()}"
+                )
 
     def engine_kwargs(self) -> Dict[str, Any]:
-        """The non-default fields, as keyword arguments for the engine."""
+        """The non-default engine fields, as keyword arguments.
+
+        Execution-substrate fields (``backend``) are excluded — the
+        serial :class:`~repro.core.strategy.StrategyEngine` does not take
+        them; they steer the batched dispatch layer instead.
+        """
         return {
             field.name: getattr(self, field.name)
             for field in fields(self)
-            if getattr(self, field.name) is not None
+            if field.name not in _NON_ENGINE_FIELDS and getattr(self, field.name) is not None
         }
+
+    def replace(self, **overrides: Any) -> "EngineOptions":
+        """A copy with ``overrides`` applied (and re-validated).
+
+        The frozen-dataclass analogue of ``dict.update``::
+
+            options = EngineOptions.from_env().replace(oracle_check=True)
+        """
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "EngineOptions":
+        """Options seeded from the environment (``REPRO_BACKEND``).
+
+        Only execution-substrate knobs are environment-selectable —
+        result-determining physics options must be explicit in code so a
+        stray shell variable can never silently change an experiment.
+        An unregistered ``REPRO_BACKEND`` value raises :class:`ValueError`
+        here, at the entry point, not inside a worker.
+        """
+        env = os.environ if environ is None else environ
+        backend = env.get(_ENV_BACKEND)
+        return cls(backend=backend or None)
 
     @classmethod
     def coerce(

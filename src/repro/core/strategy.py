@@ -70,6 +70,8 @@ __all__ = [
     "SchemeResult",
     "StrategyOutcome",
     "StrategyEngine",
+    "average_results",
+    "choose_scheme",
 ]
 
 # Back-compat aliases for the canonical names in :mod:`repro.core.schemes`.
@@ -130,6 +132,53 @@ class StrategyOutcome:
     @property
     def copa_fair(self) -> SchemeResult:
         return self.schemes[self.copa_fair_choice]
+
+
+def average_results(name: str, results: Sequence[SchemeResult]) -> SchemeResult:
+    """Average per-client throughputs (used for the two SDA leader roles)."""
+    throughput = tuple(
+        float(np.mean([r.client_throughput_bps[i] for r in results])) for i in range(2)
+    )
+    return SchemeResult(
+        name=name,
+        concurrent=results[0].concurrent,
+        client_throughput_bps=throughput,  # type: ignore[arg-type]
+        rates=results[0].rates,
+    )
+
+
+def choose_scheme(
+    predictions: Dict[str, SchemeResult],
+    fair: bool,
+    candidates: Sequence[str] = COPA_CANDIDATES,
+) -> str:
+    """Pick the best strategy from predicted throughputs (Fig. 8).
+
+    With ``fair=True``, concurrent candidates are only admissible when
+    neither client is predicted to fall below its COPA-SEQ throughput
+    (§3.5's incentive-compatibility tweak).  Shared by the serial
+    :class:`StrategyEngine` and the batched engine
+    (:mod:`repro.core.batch`) so the choice logic cannot drift.
+    """
+    baseline = predictions[SCHEME_COPA_SEQ]
+    best_name = SCHEME_COPA_SEQ
+    best_aggregate = baseline.aggregate_bps
+    for name in candidates:
+        if name not in predictions or name == SCHEME_COPA_SEQ:
+            continue
+        candidate = predictions[name]
+        if fair:
+            admissible = all(
+                candidate.client_throughput_bps[i]
+                >= baseline.client_throughput_bps[i] * (1.0 - _FAIRNESS_SLACK)
+                for i in range(2)
+            )
+            if not admissible:
+                continue
+        if candidate.aggregate_bps > best_aggregate:
+            best_aggregate = candidate.aggregate_bps
+            best_name = name
+    return best_name
 
 
 class StrategyEngine:
@@ -460,16 +509,7 @@ class StrategyEngine:
         return leader_ok and follower_ok
 
     def _average_results(self, name: str, results: Sequence[SchemeResult]) -> SchemeResult:
-        """Average per-client throughputs (used for the two SDA leader roles)."""
-        throughput = tuple(
-            float(np.mean([r.client_throughput_bps[i] for r in results])) for i in range(2)
-        )
-        return SchemeResult(
-            name=name,
-            concurrent=results[0].concurrent,
-            client_throughput_bps=throughput,  # type: ignore[arg-type]
-            rates=results[0].rates,
-        )
+        return average_results(name, results)
 
     def _both(self, name, designs, allocations, concurrent, overhead):
         """(measured, predicted) results of one scheme."""
@@ -589,28 +629,4 @@ class StrategyEngine:
     _COPA_CANDIDATES = COPA_CANDIDATES
 
     def _choose(self, predictions: Dict[str, SchemeResult], fair: bool) -> str:
-        """Pick the best strategy from predicted throughputs (Fig. 8).
-
-        With ``fair=True``, concurrent candidates are only admissible when
-        neither client is predicted to fall below its COPA-SEQ throughput
-        (§3.5's incentive-compatibility tweak).
-        """
-        baseline = predictions[SCHEME_COPA_SEQ]
-        best_name = SCHEME_COPA_SEQ
-        best_aggregate = baseline.aggregate_bps
-        for name in self._COPA_CANDIDATES:
-            if name not in predictions or name == SCHEME_COPA_SEQ:
-                continue
-            candidate = predictions[name]
-            if fair:
-                admissible = all(
-                    candidate.client_throughput_bps[i]
-                    >= baseline.client_throughput_bps[i] * (1.0 - _FAIRNESS_SLACK)
-                    for i in range(2)
-                )
-                if not admissible:
-                    continue
-            if candidate.aggregate_bps > best_aggregate:
-                best_aggregate = candidate.aggregate_bps
-                best_name = name
-        return best_name
+        return choose_scheme(predictions, fair, candidates=self._COPA_CANDIDATES)

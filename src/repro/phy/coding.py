@@ -41,6 +41,33 @@ DISTANCE_SPECTRA: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {
 #: Above this channel BER the union bound is meaningless; decoding has failed.
 _UNION_BOUND_LIMIT = 0.08
 
+#: Binomial coefficients C(d, k) as float64, precomputed once so the hot
+#: union-bound loops never re-enter scipy.  Entries are the exact floats
+#: ``scipy.special.comb`` returns.
+_COMB_LIMIT = 64
+_COMB_TABLE = comb(
+    np.arange(_COMB_LIMIT + 1)[:, None], np.arange(_COMB_LIMIT + 1)[None, :]
+)
+
+
+def _comb(d: int, k: int) -> float:
+    if d <= _COMB_LIMIT:
+        return _COMB_TABLE[d, k]
+    return comb(d, k)
+
+
+def _as_batch(values) -> Tuple[np.ndarray, bool]:
+    """Normalize to a ≥1-d float array; flag whether the input was scalar.
+
+    NumPy's pow ufunc rounds the last ulp differently for 0-d operands
+    than for arrays, so routing scalars through a 1-element array keeps
+    scalar and batched evaluations bit-identical.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 0:
+        return array.reshape(1), True
+    return array, False
+
 
 def pairwise_error_probability(channel_ber, distance: int) -> np.ndarray:
     """Probability that a weight-``distance`` error event beats the decoder.
@@ -51,7 +78,7 @@ def pairwise_error_probability(channel_ber, distance: int) -> np.ndarray:
     * odd d:   P_d = Σ_{k=(d+1)/2}^{d} C(d,k) p^k (1−p)^{d−k}
     * even d:  the k = d/2 term counts half (ties broken by a fair coin).
     """
-    p = np.asarray(channel_ber, dtype=float)
+    p, scalar = _as_batch(channel_ber)
     p = np.clip(p, 0.0, 0.5)
     q = 1.0 - p
     total = np.zeros_like(p)
@@ -60,10 +87,11 @@ def pairwise_error_probability(channel_ber, distance: int) -> np.ndarray:
     else:
         start = distance // 2 + 1
         half = distance // 2
-        total = total + 0.5 * comb(distance, half) * p**half * q ** (distance - half)
+        total = total + 0.5 * _comb(distance, half) * p**half * q ** (distance - half)
     for k in range(start, distance + 1):
-        total = total + comb(distance, k) * p**k * q ** (distance - k)
-    return np.clip(total, 0.0, 1.0)
+        total = total + _comb(distance, k) * p**k * q ** (distance - k)
+    total = np.clip(total, 0.0, 1.0)
+    return total[0] if scalar else total
 
 
 def coded_ber(channel_ber, code_rate: Tuple[int, int]) -> np.ndarray:
@@ -77,14 +105,15 @@ def coded_ber(channel_ber, code_rate: Tuple[int, int]) -> np.ndarray:
     if code_rate not in DISTANCE_SPECTRA:
         raise ValueError(f"unknown code rate {code_rate!r}")
     dfree, weights = DISTANCE_SPECTRA[code_rate]
-    p = np.asarray(channel_ber, dtype=float)
+    p, scalar = _as_batch(channel_ber)
     bound = np.zeros_like(p)
     for offset, weight in enumerate(weights):
         if weight == 0:
             continue
         bound = bound + weight * pairwise_error_probability(p, dfree + offset)
     bound = np.where(p >= _UNION_BOUND_LIMIT, 0.5, bound)
-    return np.clip(bound, 0.0, 0.5)
+    bound = np.clip(bound, 0.0, 0.5)
+    return bound[0] if scalar else bound
 
 
 def frame_error_rate(post_viterbi_ber, n_payload_bits: int) -> np.ndarray:
@@ -93,10 +122,12 @@ def frame_error_rate(post_viterbi_ber, n_payload_bits: int) -> np.ndarray:
     Computed in log space so tiny BERs don't underflow to FER = 0 for the
     wrong reason.
     """
-    ber = np.clip(np.asarray(post_viterbi_ber, dtype=float), 0.0, 0.5)
+    ber, scalar = _as_batch(post_viterbi_ber)
+    ber = np.clip(ber, 0.0, 0.5)
     with np.errstate(divide="ignore"):
         log_ok = n_payload_bits * np.log1p(-ber)
-    return -np.expm1(log_ok)
+    fer = -np.expm1(log_ok)
+    return fer[0] if scalar else fer
 
 
 def mpdu_error_rate(channel_ber, code_rate: Tuple[int, int], payload_bytes: int = MPDU_PAYLOAD_BYTES) -> np.ndarray:

@@ -16,11 +16,19 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..util import masked_row_means
 from .ber import uncoded_ber
 from .coding import coded_ber, frame_error_rate
 from .constants import MCS_TABLE, MPDU_PAYLOAD_BYTES, N_DATA_SUBCARRIERS, Mcs
 
-__all__ = ["RateSelection", "evaluate_mcs", "best_rate"]
+__all__ = [
+    "RateSelection",
+    "BatchRateSelection",
+    "evaluate_mcs",
+    "evaluate_mcs_batch",
+    "best_rate",
+    "best_rate_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -102,4 +110,122 @@ def best_rate(
         candidate = evaluate_mcs(sinr_linear, mcs, used, payload_bytes)
         if candidate.goodput_bps > best.goodput_bps:
             best = candidate
+    return best
+
+
+@dataclass
+class BatchRateSelection:
+    """Rate selections for a batch of independent transmissions.
+
+    Struct-of-arrays counterpart of :class:`RateSelection`: row ``b``
+    materialized via :meth:`row` equals the serial result bit for bit.
+    ``mcs_index`` of ``-1`` encodes the no-viable-MCS sentinel
+    (:data:`_ZERO`).
+    """
+
+    #: (n_rows,) chosen MCS table index; -1 means no MCS works.
+    mcs_index: np.ndarray
+    #: (n_rows,) expected PHY-layer goodput in bit/s.
+    goodput_bps: np.ndarray
+    #: (n_rows,) frame error rate at the chosen MCS.
+    fer: np.ndarray
+    #: (n_rows,) mean uncoded BER the decoder sees.
+    channel_ber: np.ndarray
+    #: (n_rows,) used-cell counts.
+    n_used: np.ndarray
+
+    def row(self, b: int, mcs_table: Sequence[Mcs] = MCS_TABLE) -> RateSelection:
+        index = int(self.mcs_index[b])
+        if index < 0:
+            return _ZERO
+        mcs = next(m for m in mcs_table if m.index == index)
+        return RateSelection(
+            mcs=mcs,
+            goodput_bps=float(self.goodput_bps[b]),
+            fer=float(self.fer[b]),
+            channel_ber=float(self.channel_ber[b]),
+            n_used=int(self.n_used[b]),
+        )
+
+
+def _as_batch_2d(sinr, used):
+    """Normalize batched inputs to (n_rows, n_cells), flattening row-major."""
+    sinr = np.asarray(sinr, dtype=float)
+    if sinr.ndim < 2:
+        raise ValueError("batched sinr must have at least 2 dimensions (n_rows leading)")
+    n_rows = sinr.shape[0]
+    flat_sinr = sinr.reshape(n_rows, -1)
+    if used is None:
+        mask = np.ones(flat_sinr.shape, dtype=bool)
+    else:
+        mask = np.asarray(used, dtype=bool)
+        if mask.shape != sinr.shape:
+            raise ValueError(f"used mask shape {mask.shape} != sinr shape {sinr.shape}")
+        mask = mask.reshape(n_rows, -1)
+    return flat_sinr, mask
+
+
+def evaluate_mcs_batch(
+    sinr_linear,
+    mcs: Mcs,
+    used=None,
+    payload_bytes: int = MPDU_PAYLOAD_BYTES,
+):
+    """Batched :func:`evaluate_mcs`: one row per transmission.
+
+    ``sinr_linear``/``used`` carry a leading row axis; trailing axes are
+    flattened row-major exactly like the serial masking does.  Returns
+    ``(goodput, fer, channel_ber, n_used)`` arrays; rows with no used
+    cells get the :data:`_ZERO` values.  The decoder's channel BER — the
+    one masked, order-sensitive mean — is computed per row with
+    :func:`repro.util.masked_row_means`, preserving bit-identity.
+    """
+    flat_sinr, mask = _as_batch_2d(sinr_linear, used)
+    n_used = mask.sum(axis=1)
+    empty = n_used == 0
+    bers = uncoded_ber(flat_sinr, mcs.modulation)
+    channel_ber = masked_row_means(bers, mask, fill=0.5)
+    # The coded-BER chain is safe to vectorize because coding.py routes
+    # scalar inputs through a 1-element array: scalar (serial) and batched
+    # evaluations share one ufunc code path, bit for bit.
+    post = coded_ber(channel_ber, mcs.code_rate)
+    fer = frame_error_rate(post, payload_bytes * 8)
+    phy_rate = mcs.rate_bps * n_used / N_DATA_SUBCARRIERS
+    goodput = phy_rate * (1.0 - fer)
+    return (
+        np.where(empty, 0.0, goodput),
+        np.where(empty, 1.0, fer),
+        channel_ber,
+        n_used,
+    )
+
+
+def best_rate_batch(
+    sinr_linear,
+    used=None,
+    payload_bytes: int = MPDU_PAYLOAD_BYTES,
+    mcs_table: Sequence[Mcs] = MCS_TABLE,
+) -> BatchRateSelection:
+    """Batched :func:`best_rate`, bit-identical per row."""
+    flat_sinr, mask = _as_batch_2d(sinr_linear, used)
+    n_rows = flat_sinr.shape[0]
+    best = BatchRateSelection(
+        mcs_index=np.full(n_rows, -1),
+        goodput_bps=np.zeros(n_rows),
+        fer=np.ones(n_rows),
+        channel_ber=np.full(n_rows, 0.5),
+        n_used=np.zeros(n_rows, dtype=int),
+    )
+    for mcs in mcs_table:
+        goodput, fer, channel_ber, n_used = evaluate_mcs_batch(
+            flat_sinr, mcs, mask, payload_bytes
+        )
+        improved = goodput > best.goodput_bps
+        best = BatchRateSelection(
+            mcs_index=np.where(improved, mcs.index, best.mcs_index),
+            goodput_bps=np.where(improved, goodput, best.goodput_bps),
+            fer=np.where(improved, fer, best.fer),
+            channel_ber=np.where(improved, channel_ber, best.channel_ber),
+            n_used=np.where(improved, n_used, best.n_used),
+        )
     return best

@@ -52,6 +52,7 @@ def run_emulated_experiment(
     config: SimConfig = DEFAULT_CONFIG,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
     policy: Optional[RetryPolicy] = None,
@@ -66,12 +67,14 @@ def run_emulated_experiment(
     emulated traces are plain :class:`ChannelSet` data, so the parallel
     path is bit-identical to the serial one (see :mod:`repro.sim.runner`).
     The execution/observability/fault-tolerance keywords (``workers``,
-    ``chunk_size``, ``options``, ``collector``, ``policy``, ``checkpoint``,
-    ``resume``, ``fault_plan``, ``cache``) match
+    ``chunk_size``, ``batch_size``, ``options``, ``collector``, ``policy``,
+    ``checkpoint``, ``resume``, ``fault_plan``, ``cache``) match
     :func:`repro.sim.experiment.run_experiment`; with a cache, the base
     (unscaled) traces are memoized once and every offset's scaled replay
     is derived from — and cached under — its own content address.
     """
+    # Coerce here so a deprecated dict's warning points at the caller.
+    options = EngineOptions.coerce(options, stacklevel=3)
     col = active(collector)
     with col.span("emulation", scenario=spec.name, offset_db=interference_offset_db):
         with col.span("record_traces"):
@@ -91,6 +94,7 @@ def run_emulated_experiment(
             channel_sets=emulated,
             workers=workers,
             chunk_size=chunk_size,
+            batch_size=batch_size,
             options=options,
             collector=collector,
             policy=policy,

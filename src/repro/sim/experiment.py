@@ -154,9 +154,9 @@ def run_experiment(
     spec: ScenarioSpec,
     config: SimConfig = DEFAULT_CONFIG,
     channel_sets: Optional[Sequence[ChannelSet]] = None,
-    engine_kwargs: Optional[dict] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
     options: Optional[EngineOptions] = None,
     collector: Optional[Collector] = None,
     policy: Optional[RetryPolicy] = None,
@@ -180,11 +180,16 @@ def run_experiment(
         so parallel results are bit-identical to serial ones.
     ``chunk_size``
         overrides the dispatch chunking policy.
+    ``batch_size``
+        the batched-engine dispatch unit (see
+        :func:`repro.sim.runner.run_tasks`): ``None`` batches
+        automatically, ``1`` forces the legacy per-topology path.
     ``options``
         a validated :class:`~repro.core.options.EngineOptions` (e.g.
-        ``rate_selector`` for §4.6's multi-decoder evaluation).  The
-        legacy ``engine_kwargs`` dict is still accepted, with a
-        :class:`DeprecationWarning`; passing both is an error.
+        ``rate_selector`` for §4.6's multi-decoder evaluation, or
+        ``backend`` to pick the array backend).  A plain dict — the
+        retired ``engine_kwargs`` keyword — is still coerced here, with
+        a :class:`DeprecationWarning`, for one more release.
     ``collector``
         a :class:`repro.obs.Collector` that receives stage spans (scenario
         setup, runner dispatch, one subtree per topology and scheme) and
@@ -208,6 +213,8 @@ def run_experiment(
         bit-identical to cold ones; ``None`` (default) skips every cache
         code path.
     """
+    # Coerce here so a deprecated dict's warning points at the caller.
+    options = EngineOptions.coerce(options, stacklevel=3)
     col = active(collector)
     with col.span("experiment", scenario=spec.name, n_topologies=config.n_topologies):
         if channel_sets is None:
@@ -221,7 +228,6 @@ def run_experiment(
             coherence_s=config.coherence_s,
             imperfections=config.imperfections(),
             include_copa_plus=spec.include_copa_plus,
-            engine_kwargs=engine_kwargs,
             options=options,
             fault_plan=fault_plan,
         )
@@ -229,6 +235,7 @@ def run_experiment(
             tasks,
             workers=workers,
             chunk_size=chunk_size,
+            batch_size=batch_size,
             collector=collector,
             policy=policy,
             checkpoint=checkpoint,

@@ -72,9 +72,12 @@ CHANNEL_IRRELEVANT_SPEC_FIELDS = frozenset({"name", "include_copa_plus"})
 #: influence results, like the execution-only task fields.
 #: ``oracle_check`` shadow-validates allocations and records counters but
 #: never alters what the engine returns, so a checked run must share keys
-#: with an unchecked one.  Everything not listed here is hashed, so a new
-#: option field conservatively changes the key until proven irrelevant.
-RESULT_IRRELEVANT_OPTION_FIELDS = frozenset({"oracle_check"})
+#: with an unchecked one.  ``backend`` selects the execution substrate for
+#: the batched engine, whose reference implementation is bit-identical to
+#: the serial path — a backend switch must hit the same cache entries.
+#: Everything not listed here is hashed, so a new option field
+#: conservatively changes the key until proven irrelevant.
+RESULT_IRRELEVANT_OPTION_FIELDS = frozenset({"oracle_check", "backend"})
 
 
 def describe_value(value) -> str:

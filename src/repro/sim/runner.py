@@ -69,6 +69,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from ..core import batch as batch_engine
 from ..core.mercury import mercury_allocate
 from ..core.options import EngineOptions
 from ..core.strategy import StrategyEngine, StrategyOutcome
@@ -90,6 +91,7 @@ __all__ = [
     "RunnerError",
     "RunnerStats",
     "build_tasks",
+    "evaluate_batch",
     "evaluate_topology",
     "resolve_workers",
     "auto_chunk_size",
@@ -214,21 +216,20 @@ def build_tasks(
     coherence_s: float,
     imperfections: ImperfectionModel,
     include_copa_plus: bool = False,
-    engine_kwargs: Optional[Dict] = None,
-    options: Optional[EngineOptions] = None,
+    options: Optional[Union[EngineOptions, Mapping]] = None,
     observe: bool = False,
     fault_plan: Optional[FaultPlan] = None,
 ) -> List[TopologyTask]:
     """One task per channel realization, each with its private seed.
 
-    ``options`` is the typed engine configuration; ``engine_kwargs`` is the
-    deprecated dict form (converted with a :class:`DeprecationWarning`).
-    Passing both is an error.  ``fault_plan`` installs deterministic fault
-    injection (chaos tests only).
+    ``options`` is the typed engine configuration
+    (:class:`~repro.core.options.EngineOptions`).  A plain mapping — the
+    retired ``engine_kwargs`` form — is still coerced, with a
+    :class:`DeprecationWarning` pointing at the caller, for one more
+    release.  ``fault_plan`` installs deterministic fault injection
+    (chaos tests only).
     """
-    if engine_kwargs is not None and options is not None:
-        raise TypeError("pass either options or the deprecated engine_kwargs, not both")
-    resolved = EngineOptions.coerce(engine_kwargs if options is None else options)
+    resolved = EngineOptions.coerce(options, stacklevel=3)
     return [
         TopologyTask(
             index=index,
@@ -348,6 +349,8 @@ class RunnerStats:
     #: Topologies that missed the cache and were (re)computed (0 when no
     #: cache was attached).
     cache_misses: int = 0
+    #: Largest batched-engine dispatch unit used (1 = per-topology path).
+    batch_size: int = 1
 
     @property
     def n_topologies(self) -> int:
@@ -402,6 +405,47 @@ def _picklable(task: TopologyTask) -> bool:
 
 def _run_serial(tasks: Sequence[TopologyTask]) -> List[TaskResult]:
     return [evaluate_topology(task) for task in tasks]
+
+
+def evaluate_batch(tasks: Sequence[TopologyTask]) -> List[TaskResult]:
+    """Evaluate a chunk of tasks through the batched engine; task order kept.
+
+    Module-level so pool workers import it by reference, like
+    :func:`evaluate_topology`.  Tasks are grouped by
+    :func:`repro.core.batch.group_key`; each group runs as one
+    :class:`~repro.core.batch.BatchedStrategyEngine` dispatch, bit-identical
+    to the per-topology path.  Tasks the batched engine cannot take
+    (observed, fault-injected, custom allocators/selectors, non-2x2
+    topologies) fall back to :func:`evaluate_topology` individually, as
+    does a whole group if its batched dispatch raises.  Per-task
+    ``elapsed_s`` is the batch wall-clock divided evenly over its rows —
+    the logical serial timeline the observability merge expects.
+    """
+    tasks = list(tasks)
+    results: Dict[int, TaskResult] = {}
+    batches, singles = batch_engine.partition_tasks(tasks)
+    for single in singles:
+        results[single.index] = evaluate_topology(single)
+    for group in batches:
+        start = time.perf_counter()
+        try:
+            outcomes = batch_engine.run_batch(group)
+        except Exception:
+            # Never lose a sweep to a batching defect: replay the group
+            # through the reference per-topology path.
+            for task in group:
+                results[task.index] = evaluate_topology(task)
+            continue
+        elapsed_s = (time.perf_counter() - start) / len(group)
+        for task, (outcome, plus_outcome) in zip(group, outcomes):
+            record = TopologyRecord(
+                index=task.index,
+                channels=task.channels,
+                outcome=outcome,
+                plus_outcome=plus_outcome,
+            )
+            results[task.index] = TaskResult(record=record, elapsed_s=elapsed_s)
+    return [results[task.index] for task in tasks]
 
 
 def _intact(task: TopologyTask, result: TaskResult) -> bool:
@@ -679,6 +723,7 @@ def run_tasks(
     tasks: Sequence[TopologyTask],
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
     collector: Optional[Collector] = None,
     policy: Optional[RetryPolicy] = None,
     checkpoint: Optional[Union[str, Journal]] = None,
@@ -692,6 +737,14 @@ def run_tasks(
     produce (each task carries its own seed).  Pool-start failures, broken
     pools and unpicklable tasks degrade to the serial path with the reason
     recorded in the returned :class:`RunnerStats`.
+
+    ``batch_size`` controls the batched-engine dispatch unit
+    (:func:`evaluate_batch`): ``None`` (the default) batches automatically
+    — each worker chunk (or the whole list, serially) is evaluated as
+    stacked arrays, bit-identical to per-topology evaluation; ``1``
+    forces the legacy per-topology path; ``k > 1`` caps batches at ``k``
+    tasks.  Fault-tolerant runs (``policy``/``checkpoint``/fault plans)
+    always evaluate per topology, whatever ``batch_size`` says.
 
     Fault tolerance activates when ``policy``/``checkpoint`` is given (or
     any task carries a fault plan): per-attempt timeouts, bounded retries
@@ -711,6 +764,8 @@ def run_tasks(
     journal, if any, is still fingerprinted over the *full* task list,
     so cached and uncached runs of one experiment share journals.
     """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     col = active(collector)
     tasks = list(tasks)
     fault_tolerant = (
@@ -739,6 +794,11 @@ def run_tasks(
     events: List[RunnerEvent] = []
     resumed = 0
 
+    # Observed runs need per-topology traces, so they keep the per-task
+    # path; everything else goes through the batched engine by default.
+    use_batch = batch_size != 1 and not col.enabled
+    effective_batch = 1
+
     if not fault_tolerant:
         if not tasks:
             results = []  # everything was served from the cache
@@ -751,13 +811,30 @@ def run_tasks(
         else:
             try:
                 with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                    results = list(pool.map(evaluate_topology, tasks, chunksize=chunk))
+                    if use_batch:
+                        # One batched dispatch per worker chunk instead of
+                        # one task: same load-balancing unit, B× fewer
+                        # engine invocations.
+                        unit = chunk if batch_size is None else batch_size
+                        groups = [tasks[i : i + unit] for i in range(0, len(tasks), unit)]
+                        nested = list(pool.map(evaluate_batch, groups))
+                        results = [result for group in nested for result in group]
+                        effective_batch = unit
+                    else:
+                        results = list(pool.map(evaluate_topology, tasks, chunksize=chunk))
                 parallel = True
             except (OSError, BrokenProcessPool, RuntimeError, pickle.PicklingError) as error:
                 fallback_reason = f"process pool failed ({type(error).__name__}: {error})"
                 results = None
         if results is None:
-            results = _run_serial(tasks)
+            if use_batch and tasks:
+                unit = len(tasks) if batch_size is None else batch_size
+                results = []
+                for offset in range(0, len(tasks), unit):
+                    results.extend(evaluate_batch(tasks[offset : offset + unit]))
+                effective_batch = unit
+            else:
+                results = _run_serial(tasks)
     else:
         retry_policy = policy if policy is not None else RetryPolicy()
         journal: Optional[Journal] = None
@@ -824,5 +901,6 @@ def run_tasks(
         resumed=resumed,
         cache_hits=len(cached),
         cache_misses=len(tasks) if cache is not None else 0,
+        batch_size=max(1, effective_batch),
     )
     return [result.record for result in results], stats

@@ -20,6 +20,8 @@ __all__ = [
     "q_function",
     "hermitian",
     "is_unitary_columns",
+    "masked_row_apply",
+    "masked_row_means",
 ]
 
 #: Smallest linear power we represent, to keep logs finite (-400 dB).
@@ -56,6 +58,46 @@ def q_function(x):
 def hermitian(matrix: np.ndarray) -> np.ndarray:
     """Conjugate transpose, acting on the last two axes."""
     return np.conj(np.swapaxes(matrix, -1, -2))
+
+
+def masked_row_apply(values, mask, reduce, fill: float = 0.0) -> np.ndarray:
+    """Bit-exact per-row masked reductions, without a Python loop per row.
+
+    For each row ``b`` this computes
+    ``reduce(values[b][mask[b]][None, :])`` — a reduction over the row's
+    masked-in elements *in their original order* — and is bit-identical to
+    doing exactly that row by row.  The trick: NumPy's pairwise-summation
+    grouping depends only on the number of elements reduced, so rows with
+    the same masked-in count can be gathered into one ``(rows, count)``
+    matrix and reduced along the last axis in a single call.  ``reduce``
+    receives such a matrix and must reduce ``axis=-1`` elementwise-then-
+    pairwise (e.g. ``lambda g: g.mean(axis=-1)``).
+
+    Rows whose mask is empty get ``fill``.  Trailing axes of ``values``
+    beyond the first are flattened row-major, matching the semantics of
+    boolean indexing on the full row.
+    """
+    values = np.asarray(values)
+    mask = np.asarray(mask, dtype=bool)
+    if values.shape != mask.shape:
+        raise ValueError(f"mask shape {mask.shape} != values shape {values.shape}")
+    n_rows = values.shape[0]
+    flat_values = values.reshape(n_rows, -1)
+    flat_mask = mask.reshape(n_rows, -1)
+    counts = flat_mask.sum(axis=1)
+    out = np.full(n_rows, fill, dtype=float)
+    for count in np.unique(counts):
+        if count == 0:
+            continue
+        rows = np.nonzero(counts == count)[0]
+        gathered = flat_values[rows][flat_mask[rows]].reshape(rows.size, count)
+        out[rows] = reduce(gathered)
+    return out
+
+
+def masked_row_means(values, mask, fill: float = 0.0) -> np.ndarray:
+    """Per-row ``float(values[b][mask[b]].mean())``, vectorized bit-exactly."""
+    return masked_row_apply(values, mask, lambda gathered: gathered.mean(axis=-1), fill=fill)
 
 
 def is_unitary_columns(matrix: np.ndarray, tol: float = 1e-8) -> bool:

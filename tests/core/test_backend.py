@@ -1,0 +1,88 @@
+"""ArrayBackend registry and conformance contract.
+
+Every registered backend must pass :func:`check_backend_conformance` —
+the shape/dtype/round-trip invariants the batched engine relies on.  The
+registry itself is what makes ``EngineOptions.backend`` and the CLI
+``--backend`` flag validatable at construction time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    DEFAULT_BACKEND,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    check_backend_conformance,
+    get_backend,
+    register_backend,
+)
+
+
+class TestRegistry:
+    def test_default_backend_is_registered(self):
+        assert DEFAULT_BACKEND in available_backends()
+
+    def test_available_backends_sorted(self):
+        names = available_backends()
+        assert names == sorted(names)
+
+    def test_get_backend_returns_named_instance(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+
+    def test_default_argument_resolves_reference_backend(self):
+        assert get_backend().name == DEFAULT_BACKEND
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            get_backend("cupy-typo")
+
+    def test_register_requires_a_name(self):
+        with pytest.raises(TypeError):
+            register_backend("", NumpyBackend)
+        with pytest.raises(TypeError):
+            register_backend(None, NumpyBackend)
+
+    def test_registration_is_lazy(self):
+        """Registering a backend whose library is missing must be harmless
+        until someone actually selects it."""
+        calls = []
+
+        def factory():
+            calls.append(1)
+            raise ImportError("not installed")
+
+        register_backend("test-lazy", factory)
+        try:
+            assert "test-lazy" in available_backends()
+            assert not calls
+            with pytest.raises(ImportError):
+                get_backend("test-lazy")
+        finally:
+            from repro.core import backend as backend_module
+
+            backend_module._REGISTRY.pop("test-lazy", None)
+
+
+class TestConformance:
+    @pytest.mark.parametrize("name", available_backends())
+    def test_every_registered_backend_conforms(self, name):
+        check_backend_conformance(get_backend(name))
+
+    def test_numpy_backend_satisfies_the_protocol(self):
+        assert isinstance(NumpyBackend(), ArrayBackend)
+
+    def test_nonconforming_backend_is_rejected(self):
+        class Broken(NumpyBackend):
+            def matmul(self, a, b):
+                return np.matmul(a, b)[..., :1]  # wrong trailing shape
+
+        with pytest.raises(AssertionError, match="matmul"):
+            check_backend_conformance(Broken())
+
+    def test_reference_backend_shares_the_serial_namespace(self):
+        """Bit-identity between batched and serial paths rests on both
+        using the very same ufuncs/LAPACK drivers."""
+        assert get_backend("numpy").xp is np

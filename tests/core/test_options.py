@@ -52,6 +52,52 @@ class TestValidation:
         with pytest.raises(TypeError):
             EngineOptions(tx_power_dbm="20")
 
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            EngineOptions(backend="cupy-typo")
+
+    def test_non_str_backend_rejected(self):
+        with pytest.raises(TypeError):
+            EngineOptions(backend=3)
+
+    def test_registered_backend_accepted(self):
+        assert EngineOptions(backend="numpy").backend == "numpy"
+
+    def test_backend_never_reaches_the_serial_engine(self):
+        """``backend`` steers the dispatch substrate, not the physics."""
+        assert EngineOptions(backend="numpy").engine_kwargs() == {}
+
+
+class TestReplace:
+    def test_replace_overrides_and_keeps_the_rest(self):
+        base = EngineOptions(max_iterations=4)
+        replaced = base.replace(tx_power_dbm=20.0)
+        assert replaced == EngineOptions(max_iterations=4, tx_power_dbm=20.0)
+        assert base == EngineOptions(max_iterations=4)
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError):
+            EngineOptions().replace(backend="cupy-typo")
+
+
+class TestFromEnv:
+    def test_empty_environment_gives_defaults(self):
+        assert EngineOptions.from_env({}) == EngineOptions()
+
+    def test_repro_backend_selects_the_backend(self):
+        assert EngineOptions.from_env({"REPRO_BACKEND": "numpy"}).backend == "numpy"
+
+    def test_blank_value_means_unset(self):
+        assert EngineOptions.from_env({"REPRO_BACKEND": ""}).backend is None
+
+    def test_unregistered_value_fails_at_the_entry_point(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            EngineOptions.from_env({"REPRO_BACKEND": "cupy-typo"})
+
+    def test_reads_the_process_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert EngineOptions.from_env().backend == "numpy"
+
 
 class TestCoerce:
     def test_none_gives_defaults(self):

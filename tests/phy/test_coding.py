@@ -123,3 +123,45 @@ class TestViterbiMonteCarloValidation:
         # operating points (it is what drives MCS selection).
         assert simulated <= bound * 3.0
         assert bound <= simulated * 300.0
+
+
+class TestScalarArrayBitIdentity:
+    """Scalar and array evaluations must share one ufunc code path.
+
+    NumPy's pow ufunc rounds the last ulp differently for 0-d operands
+    than for arrays; the coding kernels normalize scalars to 1-element
+    arrays so the batched engine stays bit-identical to the serial one.
+    All comparisons here are exact (``==``), not approximate.
+    """
+
+    PS = np.geomspace(1e-9, 0.45, 17)
+
+    def test_pairwise_scalar_equals_array_row(self):
+        for distance in (4, 5, 6, 10):
+            array = pairwise_error_probability(self.PS, distance)
+            for p, row in zip(self.PS, array):
+                assert pairwise_error_probability(float(p), distance) == row
+
+    @pytest.mark.parametrize("code_rate", sorted(DISTANCE_SPECTRA))
+    def test_coded_ber_scalar_equals_array_row(self, code_rate):
+        array = coded_ber(self.PS, code_rate)
+        for p, row in zip(self.PS, array):
+            assert coded_ber(float(p), code_rate) == row
+
+    def test_frame_error_rate_scalar_equals_array_row(self):
+        array = frame_error_rate(self.PS, 12000)
+        for p, row in zip(self.PS, array):
+            assert frame_error_rate(float(p), 12000) == row
+
+    def test_scalar_inputs_still_return_scalars(self):
+        assert np.ndim(coded_ber(1e-3, (1, 2))) == 0
+        assert np.ndim(frame_error_rate(1e-6, 12000)) == 0
+        assert np.ndim(pairwise_error_probability(1e-3, 10)) == 0
+
+    def test_batch_position_does_not_change_bits(self):
+        """Embedding the same value at different offsets of a larger batch
+        must not move a single ulp."""
+        value = 0.0123456789
+        lone = coded_ber(np.array([value]), (3, 4))[0]
+        padded = np.concatenate([self.PS, [value], self.PS[::-1]])
+        assert coded_ber(padded, (3, 4))[len(self.PS)] == lone

@@ -134,6 +134,12 @@ class TestExecutionOnlyFieldsExcluded:
         checked = dataclasses.replace(tasks[0], options=EngineOptions(oracle_check=True))
         assert fingerprint_task(checked) == fingerprint_task(tasks[0])
 
+    def test_backend_option_does_not_move_the_key(self, tasks):
+        """The reference backend is bit-identical to the serial path, so a
+        backend switch must hit the same cache entries."""
+        switched = dataclasses.replace(tasks[0], options=EngineOptions(backend="numpy"))
+        assert fingerprint_task(switched) == fingerprint_task(tasks[0])
+
 
 class TestResultDeterminingFieldsIncluded:
     """Anything that changes the computed numbers must change the key."""

@@ -144,7 +144,9 @@ class TestBuildTasks:
         # Observability was not requested: no spans, no metrics.
         assert result.spans is None and result.metrics is None
 
-    def test_legacy_engine_kwargs_dict_is_deprecated(self):
+    def test_legacy_options_dict_is_deprecated(self):
+        """The retired ``engine_kwargs`` dict, passed via ``options``, still
+        coerces (with a warning) for one more release."""
         spec = ScenarioSpec("1x1", 1, 1)
         config = SimConfig(n_topologies=1)
         from repro.sim.experiment import generate_channel_sets
@@ -156,11 +158,12 @@ class TestBuildTasks:
                 base_seed=config.seed,
                 coherence_s=config.coherence_s,
                 imperfections=config.imperfections(),
-                engine_kwargs={"rate_selector": best_rate},
+                options={"rate_selector": best_rate},
             )
         assert tasks[0].options == EngineOptions(rate_selector=best_rate)
 
-    def test_engine_kwargs_and_options_together_rejected(self):
+    def test_engine_kwargs_keyword_is_gone(self):
+        """The ``engine_kwargs`` keyword is retired from the public surface."""
         spec = ScenarioSpec("1x1", 1, 1)
         config = SimConfig(n_topologies=1)
         from repro.sim.experiment import generate_channel_sets
@@ -173,8 +176,9 @@ class TestBuildTasks:
                 coherence_s=config.coherence_s,
                 imperfections=config.imperfections(),
                 engine_kwargs={"rate_selector": best_rate},
-                options=EngineOptions(rate_selector=best_rate),
             )
+        with pytest.raises(TypeError):
+            run_experiment(spec, config, engine_kwargs={"rate_selector": best_rate})
 
 
 class TestGracefulDegradation:
