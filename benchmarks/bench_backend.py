@@ -1,0 +1,317 @@
+"""Perf + tolerance acceptance for the pluggable array backends.
+
+The batched engine (:mod:`repro.core.batch`) dispatches its strategy
+menu through an :class:`~repro.core.backend.ArrayBackend`.  This harness
+compares the three registered backends on the same workload:
+
+* ``numpy`` — the bit-identical reference path (baseline timing);
+* ``numpy-fused`` — the fused menu kernel evaluated eagerly on host
+  numpy (isolates the *kernel rewrite* cost/benefit from jit);
+* ``jax`` — the jit/vmap-compiled fused kernel, reported as **cold**
+  (first call, includes XLA compilation) and **warm** (steady state)
+  separately.  Recorded honestly as unavailable when jax is not
+  installed — the committed payload must never invent numbers.
+
+Before timing anything the harness asserts every available non-reference
+backend matches the reference series within the documented 1e-6 relative
+tolerance (EXPERIMENTS.md tolerance policy) — a backend that is fast but
+wrong must never post a number.
+
+Run it as a script (CI uses ``--quick --check``)::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py [--quick]
+        [--output BENCH_backend.json] [--check] [--validate PATH]
+
+``--check`` exits non-zero if any available backend's measured error
+exceeds the tolerance policy.  There is deliberately no speedup floor:
+on CPU-only hosts a jit-compiled jax kernel may not beat tuned numpy —
+the payload records both numbers and lets the reader judge.
+``--validate PATH`` only validates an existing payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+SCHEMA_ID = "repro.bench/backend-v1"
+DEFAULT_OUTPUT = "BENCH_backend.json"
+SEED = 2015
+
+#: Documented equivalence budget for non-reference backends.
+POLICY_RTOL = 1e-6
+
+
+def _workload(quick: bool):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import ScenarioSpec
+
+    # The 3x2 overconstrained scenario exercises the full fused menu
+    # (SDA roles, nulling, concurrent iteration); COPA+ is excluded
+    # because the mercury allocator is deliberately outside fusion
+    # coverage and would dilute the measurement with reference-path time.
+    spec = ScenarioSpec("3x2", 3, 2, include_copa_plus=False)
+    config = SimConfig(n_topologies=4 if quick else 32, seed=SEED)
+    return spec, config
+
+
+def _series_of(result) -> Dict[str, np.ndarray]:
+    return {key: result.series_mbps(key) for key in result.available_series()}
+
+
+def _max_rel_err(reference: Dict[str, np.ndarray], candidate) -> float:
+    series = _series_of(candidate)
+    assert series.keys() == reference.keys(), "series set drifted across backends"
+    worst = 0.0
+    for key, ref in reference.items():
+        scale = np.maximum(np.abs(ref), 1e-300)
+        worst = max(worst, float(np.max(np.abs(series[key] - ref) / scale)))
+    return worst
+
+
+def _timed_run(spec, config, options=None) -> float:
+    from repro.sim.experiment import run_experiment
+
+    start = time.perf_counter()
+    run_experiment(spec, config, workers=1, options=options)
+    return time.perf_counter() - start
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    """Measure every available backend and build the backend-v1 payload."""
+    from repro.core import fused
+    from repro.core.backend import get_backend
+    from repro.core.options import EngineOptions
+    from repro.sim.experiment import run_experiment
+
+    spec, config = _workload(quick)
+    repeats = 1 if quick else 3
+
+    # --- reference series + baseline timing ---
+    reference = _series_of(run_experiment(spec, config, workers=1))
+    numpy_s = float(
+        statistics.median(_timed_run(spec, config) for _ in range(repeats))
+    )
+
+    backends: Dict[str, Dict[str, object]] = {
+        "numpy": {"reference": True, "time_s": round(numpy_s, 4)}
+    }
+
+    # --- numpy-fused: correctness gate, then timing ---
+    fused_options = EngineOptions(backend="numpy-fused")
+    fused_err = _max_rel_err(
+        reference, run_experiment(spec, config, workers=1, options=fused_options)
+    )
+    assert fused_err <= POLICY_RTOL, (
+        f"numpy-fused error {fused_err:.3e} exceeds the {POLICY_RTOL:.0e} policy"
+    )
+    fused_s = float(
+        statistics.median(
+            _timed_run(spec, config, fused_options) for _ in range(repeats)
+        )
+    )
+    backends["numpy-fused"] = {
+        "available": True,
+        "max_rel_err": fused_err,
+        "time_s": round(fused_s, 4),
+    }
+
+    # --- jax: cold (includes XLA compile) vs warm, or honest absence ---
+    jax_version: Optional[str] = None
+    try:
+        jax_backend = get_backend("jax")
+    except ImportError as exc:
+        backends["jax"] = {"available": False, "reason": str(exc)}
+    else:
+        import jax  # the factory imported it successfully
+
+        from repro.core import backend_jax
+
+        jax_version = jax.__version__
+        jax_options = EngineOptions(backend="jax")
+        jax_err = _max_rel_err(
+            reference, run_experiment(spec, config, workers=1, options=jax_options)
+        )
+        assert jax_err <= POLICY_RTOL, (
+            f"jax error {jax_err:.3e} exceeds the {POLICY_RTOL:.0e} policy"
+        )
+        # Cold: drop every staged kernel and XLA executable first.
+        fused.kernel_cache_clear()
+        backend_jax.clear_compile_cache()
+        jax.clear_caches()
+        cold_s = _timed_run(spec, config, jax_options)
+        warm_s = float(
+            statistics.median(
+                _timed_run(spec, config, jax_options) for _ in range(repeats)
+            )
+        )
+        backends["jax"] = {
+            "available": True,
+            "max_rel_err": jax_err,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "devices": [str(d) for d in jax.devices()],
+            "x64": bool(jax_backend.asarray(np.float64(0.5)).dtype == np.float64),
+        }
+
+    return {
+        "schema": SCHEMA_ID,
+        "quick": quick,
+        "workload": {
+            "scenario": spec.name,
+            "include_copa_plus": spec.include_copa_plus,
+            "n_topologies": config.n_topologies,
+            "seed": SEED,
+            "series": sorted(reference),
+            "repeats": repeats,
+        },
+        "tolerance": {"policy_rtol": POLICY_RTOL},
+        "backends": backends,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "jax": jax_version,
+        },
+    }
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid backend-v1 document."""
+
+    def fail(message: str):
+        raise ValueError(f"BENCH_backend payload invalid: {message}")
+
+    if not isinstance(payload, dict):
+        fail("payload must be an object")
+    if payload.get("schema") != SCHEMA_ID:
+        fail(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("quick"), bool):
+        fail("quick must be a boolean")
+    workload = payload.get("workload")
+    if not isinstance(workload, dict):
+        fail("workload must be an object")
+    for key in ("n_topologies", "seed", "repeats"):
+        if not isinstance(workload.get(key), int) or workload[key] < 1:
+            fail(f"workload.{key} must be a positive integer")
+    if not isinstance(workload.get("series"), list) or not workload["series"]:
+        fail("workload.series must be a non-empty list")
+    tolerance = payload.get("tolerance")
+    if not isinstance(tolerance, dict) or tolerance.get("policy_rtol") != POLICY_RTOL:
+        fail(f"tolerance.policy_rtol must be {POLICY_RTOL}")
+    backends = payload.get("backends")
+    if not isinstance(backends, dict):
+        fail("backends must be an object")
+    for name in ("numpy", "numpy-fused", "jax"):
+        if name not in backends:
+            fail(f"backends.{name} entry is required (record absence honestly)")
+    numpy_entry = backends["numpy"]
+    if numpy_entry.get("reference") is not True:
+        fail("backends.numpy.reference must be true")
+    if not isinstance(numpy_entry.get("time_s"), (int, float)) or numpy_entry["time_s"] <= 0:
+        fail("backends.numpy.time_s must be a positive number")
+    for name in ("numpy-fused", "jax"):
+        entry = backends[name]
+        if not isinstance(entry.get("available"), bool):
+            fail(f"backends.{name}.available must be a boolean")
+        if not entry["available"]:
+            if not isinstance(entry.get("reason"), str) or not entry["reason"]:
+                fail(f"backends.{name}.reason must explain the absence")
+            continue
+        err = entry.get("max_rel_err")
+        if not isinstance(err, (int, float)) or err < 0:
+            fail(f"backends.{name}.max_rel_err must be a non-negative number")
+        if err > POLICY_RTOL:
+            fail(
+                f"backends.{name}.max_rel_err {err:.3e} exceeds the "
+                f"{POLICY_RTOL:.0e} tolerance policy"
+            )
+        time_keys = ("cold_s", "warm_s") if name == "jax" else ("time_s",)
+        for key in time_keys:
+            if not isinstance(entry.get(key), (int, float)) or entry[key] <= 0:
+                fail(f"backends.{name}.{key} must be a positive number")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    workload = payload["workload"]
+    backends = payload["backends"]
+    lines = [
+        f"{'workload':<28}{workload['scenario']:>6}  "
+        f"({workload['n_topologies']} topologies, seed {workload['seed']})",
+        f"{'numpy (reference, median)':<28}{backends['numpy']['time_s']:>9.2f} s",
+    ]
+    fused_entry = backends["numpy-fused"]
+    lines.append(
+        f"{'numpy-fused (median)':<28}{fused_entry['time_s']:>9.2f} s  "
+        f"(max rel err {fused_entry['max_rel_err']:.2e})"
+    )
+    jax_entry = backends["jax"]
+    if jax_entry["available"]:
+        lines.append(
+            f"{'jax cold (incl. compile)':<28}{jax_entry['cold_s']:>9.2f} s"
+        )
+        lines.append(
+            f"{'jax warm (median)':<28}{jax_entry['warm_s']:>9.2f} s  "
+            f"(max rel err {jax_entry['max_rel_err']:.2e})"
+        )
+    else:
+        lines.append(f"{'jax':<28}  unavailable: {jax_entry['reason']}")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI profile: 4 topologies, 1 repeat")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="payload path (default BENCH_backend.json)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every available backend is within the "
+        f"{POLICY_RTOL:.0e} tolerance policy",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing payload file and exit (no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        print(f"{args.validate}: valid {SCHEMA_ID} payload")
+        return 0
+
+    payload = run_benchmark(quick=args.quick)
+    validate_bench_payload(payload)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.output}")
+
+    if args.check:
+        # run_benchmark already asserted tolerance before timing; validate
+        # re-checked the recorded numbers.  Nothing further to enforce —
+        # there is no speedup floor by design (see module docstring).
+        for name in ("numpy-fused", "jax"):
+            entry = payload["backends"][name]
+            if entry.get("available") and entry["max_rel_err"] > POLICY_RTOL:
+                print(f"FAIL: {name} outside tolerance", file=sys.stderr)
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,34 @@
 The batched engine (:mod:`repro.core.batch`) evaluates whole stacks of
 topologies as ``(n_topologies, n_sc, n_rx, n_tx)`` arrays.  All of its
 dense array work goes through an :class:`ArrayBackend`, a *thin* shim
-over an array namespace plus the handful of linear-algebra entry points
-the engine needs (batched SVD, Hermitian solve, matmul).  The shipped
-implementation is NumPy — the same kernels the serial engine uses, which
-is what makes bit-identity between the two paths provable — but the
-protocol deliberately mirrors the array-API subset a CuPy or JAX
-namespace provides, so a GPU backend is an implementation of this class,
-not a rewrite of the engine.
+over an array namespace plus the linear-algebra entry points the engine
+needs (batched SVD, Hermitian solve, matmul, eigh/inv, einsum,
+take_along_axis) and the special functions the rate model needs (erfc).
+The shipped reference implementation is NumPy — the same kernels the
+serial engine uses, which is what makes bit-identity between the two
+paths provable — but the protocol deliberately mirrors the array-API
+subset a CuPy or JAX namespace provides, so a GPU backend is an
+implementation of this class, not a rewrite of the engine.
+
+Two execution styles share the protocol:
+
+* **Eager** backends (``"numpy"``) run the engine's generic batch path
+  directly; :meth:`ArrayBackend.compile` is the identity and
+  :meth:`ArrayBackend.vmap` is a host loop.
+* **Fused** backends (``supports_fusion = True``) additionally run the
+  trace-safe strategy-menu kernel in :mod:`repro.core.fused`:
+  :meth:`vmap` maps the per-topology kernel over the batch axis and
+  :meth:`compile` stages the mapped kernel (``jax.jit`` for the
+  ``"jax"`` backend).  ``"numpy-fused"`` evaluates the identical kernel
+  eagerly on NumPy, so the fused math is testable without jax installed.
 
 Backends are looked up by name in a process-global registry so that
 :class:`repro.core.options.EngineOptions` can validate its ``backend``
 field at construction time (a typo fails in the caller's stack frame,
 not inside a worker process) and so the CLI can enumerate valid
-``--backend`` choices.
+``--backend`` choices.  Registration is lazy: the ``"jax"`` name is
+always registered, but jax itself is only imported when the backend is
+first requested, so ``import repro`` never requires jax.
 
 Determinism contract
 --------------------
@@ -23,9 +38,12 @@ The ``"numpy"`` backend is the reference: results computed through it
 are bit-identical to the serial engine by construction (same ufuncs,
 same LAPACK drivers, same reduction orders).  Alternative backends are
 *not* required to be bit-identical to NumPy — floating-point results on
-other hardware legitimately differ in the last ulp — but they must pass
-:func:`check_backend_conformance`, which pins the shapes, dtypes and
-round-trip semantics the engine relies on.
+other hardware legitimately differ in the last ulp, and the fused
+kernel replaces the bit-exact masked-gather reductions with trace-safe
+masked sums — but they must pass :func:`check_backend_conformance` and
+stay within the golden values' 1e-6 relative tolerance (see the
+tolerance policy in EXPERIMENTS.md and ``tests/core/test_fused.py`` /
+``tests/core/test_backend_jax.py``).
 """
 
 from __future__ import annotations
@@ -37,10 +55,13 @@ import numpy as np
 __all__ = [
     "ArrayBackend",
     "NumpyBackend",
+    "NumpyFusedBackend",
     "register_backend",
     "get_backend",
     "available_backends",
     "check_backend_conformance",
+    "tree_map",
+    "tree_stack",
     "DEFAULT_BACKEND",
 ]
 
@@ -53,17 +74,20 @@ class ArrayBackend(Protocol):
     """What the batched engine needs from an array library.
 
     ``xp`` is the backend's array namespace (``numpy`` itself for the
-    reference backend; ``cupy``/``jax.numpy`` for future ones) and must
-    provide the array-API-style subset the engine calls through it
-    (``matmul``, ``where``, ``einsum``, elementwise ufuncs, reductions).
-    The named methods below are the operations whose spelling differs
-    across libraries often enough to deserve explicit seams.
+    reference backend; ``jax.numpy`` for the jax one) and must provide
+    the array-API-style subset the engine calls through it (``matmul``,
+    ``where``, ``einsum``, elementwise ufuncs, reductions).  The named
+    methods below are the operations whose spelling differs across
+    libraries often enough to deserve explicit seams.
     """
 
     #: Registry name, e.g. ``"numpy"``.
     name: str
     #: The array namespace used for elementwise ops and reductions.
     xp: object
+    #: Whether the backend runs the fused strategy-menu kernel
+    #: (:mod:`repro.core.fused`) instead of the generic batch path.
+    supports_fusion: bool
 
     def asarray(self, array, dtype=None):
         """Move/convert ``array`` into this backend's native array type."""
@@ -85,12 +109,71 @@ class ArrayBackend(Protocol):
         """Batched linear solve (per trailing 2-D slice)."""
         ...
 
+    def eigh(self, a):
+        """Batched Hermitian eigendecomposition (per trailing 2-D slice)."""
+        ...
+
+    def inv(self, a):
+        """Batched matrix inverse (per trailing 2-D slice)."""
+        ...
+
+    def einsum(self, subscripts: str, *operands):
+        """Einstein summation with the backend's reduction kernels."""
+        ...
+
+    def take_along_axis(self, array, indices, axis: int):
+        """Gather along ``axis`` with an integer index array."""
+        ...
+
+    def erfc(self, x):
+        """Complementary error function (the Q-function/BER seam)."""
+        ...
+
+    def vmap(self, fn: Callable, in_axes=0) -> Callable:
+        """Map ``fn`` over a leading batch axis (``None`` = broadcast)."""
+        ...
+
+    def compile(self, fn: Callable, key=None) -> Callable:
+        """Stage ``fn`` for repeated execution (identity for eager backends).
+
+        ``key``, when given, lets the backend share one staged
+        executable across calls that rebuild equivalent closures.
+        """
+        ...
+
+
+def tree_map(fn: Callable, tree):
+    """Apply ``fn`` to every array leaf of a nested dict/list/tuple."""
+    if isinstance(tree, dict):
+        return {key: tree_map(fn, value) for key, value in tree.items()}
+    if isinstance(tree, (list, tuple)):
+        return type(tree)(tree_map(fn, value) for value in tree)
+    return fn(tree)
+
+
+def tree_stack(trees: List):
+    """Stack a list of identically-structured pytrees along a new axis 0.
+
+    The NumPy analogue of what ``jax.vmap`` does to its outputs: every
+    leaf across the list is stacked into one array with a leading batch
+    axis.  Used by :meth:`NumpyBackend.vmap`.
+    """
+    first = trees[0]
+    if isinstance(first, dict):
+        return {key: tree_stack([tree[key] for tree in trees]) for key in first}
+    if isinstance(first, (list, tuple)):
+        return type(first)(
+            tree_stack([tree[i] for tree in trees]) for i in range(len(first))
+        )
+    return np.stack([np.asarray(leaf) for leaf in trees], axis=0)
+
 
 class NumpyBackend:
     """The reference backend: plain NumPy, shared with the serial engine."""
 
     name = "numpy"
     xp = np
+    supports_fusion = False
 
     def asarray(self, array, dtype=None):
         return np.asarray(array, dtype=dtype)
@@ -107,6 +190,67 @@ class NumpyBackend:
     def solve(self, a, b):
         return np.linalg.solve(a, b)
 
+    def eigh(self, a):
+        return np.linalg.eigh(a)
+
+    def inv(self, a):
+        return np.linalg.inv(a)
+
+    def einsum(self, subscripts: str, *operands):
+        return np.einsum(subscripts, *operands)
+
+    def take_along_axis(self, array, indices, axis: int):
+        return np.take_along_axis(array, indices, axis=axis)
+
+    def erfc(self, x):
+        from scipy.special import erfc
+
+        return erfc(np.asarray(x, dtype=float))
+
+    def vmap(self, fn: Callable, in_axes=0) -> Callable:
+        """Host-loop vmap: call ``fn`` per row, stack the output pytrees."""
+
+        def mapped(*args):
+            axes = in_axes if isinstance(in_axes, (tuple, list)) else (in_axes,) * len(args)
+            if len(axes) != len(args):
+                raise ValueError(f"in_axes has {len(axes)} entries for {len(args)} arguments")
+            sizes = {
+                np.asarray(arg).shape[0] for arg, axis in zip(args, axes) if axis == 0
+            }
+            if len(sizes) != 1:
+                raise ValueError(f"inconsistent batch sizes {sorted(sizes)}")
+            (n_rows,) = sizes
+            rows = [
+                fn(
+                    *(
+                        arg[b] if axis == 0 else arg
+                        for arg, axis in zip(args, axes)
+                    )
+                )
+                for b in range(n_rows)
+            ]
+            return tree_stack(rows)
+
+        return mapped
+
+    def compile(self, fn: Callable, key=None) -> Callable:
+        return fn
+
+
+class NumpyFusedBackend(NumpyBackend):
+    """The fused kernel evaluated eagerly on NumPy.
+
+    Runs the exact trace-safe math the jax backend jits — same masked
+    where/sum reductions, same inverse-permutation scatters — but on the
+    host, one topology at a time.  It exists to (a) test the fused
+    kernel's 1e-6 equivalence to the reference on machines without jax
+    and (b) separate "fused-math divergence" from "jax/XLA divergence"
+    when quantifying backend tolerance.  It is *not* a fast path.
+    """
+
+    name = "numpy-fused"
+    supports_fusion = True
+
 
 _REGISTRY: Dict[str, Callable[[], ArrayBackend]] = {}
 
@@ -117,20 +261,51 @@ def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
     Registration is what makes a name valid for ``EngineOptions.backend``
     and the CLI ``--backend`` flag; the factory is only called when the
     backend is first requested, so registering a backend whose library is
-    not installed is harmless until someone selects it.
+    not installed is harmless until someone selects it (the lazy
+    ``"jax"`` registration below relies on exactly this).  Registering a
+    name twice raises — a silent overwrite could reroute every cached
+    ``EngineOptions.backend`` validation to different code.
     """
     if not name or not isinstance(name, str):
         raise TypeError(f"backend name must be a non-empty str, got {name!r}")
+    if name in _REGISTRY:
+        raise ValueError(
+            f"array backend {name!r} is already registered; "
+            "unregister it (remove from the registry) before replacing it"
+        )
     _REGISTRY[name] = factory
 
 
-def available_backends() -> List[str]:
-    """Registered backend names, sorted for stable CLI/help output."""
-    return sorted(_REGISTRY)
+def available_backends(importable_only: bool = False) -> List[str]:
+    """Registered backend names, sorted for stable CLI/help output.
+
+    With ``importable_only=True``, names whose factory raises
+    :class:`ImportError` (a lazily-registered backend whose library is
+    missing) are filtered out — the list of backends that would actually
+    *work* on this machine, at the cost of importing each library.
+    """
+    names = sorted(_REGISTRY)
+    if not importable_only:
+        return names
+    importable = []
+    for name in names:
+        try:
+            _REGISTRY[name]()
+        except ImportError:
+            continue
+        importable.append(name)
+    return importable
 
 
 def get_backend(name: str = DEFAULT_BACKEND) -> ArrayBackend:
-    """Instantiate the backend registered under ``name``."""
+    """Instantiate the backend registered under ``name``.
+
+    An unknown name raises :class:`ValueError`.  A known name whose
+    library is not installed raises :class:`ImportError` from the
+    factory — the lazy-registration contract: the name is always valid
+    to *select*, and fails with an actionable message only when first
+    *used*.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
@@ -149,8 +324,22 @@ def check_backend_conformance(backend: ArrayBackend) -> None:
     the first violated invariant.
     """
     assert isinstance(backend.name, str) and backend.name, "backend.name must be a non-empty str"
+    assert isinstance(backend.supports_fusion, bool), "backend.supports_fusion must be a bool"
     xp = backend.xp
-    for attr in ("matmul", "where", "einsum", "abs", "sqrt", "cumsum", "argsort", "interp"):
+    for attr in (
+        "matmul",
+        "where",
+        "einsum",
+        "abs",
+        "sqrt",
+        "cumsum",
+        "argsort",
+        "interp",
+        "clip",
+        "log1p",
+        "expm1",
+        "roll",
+    ):
         assert hasattr(xp, attr), f"backend namespace lacks required function {attr!r}"
 
     # Host round trip preserves values, dtype kind and shape.
@@ -163,6 +352,15 @@ def check_backend_conformance(backend: ArrayBackend) -> None:
     # Complex dtype survives the round trip (channels are complex128).
     cplx = backend.to_numpy(backend.asarray(np.array([1 + 2j, 3 - 4j])))
     assert np.iscomplexobj(cplx), "complex dtype lost in the asarray/to_numpy round trip"
+
+    # Float64 precision survives the round trip (jax defaults to float32
+    # unless x64 is enabled; the engine's tolerance policy assumes f64).
+    precise = np.array([1.0 + 1e-12, 1.0 - 1e-12])
+    round_tripped = backend.to_numpy(backend.asarray(precise))
+    assert np.array_equal(round_tripped, precise), (
+        "float64 precision lost in the round trip; the backend must run in "
+        "double precision (for jax: jax.config.update('jax_enable_x64', True))"
+    )
 
     # Batched matmul broadcasts over the leading axis.
     a = backend.asarray(np.ones((5, 2, 3)))
@@ -187,5 +385,72 @@ def check_backend_conformance(backend: ArrayBackend) -> None:
     assert solved.shape == (4, 3, 1), f"batched solve shape wrong: {solved.shape}"
     assert np.allclose(spd @ solved, rhs), "batched solve residual too large"
 
+    # Batched Hermitian eigendecomposition reconstructs its input.
+    eigenvalues, eigenvectors = backend.eigh(backend.asarray(spd))
+    eigenvalues = backend.to_numpy(eigenvalues)
+    eigenvectors = backend.to_numpy(eigenvectors)
+    assert eigenvalues.shape == (4, 3), f"batched eigh value shape wrong: {eigenvalues.shape}"
+    rebuilt = np.einsum(
+        "kij,kj,klj->kil", eigenvectors, eigenvalues, eigenvectors.conj()
+    )
+    assert np.allclose(rebuilt, spd), "batched eigh does not reconstruct its input"
+
+    # Batched inverse.
+    inverse = backend.to_numpy(backend.inv(backend.asarray(spd)))
+    assert np.allclose(inverse @ spd, np.eye(3)), "batched inv is not an inverse"
+
+    # einsum through the named seam.
+    quad = backend.to_numpy(
+        backend.einsum("ki,ki->k", backend.asarray(matrices[:, :, 0].conj()), backend.asarray(matrices[:, :, 0]))
+    )
+    assert np.allclose(quad, np.sum(np.abs(matrices[:, :, 0]) ** 2, axis=1)), (
+        "einsum ki,ki->k does not match the reference reduction"
+    )
+
+    # take_along_axis gathers with integer indices along a given axis.
+    values = np.arange(20, dtype=float).reshape(4, 5)
+    order = np.argsort(values[:, ::-1], axis=1)
+    gathered = backend.to_numpy(
+        backend.take_along_axis(backend.asarray(values), backend.asarray(order), axis=1)
+    )
+    assert np.array_equal(gathered, np.take_along_axis(values, order, axis=1)), (
+        "take_along_axis does not match numpy's gather semantics"
+    )
+
+    # erfc matches scipy on the BER-relevant range.
+    from scipy.special import erfc as scipy_erfc
+
+    grid = np.linspace(0.0, 8.0, 17)
+    ours = backend.to_numpy(backend.erfc(backend.asarray(grid)))
+    assert np.allclose(ours, scipy_erfc(grid), rtol=1e-12, atol=1e-300), (
+        "erfc diverges from scipy.special.erfc"
+    )
+
+    # vmap maps a pytree-returning function over the leading axis.
+    def per_row(row, shift):
+        return {"sum": row.sum() + shift, "double": row * 2.0}
+
+    batch = backend.asarray(np.arange(6, dtype=float).reshape(3, 2))
+    mapped = backend.vmap(per_row, in_axes=(0, None))(batch, backend.asarray(1.0))
+    sums = backend.to_numpy(mapped["sum"])
+    doubles = backend.to_numpy(mapped["double"])
+    assert sums.shape == (3,), f"vmap scalar-leaf shape wrong: {sums.shape}"
+    assert np.allclose(sums, [2.0, 6.0, 10.0]), "vmap sums wrong"
+    assert doubles.shape == (3, 2), f"vmap array-leaf shape wrong: {doubles.shape}"
+
+    # compile returns a callable computing the same values.
+    compiled = backend.compile(lambda x: backend.xp.sqrt(x) + 1.0)
+    out = backend.to_numpy(compiled(backend.asarray(np.array([4.0, 9.0]))))
+    assert np.allclose(out, [3.0, 4.0]), "compile changed the function's values"
+
+
+def _jax_backend_factory() -> ArrayBackend:
+    """Lazy factory for the ``"jax"`` backend; imports jax on first use."""
+    from .backend_jax import JaxBackend
+
+    return JaxBackend()
+
 
 register_backend("numpy", NumpyBackend)
+register_backend("numpy-fused", NumpyFusedBackend)
+register_backend("jax", _jax_backend_factory)

@@ -1,0 +1,126 @@
+"""JAX array backend: float64, jit/vmap-fused strategy kernels.
+
+This module is imported lazily by the ``"jax"`` registry entry in
+:mod:`repro.core.backend` — ``import repro`` never touches it, so jax is
+an optional dependency.  Importing it on a machine without jax raises an
+actionable :class:`ImportError`.
+
+Execution model
+---------------
+The jax backend does not run the batched engine's generic NumPy path on
+device.  Instead it declares ``supports_fusion = True``, which routes
+:meth:`repro.core.batch.BatchedStrategyEngine.run` through the
+trace-safe fused strategy-menu kernel in :mod:`repro.core.fused`: one
+per-topology function (design → allocate → measure → predict) is
+``vmap``-ed over the topology axis and ``jit``-compiled here.  Compiled
+kernels are cached at module level (see :data:`_COMPILE_CACHE` and
+:func:`repro.core.fused.kernel_cache_info`) so every engine instance —
+and every batch of the same shape — reuses one trace; warm calls pay
+zero tracing cost.
+
+Work the fused kernel does not cover (the COPA+ mercury allocator,
+``oracle_check`` shadow validation) falls back to the reference NumPy
+path inside the batched engine; see the tolerance policy in
+EXPERIMENTS.md.
+
+Precision: the engine's golden values assume double precision, so this
+module enables ``jax_enable_x64`` at import.  That is a process-global
+jax setting — acceptable here because the backend is only imported when
+explicitly selected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+try:
+    import jax
+    import jax.numpy as jnp
+    from jax.scipy.special import erfc as _jax_erfc
+except ImportError as error:  # pragma: no cover - exercised only without jax
+    raise ImportError(
+        "the 'jax' array backend requires the jax package "
+        "(CPU wheel: pip install jax); install it or select backend='numpy'"
+    ) from error
+
+# The engine's tolerance contract (1e-6 rtol against the float64 golden
+# values) is unreachable in float32; run jax in double precision.
+jax.config.update("jax_enable_x64", True)
+
+__all__ = ["JaxBackend", "compile_cache_info", "clear_compile_cache"]
+
+#: jit-compiled functions keyed by the caller-supplied cache key: one
+#: staged executable per distinct kernel, shared across backend
+#: instances so warm calls amortize tracing.  jax caches traces per
+#: argument shape inside each entry.
+_COMPILE_CACHE: Dict[object, Callable] = {}
+
+
+def compile_cache_info() -> Dict[str, int]:
+    """Size of the module-level jit cache (for tests and the bench)."""
+    return {"entries": len(_COMPILE_CACHE)}
+
+
+def clear_compile_cache() -> None:
+    """Drop staged executables; with ``jax.clear_caches()`` this forces a
+    cold compile (the bench measures cold vs warm separately)."""
+    _COMPILE_CACHE.clear()
+
+
+class JaxBackend:
+    """:class:`repro.core.backend.ArrayBackend` over ``jax.numpy``."""
+
+    name = "jax"
+    xp = jnp
+    supports_fusion = True
+
+    def asarray(self, array, dtype=None):
+        return jnp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def matmul(self, a, b):
+        return jnp.matmul(a, b)
+
+    def svd(self, a, full_matrices: bool = True):
+        return jnp.linalg.svd(a, full_matrices=full_matrices)
+
+    def solve(self, a, b):
+        return jnp.linalg.solve(a, b)
+
+    def eigh(self, a):
+        return jnp.linalg.eigh(a)
+
+    def inv(self, a):
+        return jnp.linalg.inv(a)
+
+    def einsum(self, subscripts: str, *operands):
+        return jnp.einsum(subscripts, *operands)
+
+    def take_along_axis(self, array, indices, axis: int):
+        return jnp.take_along_axis(array, indices, axis=axis)
+
+    def erfc(self, x):
+        return _jax_erfc(x)
+
+    def vmap(self, fn: Callable, in_axes=0) -> Callable:
+        return jax.vmap(fn, in_axes=in_axes)
+
+    def compile(self, fn: Callable, key=None) -> Callable:
+        """``jax.jit(fn)``, cached under ``key`` when one is given.
+
+        Distinct closures can share a qualname (the fused kernel builder
+        returns one closure per ``max_iterations``), so caching is
+        opt-in: callers that want a shared staged executable must supply
+        a key that encodes everything their closure captured.
+        """
+        if key is None:
+            return jax.jit(fn)
+        cached = _COMPILE_CACHE.get(key)
+        if cached is None:
+            cached = jax.jit(fn)
+            _COMPILE_CACHE[key] = cached
+        return cached

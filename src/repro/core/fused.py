@@ -1,0 +1,725 @@
+"""Trace-safe fused strategy-menu kernel for accelerator backends.
+
+The batched engine's generic path (:mod:`repro.core.batch`) is written
+for bit-identity with the serial engine, which forces NumPy-only
+constructs: dynamic boolean fancy-indexing (`repro.util.masked_row_apply`),
+``np.put_along_axis`` scatters, data-dependent ``break`` statements and
+``scipy.special`` calls.  None of those survive ``jax.jit`` tracing.
+
+This module reimplements the strategy-menu inner loop — design →
+allocate → measure → predict, the whole per-topology hot path — as one
+*pure, trace-safe* function of the stacked channel tensors:
+
+* every mask reduction is a ``where``-sum (no dynamic shapes),
+* the Algorithm-1 used-mask scatter becomes a gather through the inverse
+  permutation (``kept_sorted[argsort(order)]``),
+* the Figure-6 iteration runs a fixed ``max_iterations`` trip count with
+  per-topology freeze masks instead of breaking early,
+* the BER chain calls the backend's ``erfc`` seam instead of scipy.
+
+The kernel is written **per topology** (no batch axis) and batched with
+:meth:`ArrayBackend.vmap`, then staged with :meth:`ArrayBackend.compile`
+— ``jax.vmap`` + ``jax.jit`` for the ``"jax"`` backend, a host loop and
+the identity for ``"numpy-fused"``.  Both evaluate the *same* function,
+so the fused math is testable to 1e-6 against the reference engine on
+machines without jax (``tests/core/test_fused.py``).
+
+Divergence from the reference path is bounded, not zero: replacing the
+bit-exact masked-gather reductions changes summation order, so fused
+results differ from the golden values in the last ulps.  The documented
+tolerance policy (EXPERIMENTS.md) allows non-reference backends 1e-6
+relative error on every headline series; the tests quantify the actual
+worst case.
+
+Compiled kernels are cached in :data:`_KERNELS` keyed by backend name
+and the static configuration baked into the closure, so warm calls —
+across engine instances and batches — pay zero tracing cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+from scipy.special import comb
+
+from ..phy.constants import (
+    BPSK,
+    MCS_TABLE,
+    MPDU_PAYLOAD_BYTES,
+    N_DATA_SUBCARRIERS,
+    QAM16,
+    QAM64,
+    QPSK,
+)
+from ..phy.coding import DISTANCE_SPECTRA, _UNION_BOUND_LIMIT
+from ..phy.mimo import max_nulled_streams
+from .equi_snr import MIN_GAIN
+
+__all__ = [
+    "build_menu_kernel",
+    "run_fused_menu",
+    "kernel_cache_info",
+    "kernel_cache_clear",
+]
+
+_SQRT2 = float(np.sqrt(2.0))
+_PAYLOAD_BITS = MPDU_PAYLOAD_BYTES * 8
+#: Same convergence tolerance as ``equi_sinr.allocate_concurrent``.
+_TOLERANCE = 1e-3
+
+#: Binomial coefficients as host-side float constants (the same values
+#: ``repro.phy.coding`` precomputes from scipy), so the union-bound
+#: loops are pure ufunc chains under tracing.
+_COMB_LIMIT = 64
+_COMB_TABLE = comb(
+    np.arange(_COMB_LIMIT + 1)[:, None], np.arange(_COMB_LIMIT + 1)[None, :]
+)
+
+
+# ---------------------------------------------------------------------------
+# BER / coding / rate model (trace-safe ports of repro.phy.{ber,coding,rates})
+# ---------------------------------------------------------------------------
+
+
+def _q_function(backend, x):
+    return 0.5 * backend.erfc(x / _SQRT2)
+
+
+def _uncoded_ber(backend, snr, modulation):
+    xp = backend.xp
+    snr = xp.maximum(snr, 0.0)
+    if modulation == BPSK:
+        ber = _q_function(backend, xp.sqrt(2.0 * snr))
+    elif modulation == QPSK:
+        ber = _q_function(backend, xp.sqrt(snr))
+    elif modulation in (QAM16, QAM64):
+        points = modulation.points
+        k = np.log2(points)
+        root_m = np.sqrt(points)
+        d = xp.sqrt(3.0 * snr / (points - 1.0))
+        ber = (4.0 / k) * (1.0 - 1.0 / root_m) * _q_function(backend, d)
+        ber = ber + (4.0 / k) * (1.0 - 2.0 / root_m) * _q_function(backend, 3.0 * d)
+    else:  # pragma: no cover - MCS_TABLE only holds the four above
+        raise ValueError(f"unsupported modulation: {modulation!r}")
+    return xp.clip(ber, 0.0, 0.5)
+
+
+def _pairwise_error_probability(xp, p, distance: int):
+    p = xp.clip(p, 0.0, 0.5)
+    q = 1.0 - p
+    total = xp.zeros_like(p)
+    if distance % 2:
+        start = (distance + 1) // 2
+    else:
+        start = distance // 2 + 1
+        half = distance // 2
+        total = total + 0.5 * _COMB_TABLE[distance, half] * p**half * q ** (distance - half)
+    for k in range(start, distance + 1):
+        total = total + _COMB_TABLE[distance, k] * p**k * q ** (distance - k)
+    return xp.clip(total, 0.0, 1.0)
+
+
+def _coded_ber(xp, channel_ber, code_rate):
+    dfree, weights = DISTANCE_SPECTRA[code_rate]
+    bound = xp.zeros_like(channel_ber)
+    for offset, weight in enumerate(weights):
+        if weight == 0:
+            continue
+        bound = bound + weight * _pairwise_error_probability(xp, channel_ber, dfree + offset)
+    bound = xp.where(channel_ber >= _UNION_BOUND_LIMIT, 0.5, bound)
+    return xp.clip(bound, 0.0, 0.5)
+
+
+def _frame_error_rate(xp, post_viterbi_ber, n_payload_bits: int):
+    ber = xp.clip(post_viterbi_ber, 0.0, 0.5)
+    return -xp.expm1(n_payload_bits * xp.log1p(-ber))
+
+
+def _uniform_goodput(backend, snr, n_used, mcs):
+    """Trace-safe ``equi_snr.uniform_goodput``: equal-SNR goodput model."""
+    xp = backend.xp
+    ber = _uncoded_ber(backend, snr, mcs.modulation)
+    post = _coded_ber(xp, ber, mcs.code_rate)
+    fer = _frame_error_rate(xp, post, _PAYLOAD_BITS)
+    rate = mcs.rate_bps * n_used / N_DATA_SUBCARRIERS
+    return rate * (1.0 - fer)
+
+
+def _best_rate(backend, sinr, used):
+    """Trace-safe ``phy.rates.best_rate``: goodput-maximizing MCS.
+
+    ``sinr``/``used`` are (n_sc, n_streams); the masked channel-BER mean
+    is a where-sum (tolerance-covered divergence from the bit-exact
+    ``masked_row_means``).  Returns scalar leaves.
+    """
+    xp = backend.xp
+    flat_sinr = sinr.reshape(-1)
+    mask = used.reshape(-1)
+    n_used = mask.sum()
+    empty = n_used == 0
+    safe_count = xp.maximum(n_used, 1)
+
+    best = {
+        "mcs_index": xp.asarray(-1),
+        "goodput_bps": xp.asarray(0.0),
+        "fer": xp.asarray(1.0),
+        "channel_ber": xp.asarray(0.5),
+        "n_used": n_used,
+    }
+    for mcs in MCS_TABLE:
+        bers = _uncoded_ber(backend, flat_sinr, mcs.modulation)
+        channel_ber = xp.where(
+            empty, 0.5, xp.sum(xp.where(mask, bers, 0.0)) / safe_count
+        )
+        post = _coded_ber(xp, channel_ber, mcs.code_rate)
+        fer = _frame_error_rate(xp, post, _PAYLOAD_BITS)
+        phy_rate = mcs.rate_bps * n_used / N_DATA_SUBCARRIERS
+        goodput = xp.where(empty, 0.0, phy_rate * (1.0 - fer))
+        fer = xp.where(empty, 1.0, fer)
+        improved = goodput > best["goodput_bps"]
+        best = {
+            "mcs_index": xp.where(improved, mcs.index, best["mcs_index"]),
+            "goodput_bps": xp.where(improved, goodput, best["goodput_bps"]),
+            "fer": xp.where(improved, fer, best["fer"]),
+            "channel_ber": xp.where(improved, channel_ber, best["channel_ber"]),
+            "n_used": best["n_used"],
+        }
+    return best
+
+
+# ---------------------------------------------------------------------------
+# MIMO primitives (trace-safe ports of repro.phy.mimo)
+# ---------------------------------------------------------------------------
+
+
+def _hermitian(xp, matrix):
+    return xp.conj(xp.swapaxes(matrix, -1, -2))
+
+
+def _svd_beamformer(backend, channel, n_streams: int):
+    _, _, vh = backend.svd(channel, full_matrices=False)
+    return _hermitian(backend.xp, vh)[:, :, :n_streams]
+
+
+def _nulling_precoder(backend, own_channel, cross_channel, n_streams: int):
+    xp = backend.xp
+    n_victim = cross_channel.shape[1]
+    _, _, vh = backend.svd(cross_channel, full_matrices=True)
+    basis = _hermitian(xp, vh)[:, :, n_victim:]
+    projected = backend.matmul(own_channel, basis)
+    _, _, vh = backend.svd(projected, full_matrices=False)
+    inner = _hermitian(xp, vh)[:, :, :n_streams]
+    return backend.matmul(basis, inner)
+
+
+def _mmse_sinr(backend, effective, powers, noise_covariance):
+    """Trace-safe ``phy.mimo.mmse_sinr``; static loop over streams."""
+    xp = backend.xp
+    n_sc, n_rx, n_s = effective.shape
+    weighted = effective * powers[:, None, :]
+    total = noise_covariance + backend.matmul(weighted, _hermitian(xp, effective))
+    columns = []
+    for i in range(n_s):
+        a_i = effective[:, :, i]
+        p_i = powers[:, i]
+        own = p_i[:, None, None] * (a_i[:, :, None] @ xp.conj(a_i[:, None, :]))
+        r_i = total - own
+        solved = backend.solve(r_i, a_i[:, :, None])[:, :, 0]
+        quad = xp.real(backend.einsum("ki,ki->k", xp.conj(a_i), solved))
+        columns.append(p_i * xp.maximum(quad, 0.0))
+    return xp.stack(columns, axis=1)
+
+
+def _interference_covariance(backend, effective, powers):
+    weighted = effective * powers[:, None, :]
+    return backend.matmul(weighted, _hermitian(backend.xp, effective))
+
+
+def _tx_noise_covariance(backend, channel, total_power, evm_linear):
+    n_tx = channel.shape[2]
+    per_antenna = total_power * evm_linear / n_tx
+    return backend.matmul(
+        channel * per_antenna[:, None, None], _hermitian(backend.xp, channel)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Allocators (trace-safe ports of repro.core.{equi_snr,equi_sinr})
+# ---------------------------------------------------------------------------
+
+
+def _allocate_stream(backend, gains, total_power):
+    """Trace-safe Algorithm 1 for one stream of one topology.
+
+    The serial scatter ``used[order[best_i:]] = ...`` becomes a gather
+    through the inverse permutation; the masked inverse-gain sum becomes
+    a where-sum.  Returns a dict of array leaves (powers/used per
+    subcarrier; equalized SNR, MCS index and goodput as scalars).
+    """
+    xp = backend.xp
+    n = gains.shape[0]
+    usable = gains > MIN_GAIN
+    safe_gains = xp.maximum(gains, MIN_GAIN)
+
+    order = xp.argsort(gains)  # weakest first
+    sorted_gains = gains[order]
+    usable_sorted = usable[order]
+    inv = xp.where(usable_sorted, 1.0 / xp.maximum(sorted_gains, MIN_GAIN), 0.0)
+    inverse_suffix = xp.cumsum(inv[::-1])[::-1]
+    usable_suffix = xp.cumsum(usable_sorted[::-1].astype(int))[::-1]
+
+    equalized = xp.where(
+        inverse_suffix > 0,
+        total_power / xp.where(inverse_suffix > 0, inverse_suffix, 1.0),
+        0.0,
+    )
+
+    best_goodput = xp.zeros(n)
+    best_mcs_index = xp.full(n, -1)
+    for mcs in MCS_TABLE:
+        goodput = _uniform_goodput(backend, equalized, usable_suffix, mcs)
+        improved = goodput > best_goodput
+        best_goodput = xp.where(improved, goodput, best_goodput)
+        best_mcs_index = xp.where(improved, mcs.index, best_mcs_index)
+
+    best_i = xp.argmax(best_goodput)
+    row_goodput = best_goodput[best_i]
+    nonempty = row_goodput > 0.0
+
+    kept_sorted = (xp.arange(n) >= best_i) & usable_sorted
+    used = kept_sorted[xp.argsort(order)] & nonempty
+
+    inverse_sum = xp.sum(xp.where(used, 1.0 / safe_gains, 0.0))
+    any_used = used.any()
+    equalized_snr = xp.where(
+        any_used, total_power / xp.where(any_used, inverse_sum, 1.0), 0.0
+    )
+    powers = xp.where(used, equalized_snr / safe_gains, 0.0)
+    return {
+        "powers": powers,
+        "used": used,
+        "equalized_snr": xp.where(nonempty, equalized_snr, 0.0),
+        "mcs_index": xp.where(nonempty, best_mcs_index[best_i], -1),
+        "goodput_bps": xp.where(nonempty, row_goodput, 0.0),
+    }
+
+
+def _allocate_streams(backend, gains, total_power, interference, noise_mw):
+    """Trace-safe ``equi_sinr.allocate_single`` (equal stream split)."""
+    xp = backend.xp
+    n_sc, n_streams = gains.shape
+    denominator = noise_mw + (
+        xp.zeros(n_sc) if interference is None else interference
+    )
+    effective = gains / denominator[:, None]
+    budget = total_power / n_streams
+    streams = [_allocate_stream(backend, effective[:, s], budget) for s in range(n_streams)]
+    return {
+        "powers": xp.stack([s["powers"] for s in streams], axis=1),
+        "used": xp.stack([s["used"] for s in streams], axis=1),
+        "streams": streams,
+    }
+
+
+def _equal_allocation(xp, n_sc: int, n_streams: int, total_power):
+    """Status-quo 802.11: the budget spread evenly everywhere."""
+    powers = xp.full((n_sc, n_streams), total_power / (n_streams * n_sc))
+    used = xp.ones((n_sc, n_streams), dtype=bool)
+    return {"powers": powers, "used": used, "streams": []}
+
+
+def _radiated_powers(xp, powers, used, leakage_linear):
+    """Trace-safe ``equi_sinr.radiated_powers`` (one topology)."""
+    radiated = xp.where(used, powers, 0.0)
+    columns = []
+    for s in range(powers.shape[1]):
+        column = powers[:, s]
+        stream_used = used[:, s]
+        above = xp.roll(column, -1)
+        below = xp.roll(column, 1)
+        above_used = xp.roll(stream_used, -1)
+        below_used = xp.roll(stream_used, 1)
+        neighbour_sum = xp.where(above_used, above, 0.0) + xp.where(below_used, below, 0.0)
+        neighbour_count = above_used.astype(float) + below_used.astype(float)
+        count = stream_used.sum()
+        fallback = xp.sum(xp.where(stream_used, column, 0.0)) / xp.maximum(count, 1)
+        neighbour_mean = xp.where(
+            neighbour_count > 0, neighbour_sum / xp.maximum(neighbour_count, 1.0), fallback
+        )
+        fill = (~stream_used) & (count > 0)
+        columns.append(xp.where(fill, leakage_linear * neighbour_mean, radiated[:, s]))
+    return xp.stack(columns, axis=1)
+
+
+def _merge_allocation(xp, take, new, old):
+    """``new where take else old`` over every leaf of an AP allocation."""
+    return {
+        "powers": xp.where(take, new["powers"], old["powers"]),
+        "used": xp.where(take, new["used"], old["used"]),
+        "streams": [
+            {key: xp.where(take, n[key], o[key]) for key in n}
+            for n, o in zip(new["streams"], old["streams"])
+        ],
+    }
+
+
+def _allocate_concurrent(backend, gains, coupling, total_power, noise_mw, leakage, max_iterations: int):
+    """Trace-safe Figure-6 iteration (one topology, two APs).
+
+    Runs the full ``max_iterations`` trip count — a topology that has
+    converged is frozen through masks rather than breaking, matching the
+    per-row freeze semantics of ``allocate_concurrent_batch``.
+    """
+    xp = backend.xp
+    n_sc = gains[0].shape[0]
+    radiated = [
+        xp.full(gains[a].shape, total_power / (gains[a].shape[1] * n_sc)) for a in range(2)
+    ]
+    best = None
+    best_aggregate = xp.asarray(0.0)
+    previous = None
+    active = xp.asarray(True)
+
+    for iteration in range(1, max_iterations + 1):
+        allocations = []
+        for a in range(2):
+            interference = xp.sum(coupling[1 - a] * radiated[1 - a], axis=1)
+            allocations.append(
+                _allocate_streams(backend, gains[a], total_power, interference, noise_mw)
+            )
+        aggregate = xp.asarray(0.0)
+        for allocation in allocations:
+            for stream in allocation["streams"]:
+                aggregate = aggregate + stream["goodput_bps"]
+        if best is None:
+            best = allocations
+            best_aggregate = aggregate
+        else:
+            improved = active & (aggregate > best_aggregate)
+            best = [_merge_allocation(xp, improved, allocations[a], best[a]) for a in range(2)]
+            best_aggregate = xp.where(improved, aggregate, best_aggregate)
+
+        new_radiated = [
+            _radiated_powers(xp, allocations[a]["powers"], allocations[a]["used"], leakage)
+            for a in range(2)
+        ]
+        if previous is None:
+            previous = new_radiated
+            radiated = new_radiated
+        else:
+            scale = 2.0 * total_power
+            change = xp.asarray(0.0)
+            for a in range(2):
+                change = change + xp.sum(xp.abs(new_radiated[a] - previous[a]))
+            active = active & ~(change <= _TOLERANCE * scale)
+            previous = [
+                xp.where(active, new_radiated[a], previous[a]) for a in range(2)
+            ]
+            radiated = [xp.where(active, new_radiated[a], radiated[a]) for a in range(2)]
+
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The per-topology menu kernel.
+# ---------------------------------------------------------------------------
+
+
+def _take_rx(backend, channel, keep):
+    """Restrict (n_sc, n_rx, n_tx) to one traced receive-antenna index."""
+    xp = backend.xp
+    return xp.take(channel, xp.reshape(keep, (1,)), axis=1)
+
+
+def _stream_gains(backend, channel, precoder):
+    xp = backend.xp
+    effective = backend.matmul(channel, precoder)
+    return xp.sum(xp.abs(effective) ** 2, axis=1)
+
+
+def _cross_coupling(backend, channel, precoder):
+    xp = backend.xp
+    effective = backend.matmul(channel, precoder)
+    n_rx_active = effective.shape[1]
+    return xp.sum(xp.abs(effective) ** 2, axis=1) / n_rx_active
+
+
+def build_menu_kernel(backend, n_tx: int, n_rx: int, max_iterations: int) -> Callable:
+    """The per-topology strategy-menu function for one configuration.
+
+    Returns ``kernel(true, csi, params) -> pytree`` where ``true``/``csi``
+    are (2, 2, n_sc, n_rx, n_tx) channel tensors indexed ``[ap, client]``
+    and ``params`` is a dict of scalar arrays (``tx_power_mw``,
+    ``noise_mw``, ``csi_error``, ``evm``, ``leakage``) — traced, so one
+    compiled kernel serves every power/noise configuration of a given
+    shape.  The output maps scheme keys to result pytrees; see
+    :func:`run_fused_menu` for the batched entry point and
+    ``BatchedStrategyEngine._run_fused`` for host materialization.
+
+    Scheme feasibility (nulling dimensions, SDA applicability) depends
+    only on the static antenna counts, so the returned pytree structure
+    is static per kernel — a requirement for jit.
+    """
+    full_rank = min(n_tx, n_rx)
+    null_limit = max_nulled_streams(n_tx, n_rx, n_rx)
+    full_nulling = null_limit >= full_rank
+    reduced_nulling = null_limit >= 1
+    sda = (
+        not full_nulling
+        and n_rx >= 2
+        and max_nulled_streams(n_tx, n_rx, 1) >= 1
+        and max_nulled_streams(n_tx, 1, n_rx) >= 1
+    )
+
+    def rate_side(true, csi, designs, allocations, concurrent, true_channel, params):
+        """Per-client rate selection; the fused ``_rate_of``."""
+        xp = backend.xp
+        channels = true if true_channel else csi
+        clients = []
+        for receiver in range(2):
+            design = designs[receiver]
+            alloc = allocations[receiver]
+            h_own = channels[design["ap"], receiver]
+            if design["keep"] is not None:
+                h_own = _take_rx(backend, h_own, design["keep"])
+            n_active = h_own.shape[1]
+            effective = backend.matmul(h_own, design["precoder"])
+            data_powers = xp.where(alloc["used"], alloc["powers"], 0.0)
+            own_radiated = _radiated_powers(xp, alloc["powers"], alloc["used"], params["leakage"])
+
+            covariance = params["noise_mw"] * xp.broadcast_to(
+                xp.eye(n_active, dtype=complex),
+                (h_own.shape[0], n_active, n_active),
+            )
+            covariance = covariance + _tx_noise_covariance(
+                backend, h_own, own_radiated.sum(axis=1), params["evm"]
+            )
+            if concurrent:
+                other = designs[1 - receiver]
+                other_alloc = allocations[1 - receiver]
+                other_radiated = _radiated_powers(
+                    xp, other_alloc["powers"], other_alloc["used"], params["leakage"]
+                )
+                h_cross = channels[other["ap"], receiver]
+                if design["keep"] is not None:
+                    h_cross = _take_rx(backend, h_cross, design["keep"])
+                eff_cross = backend.matmul(h_cross, other["precoder"])
+                covariance = covariance + _interference_covariance(
+                    backend, eff_cross, other_radiated
+                )
+                covariance = covariance + _tx_noise_covariance(
+                    backend, h_cross, other_radiated.sum(axis=1), params["evm"]
+                )
+                if not true_channel:
+                    # Prediction mode: expected nulling residual from CSI
+                    # estimation error (§2.2).
+                    entry_power = xp.mean(xp.abs(h_cross) ** 2)
+                    residual = (
+                        params["csi_error"] * entry_power * other_radiated.sum(axis=1)
+                    )
+                    covariance = covariance + residual[:, None, None] * xp.eye(n_active)[None, :, :]
+
+            sinr = _mmse_sinr(backend, effective, data_powers, covariance)
+            clients.append(_best_rate(backend, sinr, alloc["used"]))
+        return clients
+
+    def scheme(true, csi, designs, allocations, concurrent, params):
+        return {
+            "allocations": allocations,
+            "measured": rate_side(true, csi, designs, allocations, concurrent, True, params),
+            "predicted": rate_side(true, csi, designs, allocations, concurrent, False, params),
+        }
+
+    def concurrent_context(csi, designs, params):
+        """Gains and (residual-padded) coupling for the Fig. 6 iteration."""
+        xp = backend.xp
+        gains, coupling = [], []
+        for i in range(2):
+            design = designs[i]
+            own = csi[i, i]
+            if design["keep"] is not None:
+                own = _take_rx(backend, own, design["keep"])
+            gains.append(_stream_gains(backend, own, design["precoder"]))
+            victim = csi[i, 1 - i]
+            victim_gathered = victim
+            other_keep = designs[1 - i]["keep"]
+            if other_keep is not None:
+                victim_gathered = _take_rx(backend, victim, other_keep)
+            coupled = _cross_coupling(backend, victim_gathered, design["precoder"])
+            # Nulls computed from noisy CSI bottom out at the estimation-
+            # error floor; the allocator must plan for that residual (§2.2).
+            entry_power = xp.mean(xp.abs(victim) ** 2)
+            coupling.append(coupled + params["csi_error"] * entry_power)
+        return gains, coupling
+
+    def kernel(true, csi, params):
+        xp = backend.xp
+        n_sc = true.shape[2]
+        out: Dict[str, dict] = {}
+
+        bf = [
+            {
+                "ap": i,
+                "keep": None,
+                "precoder": _svd_beamformer(backend, csi[i, i], full_rank),
+            }
+            for i in range(2)
+        ]
+
+        # CSMA: equal powers, sequential senders.
+        equal_bf = [
+            _equal_allocation(xp, n_sc, full_rank, params["tx_power_mw"]) for _ in range(2)
+        ]
+        out["csma"] = scheme(true, csi, bf, equal_bf, False, params)
+
+        # COPA sequential: Equi-SNR per stream, no concurrent interference.
+        seq = [
+            _allocate_streams(
+                backend,
+                _stream_gains(backend, csi[i, i], bf[i]["precoder"]),
+                params["tx_power_mw"],
+                None,
+                params["noise_mw"],
+            )
+            for i in range(2)
+        ]
+        out["copa_seq"] = scheme(true, csi, bf, seq, False, params)
+
+        # Concurrent beamforming: Fig. 6 Equi-SINR iteration.
+        gains, coupling = concurrent_context(csi, bf, params)
+        conc_bf = _allocate_concurrent(
+            backend, gains, coupling, params["tx_power_mw"], params["noise_mw"],
+            params["leakage"], max_iterations,
+        )
+        out["conc_bf"] = scheme(true, csi, bf, conc_bf, True, params)
+
+        if reduced_nulling:
+            nulls = [
+                {
+                    "ap": i,
+                    "keep": None,
+                    "precoder": _nulling_precoder(
+                        backend, csi[i, i], csi[i, 1 - i], null_limit
+                    ),
+                }
+                for i in range(2)
+            ]
+            if full_nulling:
+                equal_null = [
+                    _equal_allocation(xp, n_sc, null_limit, params["tx_power_mw"])
+                    for _ in range(2)
+                ]
+                out["null"] = scheme(true, csi, nulls, equal_null, True, params)
+            gains, coupling = concurrent_context(csi, nulls, params)
+            conc_null = _allocate_concurrent(
+                backend, gains, coupling, params["tx_power_mw"], params["noise_mw"],
+                params["leakage"], max_iterations,
+            )
+            out["conc_null"] = scheme(true, csi, nulls, conc_null, True, params)
+
+        if sda:
+            leader_streams = max_nulled_streams(n_tx, n_rx, 1)
+            follower_streams = max_nulled_streams(n_tx, 1, n_rx)
+            for leader in range(2):
+                follower = 1 - leader
+                follower_own = csi[follower, follower]
+                keep = xp.argmax(xp.sum(xp.abs(follower_own) ** 2, axis=(0, 2)))
+                designs = [None, None]
+                designs[leader] = {
+                    "ap": leader,
+                    "keep": None,
+                    "precoder": _nulling_precoder(
+                        backend,
+                        csi[leader, leader],
+                        _take_rx(backend, csi[leader, follower], keep),
+                        leader_streams,
+                    ),
+                }
+                designs[follower] = {
+                    "ap": follower,
+                    "keep": keep,
+                    "precoder": _nulling_precoder(
+                        backend,
+                        _take_rx(backend, follower_own, keep),
+                        csi[follower, leader],
+                        follower_streams,
+                    ),
+                }
+                equal = [
+                    _equal_allocation(
+                        xp, n_sc, designs[i]["precoder"].shape[2], params["tx_power_mw"]
+                    )
+                    for i in range(2)
+                ]
+                out[f"sda{leader}_null"] = scheme(true, csi, designs, equal, True, params)
+                gains, coupling = concurrent_context(csi, designs, params)
+                conc = _allocate_concurrent(
+                    backend, gains, coupling, params["tx_power_mw"], params["noise_mw"],
+                    params["leakage"], max_iterations,
+                )
+                out[f"sda{leader}_conc"] = scheme(true, csi, designs, conc, True, params)
+
+        return out
+
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Batched entry point with a compile cache.
+# ---------------------------------------------------------------------------
+
+#: Staged batched kernels keyed by (backend name, n_tx, n_rx,
+#: max_iterations).  Backends are stateless per name, so one compiled
+#: kernel serves every engine instance — warm calls skip tracing.
+_KERNELS: Dict[Tuple[str, int, int, int], Callable] = {}
+
+
+def kernel_cache_info() -> Dict[str, object]:
+    """Contents of the fused-kernel compile cache (for tests/benches)."""
+    return {"entries": len(_KERNELS), "keys": sorted(_KERNELS)}
+
+
+def kernel_cache_clear() -> None:
+    """Drop staged kernels so the next call recompiles from scratch."""
+    _KERNELS.clear()
+
+
+def supports(backend, serial_allocator, oracle_check: bool) -> bool:
+    """Can the fused kernel serve this engine run?
+
+    Fusion covers the default Equi-S(I)NR allocator only; the COPA+
+    mercury allocator and oracle shadow-validation fall back to the
+    reference path (documented in EXPERIMENTS.md).
+    """
+    from . import equi_snr
+
+    return (
+        bool(getattr(backend, "supports_fusion", False))
+        and serial_allocator is equi_snr.allocate
+        and not oracle_check
+    )
+
+
+def run_fused_menu(backend, true_stack, csi_stack, params, max_iterations: int):
+    """Run the compiled, vmapped menu kernel over a topology batch.
+
+    ``true_stack``/``csi_stack`` are host arrays of shape
+    (B, 2, 2, n_sc, n_rx, n_tx); ``params`` is a dict of python floats.
+    Returns the kernel's output pytree with every leaf materialized as a
+    host numpy array carrying a leading batch axis.
+    """
+    from .backend import tree_map
+
+    n_rx, n_tx = true_stack.shape[4], true_stack.shape[5]
+    key = (backend.name, n_tx, n_rx, max_iterations)
+    staged = _KERNELS.get(key)
+    if staged is None:
+        kernel = build_menu_kernel(backend, n_tx, n_rx, max_iterations)
+        staged = backend.compile(
+            backend.vmap(kernel, in_axes=(0, 0, None)), key=("repro.core.fused",) + key
+        )
+        _KERNELS[key] = staged
+    params = {name: backend.asarray(float(value)) for name, value in params.items()}
+    result = staged(backend.asarray(true_stack), backend.asarray(csi_stack), params)
+    return tree_map(backend.to_numpy, result)

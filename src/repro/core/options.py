@@ -13,8 +13,10 @@ processes.  An :class:`EngineOptions` is
 
 Every field defaults to ``None``, meaning "use the engine's default", so
 ``EngineOptions()`` is behaviourally identical to passing no options at
-all.  Plain dicts are still accepted everywhere via :meth:`coerce`, with
-a :class:`DeprecationWarning` (see the migration note in EXPERIMENTS.md).
+all.  The legacy ``engine_kwargs`` dict spelling is gone: entry points
+normalize their ``options`` argument with :meth:`resolve`, which accepts
+an :class:`EngineOptions` or ``None`` and raises a :class:`TypeError`
+for anything else (see the migration note in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -22,9 +24,8 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
-import warnings
 from dataclasses import dataclass, fields
-from typing import Any, Callable, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Mapping, Optional
 
 __all__ = ["EngineOptions"]
 
@@ -65,9 +66,11 @@ class EngineOptions:
         :mod:`repro.core.backend`; ``None`` means ``"numpy"``).  Validated
         against the registry at construction so a typo fails here, in the
         caller's stack frame, instead of inside a worker process.  The
-        backend never influences results (the reference backend is
-        bit-identical to the serial path), so it is excluded from cache
-        fingerprints and from :meth:`engine_kwargs`.
+        reference backend is bit-identical to the serial path; other
+        backends stay within the documented 1e-6 tolerance policy, so
+        ``repro.sim.fingerprint`` keys cache artifacts by backend name
+        for every non-reference choice.  Excluded from
+        :meth:`engine_kwargs` (the serial engine does not take it).
     """
 
     allocator: Optional[Callable] = None
@@ -146,38 +149,20 @@ class EngineOptions:
         return cls(backend=backend or None)
 
     @classmethod
-    def coerce(
-        cls,
-        value: Union["EngineOptions", Mapping[str, Any], None],
-        stacklevel: int = 3,
-    ) -> "EngineOptions":
+    def resolve(cls, value: Optional["EngineOptions"]) -> "EngineOptions":
         """Normalize a caller-supplied options value.
 
-        ``None`` → all defaults; an :class:`EngineOptions` passes through;
-        a mapping (the legacy ``engine_kwargs`` dict) is converted with a
-        :class:`DeprecationWarning`.  Unknown mapping keys raise
-        :class:`TypeError` immediately — the engine would only have
-        rejected them inside a worker process.
+        ``None`` → all defaults; an :class:`EngineOptions` passes
+        through.  Anything else — including the long-retired
+        ``engine_kwargs`` dict spelling — raises a :class:`TypeError`
+        with the migration hint.
         """
         if value is None:
             return cls()
         if isinstance(value, cls):
             return value
-        if isinstance(value, Mapping):
-            warnings.warn(
-                "passing engine options as a dict (engine_kwargs) is deprecated;"
-                " construct a repro.core.options.EngineOptions instead",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-            known = {field.name for field in fields(cls)}
-            unknown = set(value) - known
-            if unknown:
-                raise TypeError(
-                    f"unknown engine option(s) {sorted(unknown)}; "
-                    f"EngineOptions accepts {sorted(known)}"
-                )
-            return cls(**dict(value))
         raise TypeError(
-            f"options must be an EngineOptions, a mapping or None, got {type(value).__name__}"
+            f"options must be an EngineOptions or None, got {type(value).__name__};"
+            " the engine_kwargs dict form was removed — construct a"
+            " repro.core.options.EngineOptions (e.g. EngineOptions(max_iterations=4))"
         )

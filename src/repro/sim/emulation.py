@@ -73,8 +73,8 @@ def run_emulated_experiment(
     (unscaled) traces are memoized once and every offset's scaled replay
     is derived from — and cached under — its own content address.
     """
-    # Coerce here so a deprecated dict's warning points at the caller.
-    options = EngineOptions.coerce(options, stacklevel=3)
+    # Resolve here so a bad options value fails in the caller's frame.
+    options = EngineOptions.resolve(options)
     col = active(collector)
     with col.span("emulation", scenario=spec.name, offset_db=interference_offset_db):
         with col.span("record_traces"):

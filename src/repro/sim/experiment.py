@@ -187,9 +187,9 @@ def run_experiment(
     ``options``
         a validated :class:`~repro.core.options.EngineOptions` (e.g.
         ``rate_selector`` for §4.6's multi-decoder evaluation, or
-        ``backend`` to pick the array backend).  A plain dict — the
-        retired ``engine_kwargs`` keyword — is still coerced here, with
-        a :class:`DeprecationWarning`, for one more release.
+        ``backend`` to pick the array backend), or ``None`` for all
+        defaults.  Anything else — including the long-retired
+        ``engine_kwargs`` dict — raises :class:`TypeError`.
     ``collector``
         a :class:`repro.obs.Collector` that receives stage spans (scenario
         setup, runner dispatch, one subtree per topology and scheme) and
@@ -213,8 +213,8 @@ def run_experiment(
         bit-identical to cold ones; ``None`` (default) skips every cache
         code path.
     """
-    # Coerce here so a deprecated dict's warning points at the caller.
-    options = EngineOptions.coerce(options, stacklevel=3)
+    # Resolve here so a bad options value fails in the caller's frame.
+    options = EngineOptions.resolve(options)
     col = active(collector)
     with col.span("experiment", scenario=spec.name, n_topologies=config.n_topologies):
         if channel_sets is None:

@@ -20,6 +20,10 @@ only**:
   are deliberately **excluded** — a retried, observed, chaos-injected or
   oracle-shadowed run produces the same bytes, so it must share keys
   with a clean run;
+* the ``backend`` option is hashed *iff* it names a non-reference
+  backend (see :data:`_REFERENCE_BACKEND`): reference runs keep their
+  historical keys, while tolerance-equivalent backends get their own —
+  a jax artifact must never be served to a numpy run as bit-identical;
 * callables are described by ``module.qualname``, never by ``repr`` (a
   memory address would change every process restart).
 
@@ -72,12 +76,20 @@ CHANNEL_IRRELEVANT_SPEC_FIELDS = frozenset({"name", "include_copa_plus"})
 #: influence results, like the execution-only task fields.
 #: ``oracle_check`` shadow-validates allocations and records counters but
 #: never alters what the engine returns, so a checked run must share keys
-#: with an unchecked one.  ``backend`` selects the execution substrate for
-#: the batched engine, whose reference implementation is bit-identical to
-#: the serial path — a backend switch must hit the same cache entries.
-#: Everything not listed here is hashed, so a new option field
-#: conservatively changes the key until proven irrelevant.
-RESULT_IRRELEVANT_OPTION_FIELDS = frozenset({"oracle_check", "backend"})
+#: with an unchecked one.  Everything not listed here is hashed, so a new
+#: option field conservatively changes the key until proven irrelevant.
+RESULT_IRRELEVANT_OPTION_FIELDS = frozenset({"oracle_check"})
+
+#: The backend whose results define bit-identity.  ``backend`` is hashed
+#: *conditionally*: the reference backend (or an unset field) is skipped
+#: — so every pre-existing cache key stays valid — while any other
+#: backend's name is folded in.  Non-reference backends (``"jax"``,
+#: ``"numpy-fused"``) are only tolerance-equivalent (1e-6, see
+#: EXPERIMENTS.md), so their artifacts must never be served to, or
+#: populated by, a reference run as "bit-identical".  Kept as a local
+#: constant rather than an import: this module hashes only stdlib-visible
+#: state on purpose (see the module docstring).
+_REFERENCE_BACKEND = "numpy"
 
 
 def describe_value(value) -> str:
@@ -123,7 +135,12 @@ def _update_digest_with_task(digest, task) -> None:
     for field in dataclasses.fields(task.options):
         if field.name in RESULT_IRRELEVANT_OPTION_FIELDS:
             continue
-        digest.update(f"opt|{field.name}={describe_value(getattr(task.options, field.name))}".encode())
+        value = getattr(task.options, field.name)
+        if field.name == "backend" and value in (None, _REFERENCE_BACKEND):
+            # Reference-backend runs keep their historical keys; see
+            # _REFERENCE_BACKEND above.
+            continue
+        digest.update(f"opt|{field.name}={describe_value(value)}".encode())
     digest.update(repr(task.imperfections).encode())
     update_digest_with_channels(digest, task.channels)
 

@@ -216,20 +216,19 @@ def build_tasks(
     coherence_s: float,
     imperfections: ImperfectionModel,
     include_copa_plus: bool = False,
-    options: Optional[Union[EngineOptions, Mapping]] = None,
+    options: Optional[EngineOptions] = None,
     observe: bool = False,
     fault_plan: Optional[FaultPlan] = None,
 ) -> List[TopologyTask]:
     """One task per channel realization, each with its private seed.
 
     ``options`` is the typed engine configuration
-    (:class:`~repro.core.options.EngineOptions`).  A plain mapping — the
-    retired ``engine_kwargs`` form — is still coerced, with a
-    :class:`DeprecationWarning` pointing at the caller, for one more
-    release.  ``fault_plan`` installs deterministic fault injection
-    (chaos tests only).
+    (:class:`~repro.core.options.EngineOptions`) or ``None``; any other
+    value — including the long-retired ``engine_kwargs`` dict — raises
+    :class:`TypeError`.  ``fault_plan`` installs deterministic fault
+    injection (chaos tests only).
     """
-    resolved = EngineOptions.coerce(options, stacklevel=3)
+    resolved = EngineOptions.resolve(options)
     return [
         TopologyTask(
             index=index,

@@ -105,8 +105,8 @@ def sweep_coherence_time(
     traces are memoized once and each point's per-topology results are
     cached under their own coherence-specific content addresses.
     """
-    # Coerce here so a deprecated dict's warning points at the caller.
-    options = EngineOptions.coerce(options, stacklevel=3)
+    # Resolve here so a bad options value fails in the caller's frame.
+    options = EngineOptions.resolve(options)
     col = active(collector)
     with col.span("sweep", parameter="coherence_s", points=len(list(coherence_values_s))):
         traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
@@ -152,8 +152,8 @@ def sweep_interference(
     cheap transform — so the cache holds a single base realization plus
     per-offset result artifacts, never one realization per offset.
     """
-    # Coerce here so a deprecated dict's warning points at the caller.
-    options = EngineOptions.coerce(options, stacklevel=3)
+    # Resolve here so a bad options value fails in the caller's frame.
+    options = EngineOptions.resolve(options)
     col = active(collector)
     with col.span("sweep", parameter="interference_offset_db", points=len(list(offsets_db))):
         traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
@@ -196,8 +196,8 @@ def sweep_antenna_configurations(
     The parameter value encodes the configuration as ``ap + client / 10``
     (e.g. 4.2 for 4×2); use :meth:`SweepResult.series` labels accordingly.
     """
-    # Coerce here so a deprecated dict's warning points at the caller.
-    options = EngineOptions.coerce(options, stacklevel=3)
+    # Resolve here so a bad options value fails in the caller's frame.
+    options = EngineOptions.resolve(options)
     col = active(collector)
     with col.span("sweep", parameter="antennas", points=len(list(configurations))):
         points = []

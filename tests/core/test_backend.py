@@ -65,11 +65,91 @@ class TestRegistry:
 
             backend_module._REGISTRY.pop("test-lazy", None)
 
+    def test_duplicate_registration_raises(self):
+        """A silent overwrite could reroute every cached backend name to
+        different code — re-registering an existing name must raise."""
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+        # The original registration is untouched.
+        assert get_backend("numpy").name == "numpy"
+
+    def test_import_error_surfaces_at_first_request(self):
+        """The factory's ImportError propagates from get_backend with the
+        original message intact (actionable install hint included)."""
+
+        def factory():
+            raise ImportError("install extras with: pip install somepkg")
+
+        register_backend("test-broken", factory)
+        try:
+            with pytest.raises(ImportError, match="pip install somepkg"):
+                get_backend("test-broken")
+        finally:
+            from repro.core import backend as backend_module
+
+            backend_module._REGISTRY.pop("test-broken", None)
+
+    def test_importable_only_filters_missing_libraries(self):
+        """``available_backends(importable_only=True)`` drops names whose
+        factory raises ImportError but keeps every constructible backend."""
+
+        def factory():
+            raise ImportError("not installed")
+
+        register_backend("test-unimportable", factory)
+        try:
+            everything = available_backends()
+            importable = available_backends(importable_only=True)
+            assert "test-unimportable" in everything
+            assert "test-unimportable" not in importable
+            assert "numpy" in importable
+            assert "numpy-fused" in importable
+            assert set(importable) <= set(everything)
+        finally:
+            from repro.core import backend as backend_module
+
+            backend_module._REGISTRY.pop("test-unimportable", None)
+
+    def test_jax_backend_is_registered_lazily(self):
+        """The "jax" name is always registered (so ``--backend jax`` and
+        ``EngineOptions(backend="jax")`` validate) even on machines
+        without jax; selecting it then raises ImportError."""
+        assert "jax" in available_backends()
+        try:
+            backend = get_backend("jax")
+        except ImportError as exc:
+            assert "jax" in str(exc)
+        else:
+            assert backend.name == "jax"
+            assert backend.supports_fusion
+
+
+def _importable_backends():
+    names = []
+    for name in available_backends():
+        try:
+            get_backend(name)
+        except ImportError:
+            continue
+        names.append(name)
+    return names
+
 
 class TestConformance:
     @pytest.mark.parametrize("name", available_backends())
     def test_every_registered_backend_conforms(self, name):
-        check_backend_conformance(get_backend(name))
+        try:
+            backend = get_backend(name)
+        except ImportError as exc:
+            pytest.skip(f"backend {name!r} not importable here: {exc}")
+        check_backend_conformance(backend)
+
+    def test_importable_backends_cover_both_numpy_variants(self):
+        assert {"numpy", "numpy-fused"} <= set(_importable_backends())
+
+    def test_fusion_flags(self):
+        assert not get_backend("numpy").supports_fusion
+        assert get_backend("numpy-fused").supports_fusion
 
     def test_numpy_backend_satisfies_the_protocol(self):
         assert isinstance(NumpyBackend(), ArrayBackend)

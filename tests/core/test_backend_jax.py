@@ -1,0 +1,104 @@
+"""JaxBackend: conformance, golden-tolerance equivalence, compile cache.
+
+Skipped wholesale when jax is not installed (the tier-1 suite must pass
+on a numpy-only machine); CI's backend-smoke job installs the CPU wheel
+and runs this file for real.
+
+Tolerance policy (EXPERIMENTS.md): the jax backend is a non-reference
+backend — its contract is the golden values' 1e-6 relative tolerance,
+not bit-identity.  XLA fuses and reorders floating-point reductions, so
+bit-identity is not achievable even in float64; the kernels themselves
+are float64 end to end (``jax_enable_x64``) which keeps the divergence
+at machine-precision scale.
+"""
+
+import numpy as np
+import pytest
+
+jax = pytest.importorskip("jax")
+
+from repro.core import backend_jax, fused  # noqa: E402
+from repro.core.backend import check_backend_conformance, get_backend  # noqa: E402
+from repro.core.options import EngineOptions  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.experiment import ScenarioSpec, run_experiment  # noqa: E402
+
+RELATIVE_TOLERANCE = 1e-6
+
+SCENARIOS = {
+    "1x1": ScenarioSpec("1x1", 1, 1, include_copa_plus=False),
+    "4x2": ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
+    "3x2": ScenarioSpec("3x2", 3, 2, include_copa_plus=False),
+}
+CONFIG = SimConfig(n_topologies=5)
+
+
+class TestBackendContract:
+    def test_conformance(self):
+        check_backend_conformance(get_backend("jax"))
+
+    def test_float64_is_enabled(self):
+        backend = get_backend("jax")
+        x = backend.asarray(np.array([1.0 / 3.0]))
+        assert backend.to_numpy(x).dtype == np.float64
+
+    def test_supports_fusion(self):
+        assert get_backend("jax").supports_fusion
+
+    def test_fused_dispatch_predicate(self):
+        from repro.core import equi_snr
+
+        assert fused.supports(get_backend("jax"), equi_snr.allocate, False)
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS), ids=sorted(SCENARIOS))
+def reference_and_jax(request):
+    name = request.param
+    spec = SCENARIOS[name]
+    reference = run_experiment(spec, CONFIG, workers=1)
+    jax_run = run_experiment(
+        spec, CONFIG, workers=1, options=EngineOptions(backend="jax")
+    )
+    return name, reference, jax_run
+
+
+class TestGoldenTolerance:
+    """All three paper scenarios within the documented 1e-6 policy."""
+
+    def test_same_series_are_available(self, reference_and_jax):
+        _, reference, jax_run = reference_and_jax
+        assert reference.available_series() == jax_run.available_series()
+
+    def test_headline_series_within_tolerance(self, reference_and_jax):
+        name, reference, jax_run = reference_and_jax
+        for key in reference.available_series():
+            np.testing.assert_allclose(
+                jax_run.series_mbps(key),
+                reference.series_mbps(key),
+                rtol=RELATIVE_TOLERANCE,
+                err_msg=f"{name}/{key} diverged beyond the 1e-6 policy",
+            )
+
+    def test_scheme_choices_agree(self, reference_and_jax):
+        _, reference, jax_run = reference_and_jax
+        for a, b in zip(reference.records, jax_run.records):
+            assert a.outcome.copa_choice == b.outcome.copa_choice
+            assert a.outcome.copa_fair_choice == b.outcome.copa_fair_choice
+
+
+class TestCompileCache:
+    def test_kernel_staged_once_per_configuration(self):
+        fused.kernel_cache_clear()
+        backend_jax.clear_compile_cache()
+        spec = SCENARIOS["3x2"]
+        config = SimConfig(n_topologies=2)
+        options = EngineOptions(backend="jax")
+        run_experiment(spec, config, workers=1, options=options)
+        kernels = fused.kernel_cache_info()
+        compiles = backend_jax.compile_cache_info()
+        assert kernels["entries"] == 1
+        assert compiles["entries"] == 1
+        # Same configuration again: no new staging, no new jit trace entry.
+        run_experiment(spec, config, workers=1, options=options)
+        assert fused.kernel_cache_info()["entries"] == 1
+        assert backend_jax.compile_cache_info()["entries"] == 1

@@ -1,0 +1,136 @@
+"""The fused strategy-menu kernel, exercised on the numpy-fused backend.
+
+``repro.core.fused`` builds one trace-safe kernel per (backend, antenna
+configuration, max_iterations) and vmaps it over the topology batch.
+The ``numpy-fused`` backend evaluates that same kernel eagerly on host
+numpy, so the fused *math* is verified here without any accelerator
+installed; ``tests/core/test_backend_jax.py`` re-runs the equivalence
+under jit/vmap when jax is available.
+
+Tolerance policy (EXPERIMENTS.md): only the reference ``numpy`` backend
+promises bit-identity with the serial engine.  Fused execution reorders
+reductions (masked where/sum instead of boolean fancy-indexing), so its
+contract is the golden values' 1e-6 relative tolerance.  Measured worst
+case for numpy-fused across all three scenarios is ~4.4e-16 — machine
+precision, nine orders of magnitude inside the policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import equi_snr, fused
+from repro.core.backend import get_backend
+from repro.core.mercury import mercury_allocate
+from repro.core.options import EngineOptions
+from repro.sim.config import SimConfig
+from repro.sim.experiment import ScenarioSpec, run_experiment
+
+#: Documented equivalence budget for non-reference backends.
+RELATIVE_TOLERANCE = 1e-6
+
+SCENARIOS = {
+    "1x1": ScenarioSpec("1x1", 1, 1, include_copa_plus=False),
+    "4x2": ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
+    "3x2": ScenarioSpec("3x2", 3, 2, include_copa_plus=False),
+}
+CONFIG = SimConfig(n_topologies=5)
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS), ids=sorted(SCENARIOS))
+def reference_and_fused(request):
+    name = request.param
+    spec = SCENARIOS[name]
+    reference = run_experiment(spec, CONFIG, workers=1)
+    fused_run = run_experiment(
+        spec, CONFIG, workers=1, options=EngineOptions(backend="numpy-fused")
+    )
+    return name, reference, fused_run
+
+
+class TestSupports:
+    """The dispatch predicate: fusion serves the default menu only."""
+
+    def test_fused_backend_with_default_allocator(self):
+        backend = get_backend("numpy-fused")
+        assert fused.supports(backend, equi_snr.allocate, oracle_check=False)
+
+    def test_reference_backend_never_fuses(self):
+        assert not fused.supports(get_backend("numpy"), equi_snr.allocate, False)
+
+    def test_mercury_allocator_falls_back(self):
+        backend = get_backend("numpy-fused")
+        assert not fused.supports(backend, mercury_allocate, False)
+
+    def test_oracle_check_falls_back(self):
+        """Shadow validation compares against the optimization oracle; it
+        must observe the reference path, not the fused one."""
+        backend = get_backend("numpy-fused")
+        assert not fused.supports(backend, equi_snr.allocate, oracle_check=True)
+
+
+class TestEquivalence:
+    def test_same_series_are_available(self, reference_and_fused):
+        _, reference, fused_run = reference_and_fused
+        assert reference.available_series() == fused_run.available_series()
+
+    def test_headline_series_within_tolerance(self, reference_and_fused):
+        name, reference, fused_run = reference_and_fused
+        for key in reference.available_series():
+            np.testing.assert_allclose(
+                fused_run.series_mbps(key),
+                reference.series_mbps(key),
+                rtol=RELATIVE_TOLERANCE,
+                err_msg=f"{name}/{key} diverged beyond the 1e-6 policy",
+            )
+
+    def test_scheme_choices_agree(self, reference_and_fused):
+        """At ~1e-16 numeric agreement the argmax scheme choice must not
+        flip (a flip would change *which* allocation ships, not just its
+        last digits)."""
+        _, reference, fused_run = reference_and_fused
+        for a, b in zip(reference.records, fused_run.records):
+            assert a.outcome.copa_choice == b.outcome.copa_choice
+            assert a.outcome.copa_fair_choice == b.outcome.copa_fair_choice
+
+
+class TestKernelCache:
+    def test_one_kernel_per_configuration_reused_across_runs(self):
+        fused.kernel_cache_clear()
+        spec = SCENARIOS["3x2"]
+        config = SimConfig(n_topologies=2)
+        options = EngineOptions(backend="numpy-fused")
+        run_experiment(spec, config, workers=1, options=options)
+        info = fused.kernel_cache_info()
+        assert info["entries"] == 1
+        (key,) = info["keys"]
+        assert key[0] == "numpy-fused"
+        # A second run with the same configuration reuses the staged kernel.
+        run_experiment(spec, config, workers=1, options=options)
+        assert fused.kernel_cache_info()["entries"] == 1
+        # A different antenna configuration stages a second kernel.
+        run_experiment(SCENARIOS["1x1"], config, workers=1, options=options)
+        assert fused.kernel_cache_info()["entries"] == 2
+
+    def test_cache_clear_empties(self):
+        fused.kernel_cache_clear()
+        assert fused.kernel_cache_info() == {"entries": 0, "keys": []}
+
+
+class TestMercuryFallback:
+    def test_copa_plus_stays_bit_identical(self):
+        """COPA+ uses the mercury allocator, which fusion does not cover:
+        the engine must route it through the reference path, so the plus
+        series agree bit for bit (not merely within tolerance)."""
+        spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=True)
+        config = SimConfig(n_topologies=2)
+        reference = run_experiment(spec, config, workers=1)
+        fused_run = run_experiment(
+            spec, config, workers=1, options=EngineOptions(backend="numpy-fused")
+        )
+        np.testing.assert_array_equal(
+            fused_run.series_mbps("copa_plus"), reference.series_mbps("copa_plus")
+        )
+        np.testing.assert_array_equal(
+            fused_run.series_mbps("copa_plus_fair"),
+            reference.series_mbps("copa_plus_fair"),
+        )

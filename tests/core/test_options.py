@@ -1,4 +1,4 @@
-"""EngineOptions: validation, coercion, legacy-dict deprecation."""
+"""EngineOptions: validation, resolution, legacy-dict rejection."""
 
 import pickle
 
@@ -99,24 +99,22 @@ class TestFromEnv:
         assert EngineOptions.from_env().backend == "numpy"
 
 
-class TestCoerce:
+class TestResolve:
     def test_none_gives_defaults(self):
-        assert EngineOptions.coerce(None) == EngineOptions()
+        assert EngineOptions.resolve(None) == EngineOptions()
 
     def test_instance_passes_through_unchanged(self):
         options = EngineOptions(max_iterations=4)
-        assert EngineOptions.coerce(options) is options
+        assert EngineOptions.resolve(options) is options
 
-    def test_dict_warns_and_converts(self):
-        with pytest.warns(DeprecationWarning, match="EngineOptions"):
-            options = EngineOptions.coerce({"max_iterations": 4})
-        assert options == EngineOptions(max_iterations=4)
+    def test_legacy_dict_rejected_with_migration_hint(self):
+        """The engine_kwargs dict path is gone — crisp TypeError, no warning."""
+        with pytest.raises(TypeError, match="engine_kwargs dict form was removed"):
+            EngineOptions.resolve({"max_iterations": 4})
 
-    def test_unknown_dict_keys_rejected_eagerly(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="unknown engine option"):
-                EngineOptions.coerce({"alocator": mercury_allocate})
+    def test_non_options_value_rejected(self):
+        with pytest.raises(TypeError, match="EngineOptions or None"):
+            EngineOptions.resolve([("max_iterations", 4)])
 
-    def test_non_mapping_rejected(self):
-        with pytest.raises(TypeError):
-            EngineOptions.coerce([("max_iterations", 4)])
+    def test_coerce_shim_is_gone(self):
+        assert not hasattr(EngineOptions, "coerce")

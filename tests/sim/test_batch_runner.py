@@ -1,10 +1,10 @@
-"""Runner-level batching: dispatch semantics, bit-identity, deprecation.
+"""Runner-level batching: dispatch semantics, bit-identity, options typing.
 
 ``run_tasks(batch_size=None)`` (the default) hands whole chunks to the
 batched engine; ``batch_size=1`` forces the legacy per-topology path.
 The two must agree bit for bit — serial or pooled — and the typed
-``options`` surface must emit its legacy-dict DeprecationWarning
-pointing at *user* code for every public entry point.
+``options`` surface must reject the retired ``engine_kwargs`` dict with
+a crisp :class:`TypeError` at every public entry point.
 """
 
 import warnings
@@ -124,8 +124,13 @@ class TestExperimentSurface:
             )
 
 
-class TestDeprecationStacklevel:
-    """The legacy-dict warning must blame *this* file, not repro internals."""
+class TestLegacyDictRejection:
+    """Every ``options`` entry point rejects the retired dict spelling.
+
+    The PR-7 deprecation window is over: a legacy ``engine_kwargs`` dict
+    raises a crisp :class:`TypeError` with the migration hint instead of
+    being coerced with a warning.
+    """
 
     LEGACY = {"max_iterations": 8}
 
@@ -156,19 +161,11 @@ class TestDeprecationStacklevel:
             ((1, 1),), config, options=dict(self.LEGACY)
         )
 
-    def test_warning_points_at_caller_for_every_entry_point(self):
+    def test_every_entry_point_raises_type_error(self):
         for name, call in self.entry_points():
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
+            with pytest.raises(TypeError, match="engine_kwargs dict form was removed"):
                 call()
-            deprecations = [
-                w for w in caught if issubclass(w.category, DeprecationWarning)
-            ]
-            assert deprecations, f"{name} did not warn for a legacy dict"
-            filenames = {w.filename for w in deprecations}
-            assert filenames == {__file__}, (
-                f"{name} blamed {filenames}, expected this test file"
-            )
+            # pytest.raises asserts per entry point; ``name`` labels failures.
 
     def test_typed_options_never_warn(self):
         spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)

@@ -144,23 +144,23 @@ class TestBuildTasks:
         # Observability was not requested: no spans, no metrics.
         assert result.spans is None and result.metrics is None
 
-    def test_legacy_options_dict_is_deprecated(self):
-        """The retired ``engine_kwargs`` dict, passed via ``options``, still
-        coerces (with a warning) for one more release."""
+    def test_legacy_options_dict_is_rejected(self):
+        """The retired ``engine_kwargs`` dict, passed via ``options``, now
+        raises a crisp TypeError with the migration hint (removal complete
+        after the one-release deprecation window)."""
         spec = ScenarioSpec("1x1", 1, 1)
         config = SimConfig(n_topologies=1)
         from repro.sim.experiment import generate_channel_sets
 
         sets = generate_channel_sets(spec, config)
-        with pytest.warns(DeprecationWarning):
-            tasks = build_tasks(
+        with pytest.raises(TypeError, match="engine_kwargs dict form was removed"):
+            build_tasks(
                 sets,
                 base_seed=config.seed,
                 coherence_s=config.coherence_s,
                 imperfections=config.imperfections(),
                 options={"rate_selector": best_rate},
             )
-        assert tasks[0].options == EngineOptions(rate_selector=best_rate)
 
     def test_engine_kwargs_keyword_is_gone(self):
         """The ``engine_kwargs`` keyword is retired from the public surface."""
