@@ -1,0 +1,339 @@
+"""Perf acceptance for the sharded experiment / allocation service.
+
+Two budgets guard ``repro.sim.service``:
+
+* the **allocation service** must actually serve repeat traffic from the
+  warm cache: on a repeat-query mix (every distinct channel set queried
+  ``REPEATS`` times) the hit rate must reach ``HIT_RATE_FLOOR`` and a
+  warm (cache-hit) query must be at least ``WARM_SPEEDUP_FLOOR``x faster
+  than the cold (engine-computing) query that populated its cell;
+* the **shard runner** is measured for N-worker scaling (1/2/4 worker
+  processes draining one shard directory) — recorded for trend tracking,
+  not gated, because CI wall-clock for subprocess fleets is too noisy to
+  fail a PR on.
+
+Before timing anything the harness asserts correctness: every warm
+answer is bit-identical to the cold answer that filled its cell, and
+every N-worker harvest is bit-identical to the serial baseline — a
+service that is fast but wrong must never post a number.
+
+Run it as a script (CI can use ``--quick --check``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+        [--output BENCH_service.json] [--check] [--validate PATH]
+
+``--check`` exits non-zero if the warm hit rate drops below 95% or the
+warm query speedup below 3x; ``--validate PATH`` only validates an
+existing payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+if __package__ in (None, ""):  # script mode: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+SCHEMA_ID = "repro.bench/service-v1"
+DEFAULT_OUTPUT = "BENCH_service.json"
+SEED = 2015
+
+#: The repeat-query mix must be served warm at least this often (--check).
+HIT_RATE_FLOOR = 0.95
+#: A warm (cache-hit) query must beat a cold (computed) one by this factor.
+WARM_SPEEDUP_FLOOR = 3.0
+#: Worker-process counts measured for shard-runner scaling.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _query_workload(quick: bool):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import ScenarioSpec
+
+    spec = ScenarioSpec("1x1", 1, 1, include_copa_plus=False)
+    config = SimConfig(n_topologies=4 if quick else 10, seed=SEED)
+    repeats = 20  # (repeats-1)/repeats = 95% best-case hit rate
+    return spec, config, repeats
+
+
+def _scaling_workload(quick: bool):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import ScenarioSpec
+
+    # Full mode needs enough per-shard compute for parallelism to beat
+    # the per-process interpreter/import cost; quick mode only proves the
+    # path end to end (its scaling numbers are startup-dominated noise).
+    if quick:
+        return (
+            ScenarioSpec("1x1", 1, 1, include_copa_plus=False),
+            SimConfig(n_topologies=8, seed=SEED),
+            4,  # n_shards
+        )
+    return (
+        ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
+        SimConfig(n_topologies=24, seed=SEED),
+        8,  # n_shards
+    )
+
+
+def _bench_queries(quick: bool, workdir: str) -> Dict[str, object]:
+    """Cold vs warm allocation-service queries on a repeat mix."""
+    from repro.cache import ResultCache
+    from repro.sim.experiment import generate_channel_sets
+    from repro.sim.service import DEFAULT_GRID_DB, AllocationService
+
+    spec, config, repeats = _query_workload(quick)
+    channel_sets = generate_channel_sets(spec, config)
+    cache = ResultCache(os.path.join(workdir, "service_cache"))
+    service = AllocationService(cache, config=config)
+
+    # --- correctness gate: warm answers are bit-identical to cold ones,
+    # including through a second service handle on the same cache ---
+    cold_answers = [service.query(channels) for channels in channel_sets]
+    assert all(not answer.hit for answer in cold_answers)
+    other_handle = AllocationService(cache, config=config)
+    for channels, cold in zip(channel_sets, cold_answers):
+        warm = other_handle.query(channels)
+        assert warm.hit, "repeat query missed the warm cache"
+        assert warm.key == cold.key
+        assert (
+            warm.record.outcome.copa.aggregate_bps
+            == cold.record.outcome.copa.aggregate_bps
+        ), "warm answer drifted from the cold answer that filled its cell"
+
+    # --- timed repeat mix: every channel set queried `repeats` times ---
+    timed = AllocationService(
+        ResultCache(os.path.join(workdir, "timed_cache")), config=config
+    )
+    cold_samples, warm_samples = [], []
+    for _ in range(repeats):
+        for channels in channel_sets:
+            answer = timed.query(channels)
+            (warm_samples if answer.hit else cold_samples).append(answer.elapsed_s)
+    stats = timed.stats
+    assert stats.queries == repeats * len(channel_sets)
+    cold_ms = float(statistics.median(cold_samples)) * 1e3
+    warm_ms = float(statistics.median(warm_samples)) * 1e3
+    return {
+        "scenario": spec.name,
+        "n_channels": len(channel_sets),
+        "repeats": repeats,
+        "grid_db": DEFAULT_GRID_DB,
+        "queries": stats.queries,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+        "hit_rate_floor": HIT_RATE_FLOOR,
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "speedup": round(cold_ms / warm_ms, 2),
+        "speedup_floor": WARM_SPEEDUP_FLOOR,
+    }
+
+
+def _bench_scaling(quick: bool, workdir: str) -> Dict[str, object]:
+    """Wall-clock for 1/2/4 worker processes draining one shard dir."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.sim.experiment import run_experiment
+    from repro.sim.service import harvest, publish_shards, worker_entry
+
+    spec, config, n_shards = _scaling_workload(quick)
+    baseline = run_experiment(spec, config, workers=1)
+    reference = {key: baseline.series_mbps(key) for key in baseline.available_series()}
+
+    points = []
+    for n_workers in WORKER_COUNTS:
+        shard_dir = os.path.join(workdir, f"shards_{n_workers}")
+        cache_root = os.path.join(workdir, f"cache_{n_workers}")  # cold per count
+        publish_shards(shard_dir, spec, config, n_shards=n_shards)
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(
+                    worker_entry,
+                    shard_dir,
+                    cache_root=cache_root,
+                    worker_id=f"bench_{n_workers}_{rank}",
+                    timeout_s=600.0,
+                    observe=False,
+                )
+                for rank in range(n_workers)
+            ]
+            for future in futures:
+                future.result(timeout=600.0)
+        wall_s = time.perf_counter() - start
+        # --- correctness gate: the harvest is bit-identical to serial ---
+        result = harvest(shard_dir)
+        for key, values in reference.items():
+            np.testing.assert_array_equal(
+                result.series_mbps(key),
+                values,
+                err_msg=f"{n_workers}-worker harvest drifted on series {key!r}",
+            )
+        points.append({"workers": n_workers, "wall_s": round(wall_s, 4)})
+    serial_wall = points[0]["wall_s"]
+    for point in points:
+        point["speedup_vs_serial"] = round(serial_wall / point["wall_s"], 2)
+    return {
+        "scenario": spec.name,
+        "n_topologies": config.n_topologies,
+        "n_shards": n_shards,
+        "points": points,
+    }
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, object]:
+    """Time the query and scaling workloads and build the service-v1 payload."""
+    workdir = tempfile.mkdtemp(prefix="bench_service_")
+    try:
+        query = _bench_queries(quick, workdir)
+        scaling = _bench_scaling(quick, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "schema": SCHEMA_ID,
+        "quick": quick,
+        "seed": SEED,
+        "query": query,
+        "scaling": scaling,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            # Interprets the scaling points: on a 1-CPU host N worker
+            # processes time-slice one core and speedup_vs_serial ~ 1.0
+            # is the expected (correct) outcome.
+            "cpus": os.cpu_count() or 1,
+        },
+    }
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid service-v1 document."""
+
+    def fail(message: str):
+        raise ValueError(f"BENCH_service payload invalid: {message}")
+
+    if not isinstance(payload, dict):
+        fail("payload must be an object")
+    if payload.get("schema") != SCHEMA_ID:
+        fail(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("quick"), bool):
+        fail("quick must be a boolean")
+    query = payload.get("query")
+    if not isinstance(query, dict):
+        fail("query must be an object")
+    for key in ("n_channels", "repeats", "queries", "hits", "misses"):
+        if not isinstance(query.get(key), int) or query[key] < 0:
+            fail(f"query.{key} must be a non-negative integer")
+    if query["queries"] != query["hits"] + query["misses"]:
+        fail("query.queries must equal hits + misses")
+    value = query.get("hit_rate")
+    if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+        fail("query.hit_rate must be a number in [0, 1]")
+    for key in ("cold_ms", "warm_ms", "speedup", "grid_db"):
+        value = query.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"query.{key} must be a positive number")
+    scaling = payload.get("scaling")
+    if not isinstance(scaling, dict):
+        fail("scaling must be an object")
+    for key in ("n_topologies", "n_shards"):
+        if not isinstance(scaling.get(key), int) or scaling[key] < 1:
+            fail(f"scaling.{key} must be a positive integer")
+    points = scaling.get("points")
+    if not isinstance(points, list) or not points:
+        fail("scaling.points must be a non-empty list")
+    for point in points:
+        if not isinstance(point, dict) or not isinstance(point.get("workers"), int):
+            fail("scaling point must carry an integer worker count")
+        for key in ("wall_s", "speedup_vs_serial"):
+            value = point.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"scaling point {key} must be a positive number")
+    if [point["workers"] for point in points] != sorted(
+        {point["workers"] for point in points}
+    ):
+        fail("scaling points must be sorted by distinct worker count")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    query = payload["query"]
+    lines = [
+        f"{'cold query (median)':<28}{query['cold_ms']:>10.2f} ms",
+        f"{'warm query (median)':<28}{query['warm_ms']:>10.2f} ms",
+        f"{'warm speedup':<28}{query['speedup']:>9.1f}x  (floor {query['speedup_floor']:.0f}x)",
+        f"{'warm hit rate':<28}{query['hit_rate']:>10.1%}"
+        f"  (floor {query['hit_rate_floor']:.0%}, {query['hits']}/{query['queries']})",
+    ]
+    for point in payload["scaling"]["points"]:
+        lines.append(
+            f"{'shard drain, %d worker(s)' % point['workers']:<28}"
+            f"{point['wall_s']:>10.2f} s  ({point['speedup_vs_serial']:.2f}x vs serial)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI profile: fewer channels/topologies")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="payload path (default BENCH_service.json)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless warm hit rate >= {HIT_RATE_FLOOR:.0%} and "
+        f"warm query speedup >= {WARM_SPEEDUP_FLOOR:.0f}x",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="validate an existing payload file and exit (no benchmarking)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate) as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        print(f"{args.validate}: valid {SCHEMA_ID} payload")
+        return 0
+
+    payload = run_benchmark(quick=args.quick)
+    validate_bench_payload(payload)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_report(payload))
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if payload["query"]["hit_rate"] < HIT_RATE_FLOOR:
+            failures.append(
+                f"warm hit rate {payload['query']['hit_rate']:.1%} below the "
+                f"{HIT_RATE_FLOOR:.0%} floor"
+            )
+        if payload["query"]["speedup"] < WARM_SPEEDUP_FLOOR:
+            failures.append(
+                f"warm query speedup {payload['query']['speedup']}x below the "
+                f"{WARM_SPEEDUP_FLOOR:.0f}x floor"
+            )
+        if failures:
+            print("FAIL: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,11 @@ _VERSION_DIR = "v1"
 
 RESULTS_NAMESPACE = "results"
 CHANNELS_NAMESPACE = "channels"
+#: Strategy answers keyed by *quantized* channel fingerprint — the
+#: allocation service's namespace.  Kept apart from ``results`` because
+#: these keys are tolerance-equivalent lookups (any channel set in the
+#: grid cell shares the artifact), never bit-identity claims.
+SERVICE_NAMESPACE = "service"
 
 
 class _CorruptArtifact(Exception):
@@ -277,6 +282,20 @@ class ResultCache:
         return self.store(
             RESULTS_NAMESPACE, fingerprint_task(task), stripped, collector=collector
         )
+
+    def load_service_answer(self, key: str, collector=None):
+        """The cached :class:`TaskResult` for one service query key, or ``None``.
+
+        ``key`` is the composed service key (quantized channel cell +
+        result-determining query context) built by
+        :meth:`repro.sim.service.AllocationService.query_key`.
+        """
+        return self.load(SERVICE_NAMESPACE, key, collector=collector)
+
+    def store_service_answer(self, key: str, result, collector=None) -> bool:
+        """Cache one computed strategy answer under its service key."""
+        stripped = dataclasses.replace(result, spans=None, metrics=None)
+        return self.store(SERVICE_NAMESPACE, key, stripped, collector=collector)
 
     def load_channel_sets(self, spec, config, collector=None) -> Optional[List]:
         """The cached channel realizations for (spec, config), or ``None``."""

@@ -10,6 +10,11 @@ Usage::
     python -m repro.cli nulling [-n 30]           # Figure 3's statistics
     python -m repro.cli topology [--seed 7]       # inspect one topology
 
+    python -m repro.cli service publish 4x2 --shard-dir DIR -n 30
+    python -m repro.cli service worker --shard-dir DIR --cache-dir CACHE
+    python -m repro.cli service harvest --shard-dir DIR
+    python -m repro.cli service query 4x2 --cache-dir CACHE --repeat 2
+
 All numbers use the frozen calibration in :mod:`repro.sim.config`.
 """
 
@@ -185,6 +190,73 @@ SCENARIOS = {
 }
 
 
+def _print_series_table(result) -> None:
+    """The per-scheme summary table (shared by run/harvest so their
+    outputs are directly diffable)."""
+    print(f"{'scheme':<16}{'mean Mbps':>11}{'median':>9}{'min':>8}{'max':>8}")
+    for key in result.available_series():
+        s = result.summary(key)
+        print(f"{key:<16}{s.mean:>11.1f}{s.median:>9.1f}{s.minimum:>8.1f}{s.maximum:>8.1f}")
+
+
+def _run_for_args(args, spec, config, collector, cache):
+    """Dispatch run/report to the sharded, emulated or direct path."""
+    if getattr(args, "shard_dir", None):
+        if args.checkpoint or args.resume:
+            print(
+                "error: --shard-dir supersedes --checkpoint/--resume "
+                "(the service journals per shard)",
+                file=sys.stderr,
+            )
+            return None
+        # The manifest carries the offset; workers regenerate-and-scale,
+        # which is bit-identical to the in-process emulation transform.
+        return run_experiment(
+            ScenarioSpec(
+                spec.name,
+                spec.ap_antennas,
+                spec.client_antennas,
+                interference_offset_db=args.interference,
+                include_copa_plus=spec.include_copa_plus,
+            ),
+            config,
+            workers=args.workers,
+            options=_engine_options(args),
+            collector=collector,
+            policy=_retry_policy(args),
+            cache=cache,
+            shard_dir=args.shard_dir,
+        )
+    if args.interference:
+        return run_emulated_experiment(
+            spec,
+            args.interference,
+            config,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            batch_size=args.batch_size,
+            options=_engine_options(args),
+            collector=collector,
+            policy=_retry_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            cache=cache,
+        )
+    return run_experiment(
+        spec,
+        config,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        batch_size=args.batch_size,
+        options=_engine_options(args),
+        collector=collector,
+        policy=_retry_policy(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        cache=cache,
+    )
+
+
 def _cmd_scenarios(_args) -> int:
     print("scenario   APs x clients   description")
     print("1x1        1 ant / 1 ant   single-antenna pairs (§4.2, Fig. 10)")
@@ -208,43 +280,14 @@ def _cmd_run(args) -> int:
     collector = _make_collector(args)
     cache = _make_cache(args)
     try:
-        if args.interference:
-            result = run_emulated_experiment(
-                spec,
-                args.interference,
-                config,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                batch_size=args.batch_size,
-                options=_engine_options(args),
-                collector=collector,
-                policy=_retry_policy(args),
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                cache=cache,
-            )
-        else:
-            result = run_experiment(
-                spec,
-                config,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                batch_size=args.batch_size,
-                options=_engine_options(args),
-                collector=collector,
-                policy=_retry_policy(args),
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                cache=cache,
-            )
+        result = _run_for_args(args, spec, config, collector, cache)
     except RunnerError as error:
         return _report_runner_failure(error)
+    if result is None:
+        return 2
 
     print(f"scenario {result.spec.name}: {args.topologies} topologies")
-    print(f"{'scheme':<16}{'mean Mbps':>11}{'median':>9}{'min':>8}{'max':>8}")
-    for key in result.available_series():
-        s = result.summary(key)
-        print(f"{key:<16}{s.mean:>11.1f}{s.median:>9.1f}{s.minimum:>8.1f}{s.maximum:>8.1f}")
+    _print_series_table(result)
 
     if "null" in result.available_series():
         stats = compare(result.series_mbps("null"), result.series_mbps("csma"))
@@ -306,37 +349,11 @@ def _cmd_report(args) -> int:
     collector = _make_collector(args)
     cache = _make_cache(args)
     try:
-        if args.interference:
-            result = run_emulated_experiment(
-                spec,
-                args.interference,
-                config,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                batch_size=args.batch_size,
-                options=_engine_options(args),
-                collector=collector,
-                policy=_retry_policy(args),
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                cache=cache,
-            )
-        else:
-            result = run_experiment(
-                spec,
-                config,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                batch_size=args.batch_size,
-                options=_engine_options(args),
-                collector=collector,
-                policy=_retry_policy(args),
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                cache=cache,
-            )
+        result = _run_for_args(args, spec, config, collector, cache)
     except RunnerError as error:
         return _report_runner_failure(error)
+    if result is None:
+        return 2
     text = experiment_report(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -349,6 +366,164 @@ def _cmd_report(args) -> int:
         args,
         collector,
         meta={"command": "report", "scenario": args.scenario, "topologies": args.topologies},
+    )
+    return 0
+
+
+def _service_spec_config(args):
+    """(spec, config) for one service command's scenario arguments."""
+    spec = SCENARIOS[args.scenario]
+    spec = ScenarioSpec(
+        spec.name,
+        spec.ap_antennas,
+        spec.client_antennas,
+        interference_offset_db=getattr(args, "interference", 0.0),
+        include_copa_plus=args.plus,
+    )
+    return spec, DEFAULT_CONFIG.with_(n_topologies=args.topologies)
+
+
+def _print_service_stats(stats) -> None:
+    print(
+        f"worker {stats.worker_id}: claimed {stats.shards_claimed}"
+        f"/{stats.shards_total} shards ({stats.shards_stolen} stolen,"
+        f" {stats.shards_reclaimed} reclaimed), completed"
+        f" {stats.tasks_completed} topologies ({stats.tasks_resumed} resumed,"
+        f" {stats.tasks_from_cache} from cache) in {stats.wall_s:.1f}s"
+    )
+
+
+def _cmd_service_publish(args) -> int:
+    from .sim.service import ServiceError, publish_shards
+
+    spec, config = _service_spec_config(args)
+    cache = _make_cache(args)
+    try:
+        manifest = publish_shards(
+            args.shard_dir,
+            spec,
+            config,
+            options=_engine_options(args),
+            shard_size=args.shard_size,
+            n_shards=args.shards,
+            cache=cache,
+        )
+    except (OSError, ValueError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"published {len(manifest.shards)} shards of {manifest.n_tasks} "
+        f"topologies (scenario {manifest.spec.name}) in {args.shard_dir}"
+    )
+    print(f"config {manifest.config_hash[:12]}…")
+    return 0
+
+
+def _cmd_service_worker(args) -> int:
+    from .sim.service import ServiceError, run_worker
+
+    collector = _make_collector(args)
+    cache = _make_cache(args)
+    try:
+        stats = run_worker(
+            args.shard_dir,
+            cache=cache,
+            worker_id=args.worker_id,
+            policy=_retry_policy(args),
+            collector=collector,
+            lease_ttl_s=args.lease_ttl,
+            timeout_s=args.timeout,
+        )
+    except RunnerError as error:
+        return _report_runner_failure(error)
+    except (OSError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_service_stats(stats)
+    _print_cache_stats(args, cache)
+    _emit_observability(
+        args,
+        collector,
+        meta={"command": "service worker", "shard_dir": args.shard_dir, **stats.as_dict()},
+    )
+    return 0
+
+
+def _cmd_service_harvest(args) -> int:
+    from .sim.service import ServiceError, harvest
+
+    collector = _make_collector(args)
+    cache = _make_cache(args)
+    try:
+        result = harvest(
+            args.shard_dir, cache=cache, collector=collector, timeout_s=args.timeout
+        )
+    except (OSError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"scenario {result.spec.name}: {len(result.records)} topologies")
+    _print_series_table(result)
+    _print_runner_stats(result)
+    _print_cache_stats(args, cache)
+    _emit_observability(
+        args,
+        collector,
+        meta={
+            "command": "service harvest",
+            "shard_dir": args.shard_dir,
+            "scenario": result.spec.name,
+            "topologies": len(result.records),
+        },
+    )
+    return 0
+
+
+def _cmd_service_query(args) -> int:
+    from .sim.service import AllocationService
+
+    cache = _make_cache(args)
+    if cache is None:
+        print("error: service query requires --cache-dir PATH", file=sys.stderr)
+        return 2
+    spec, config = _service_spec_config(args)
+    collector = _make_collector(args)
+    service = AllocationService(
+        cache,
+        grid_db=args.grid_db,
+        config=config,
+        options=_engine_options(args),
+        include_copa_plus=args.plus,
+        collector=collector,
+    )
+    channel_sets = generate_channel_sets(spec, config, cache=cache, collector=collector)
+    if args.topology is not None:
+        if not 0 <= args.topology < len(channel_sets):
+            print(
+                f"error: --topology must be in [0, {len(channel_sets)})", file=sys.stderr
+            )
+            return 2
+        channel_sets = channel_sets[args.topology : args.topology + 1]
+    for repeat in range(args.repeat):
+        for index, channels in enumerate(channel_sets):
+            answer = service.query(channels)
+            if repeat == 0:
+                served = "hit" if answer.hit else "miss"
+                print(
+                    f"topology[{index}]: copa {answer.copa_mbps:8.1f} Mbps"
+                    f"  ({served}, {answer.elapsed_s * 1e3:.1f} ms,"
+                    f" key {answer.key[:12]}…)"
+                )
+    stats = service.stats
+    print(
+        f"service queries: {stats.queries}, hits: {stats.hits},"
+        f" misses: {stats.misses}, hit rate: {stats.hit_rate:.1%}"
+        f" (grid {args.grid_db:g} dB)"
+    )
+    _print_cache_stats(args, cache)
+    _emit_observability(
+        args,
+        collector,
+        meta={"command": "service query", "scenario": args.scenario, **stats.as_dict()},
     )
     return 0
 
@@ -463,6 +638,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print cache hit/miss/corrupt counts and byte totals after the run",
         )
+        command.add_argument(
+            "--shard-dir",
+            metavar="DIR",
+            default=None,
+            help="run through the sharded experiment service: publish the "
+            "run's shards into DIR (idempotent), cooperate with any other "
+            "workers on it, and harvest the combined bit-identical result",
+        )
 
     run = sub.add_parser("run", help="run one scenario and print its CDF table")
     run.add_argument("scenario", choices=sorted(SCENARIOS))
@@ -499,6 +682,146 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default=None, help="file path (default: stdout)")
     add_runner_args(report)
     report.set_defaults(func=_cmd_report)
+
+    service = sub.add_parser(
+        "service",
+        help="sharded multi-process experiment service + allocation queries",
+    )
+    ssub = service.add_subparsers(dest="service_command", required=True)
+
+    def add_cache_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            default=os.environ.get("REPRO_CACHE_DIR"),
+            help="shared repro.cache/v1 root (default: $REPRO_CACHE_DIR)",
+        )
+        command.add_argument("--no-cache", action="store_true", help="run cache-free")
+        command.add_argument(
+            "--cache-stats", action="store_true", help="print cache counters at exit"
+        )
+
+    def add_obs_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace", action="store_true", help="collect spans and print the timing tree"
+        )
+        command.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            default=None,
+            help="write the trace + metrics as repro.obs/v1 JSON to PATH",
+        )
+
+    publish = ssub.add_parser(
+        "publish", help="publish one experiment's claimable shards into a directory"
+    )
+    publish.add_argument("scenario", choices=sorted(SCENARIOS))
+    publish.add_argument("--shard-dir", metavar="DIR", required=True)
+    publish.add_argument("-n", "--topologies", type=_positive_int, default=30)
+    publish.add_argument("--plus", action="store_true", help="include COPA+ (slow)")
+    publish.add_argument(
+        "--interference",
+        type=float,
+        default=0.0,
+        help="scale cross links by this many dB (carried in the manifest)",
+    )
+    shard_count = publish.add_mutually_exclusive_group()
+    shard_count.add_argument(
+        "--shards", type=_positive_int, default=None, help="shard count (default: ≤ 8)"
+    )
+    shard_count.add_argument(
+        "--shard-size", type=_positive_int, default=None, help="topologies per shard"
+    )
+    publish.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="array backend recorded in the manifest (default: $REPRO_BACKEND)",
+    )
+    add_cache_args(publish)
+    publish.set_defaults(func=_cmd_service_publish)
+
+    worker = ssub.add_parser(
+        "worker", help="claim and drain shards until the experiment completes"
+    )
+    worker.add_argument("--shard-dir", metavar="DIR", required=True)
+    worker.add_argument("--worker-id", default=None, help="lease identity (default: auto)")
+    worker.add_argument(
+        "--lease-ttl",
+        type=_positive_float,
+        metavar="SECONDS",
+        default=30.0,
+        help="heartbeat age after which a peer's lease is reclaimable (default: 30)",
+    )
+    worker.add_argument(
+        "--timeout",
+        type=_positive_float,
+        metavar="SECONDS",
+        default=None,
+        help="give up if the experiment is not complete in time (default: wait)",
+    )
+    worker.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        help="re-attempts per topology before the shard fails (default: 2)",
+    )
+    worker.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        metavar="SECONDS",
+        default=None,
+        help="per-topology result-wait timeout on the pool path (default: none)",
+    )
+    add_cache_args(worker)
+    add_obs_args(worker)
+    worker.set_defaults(func=_cmd_service_worker)
+
+    harvest = ssub.add_parser(
+        "harvest", help="assemble and print the combined result of a shard directory"
+    )
+    harvest.add_argument("--shard-dir", metavar="DIR", required=True)
+    harvest.add_argument(
+        "--timeout",
+        type=_positive_float,
+        metavar="SECONDS",
+        default=None,
+        help="poll until every shard is done (default: fail if incomplete)",
+    )
+    add_cache_args(harvest)
+    add_obs_args(harvest)
+    harvest.set_defaults(func=_cmd_service_harvest)
+
+    query = ssub.add_parser(
+        "query", help="answer strategy queries from the warm cache (compute on miss)"
+    )
+    query.add_argument("scenario", choices=sorted(SCENARIOS))
+    query.add_argument("-n", "--topologies", type=_positive_int, default=8)
+    query.add_argument("--plus", action="store_true", help="include COPA+ (slow)")
+    query.add_argument(
+        "--interference", type=float, default=0.0, help="cross-link offset in dB"
+    )
+    query.add_argument(
+        "--grid-db",
+        type=_positive_float,
+        default=0.25,
+        help="quantization grid for the lookup key (default: 0.25 dB)",
+    )
+    query.add_argument(
+        "--topology", type=int, default=None, help="query one topology index only"
+    )
+    query.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        help="query each topology this many times (repeats hit the warm cache)",
+    )
+    query.add_argument(
+        "--backend", choices=available_backends(), default=None, help="array backend"
+    )
+    add_cache_args(query)
+    add_obs_args(query)
+    query.set_defaults(func=_cmd_service_query)
     return parser
 
 

@@ -60,6 +60,7 @@ __all__ = [
     "CheckpointError",
     "fingerprint_tasks",
     "Journal",
+    "load_completed",
     "validate_journal",
 ]
 
@@ -180,6 +181,34 @@ class Journal:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.close()
         return False
+
+
+def load_completed(path: str, config_hash: str, n_tasks: int) -> Dict[int, object]:
+    """Read-only load of a journal's completed results (index → TaskResult).
+
+    Unlike :meth:`Journal.open` this never opens the file for appending —
+    it is the harvest-side reader of the sharded experiment service
+    (:mod:`repro.sim.service`), which must be able to collect journals
+    that other worker processes may still own.  The stored ``config_hash``
+    is verified against the caller's expectation, every blob digest is
+    checked, and a partial final line (a worker killed mid-write) is
+    tolerated and simply recomputed by whoever reclaims the shard.
+    """
+    header, entries = _read_lines(path, tolerate_partial_tail=True)
+    if header.get("schema") != SCHEMA_ID:
+        raise CheckpointError(f"{path}: schema {header.get('schema')!r} is not {SCHEMA_ID!r}")
+    if header.get("config_hash") != config_hash:
+        raise CheckpointError(
+            f"{path}: journal was written by a different experiment "
+            f"(config_hash {header.get('config_hash')!r} != {config_hash!r})"
+        )
+    completed: Dict[int, object] = {}
+    for entry in entries:
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < n_tasks:
+            raise CheckpointError(f"{path}: entry index {index!r} out of range")
+        completed[index] = pickle.loads(_decode_blob(entry))
+    return completed
 
 
 def _read_lines(path: str, tolerate_partial_tail: bool) -> Tuple[dict, List[dict]]:

@@ -63,6 +63,9 @@ class ExperimentResult:
     records: List[TopologyRecord]
     #: Runner telemetry (worker count, per-topology wall-clock, utilization).
     stats: Optional[RunnerStats] = None
+    #: Shard-service telemetry (a :class:`repro.sim.service.ServiceStats`)
+    #: when the run went through a shard directory; ``None`` otherwise.
+    service_stats: Optional[object] = None
 
     def _aggregate(self, record: TopologyRecord, key: str) -> Optional[float]:
         outcome = record.outcome
@@ -164,6 +167,7 @@ def run_experiment(
     resume: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     cache=None,
+    shard_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the full strategy evaluation over a scenario's topologies.
 
@@ -212,9 +216,43 @@ def run_experiment(
         being recomputed, and stored after harvest.  Cached results are
         bit-identical to cold ones; ``None`` (default) skips every cache
         code path.
+    ``shard_dir``
+        route the run through the sharded experiment service
+        (:mod:`repro.sim.service`): publish the topology shards into this
+        directory (idempotently), cooperate with any other worker
+        processes draining it, and harvest the combined — bit-identical —
+        result.  Requires regenerable channels (``channel_sets`` must be
+        ``None``; shards carry the spec/config, not arrays) and is
+        mutually exclusive with ``checkpoint``/``resume``/``fault_plan``
+        (the service journals per shard and chaos-injects through its own
+        hook); ``chunk_size``/``batch_size`` don't apply to the per-task
+        fault-tolerant path workers run.
     """
     # Resolve here so a bad options value fails in the caller's frame.
     options = EngineOptions.resolve(options)
+    if shard_dir is not None:
+        if channel_sets is not None:
+            raise ValueError(
+                "shard_dir requires regenerable channels; pass channel_sets=None "
+                "(use spec.interference_offset_db for emulated scenarios)"
+            )
+        if checkpoint is not None or resume or fault_plan is not None:
+            raise ValueError(
+                "shard_dir is mutually exclusive with checkpoint/resume/fault_plan; "
+                "the service keeps per-shard journals itself"
+            )
+        from .service import run_sharded_experiment
+
+        return run_sharded_experiment(
+            spec,
+            config,
+            shard_dir,
+            options=options,
+            workers=workers,
+            cache=cache,
+            collector=collector,
+            policy=policy,
+        )
     col = active(collector)
     with col.span("experiment", scenario=spec.name, n_topologies=config.n_topologies):
         if channel_sets is None:

@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Sequence
+import math
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -52,12 +53,17 @@ __all__ = [
     "fingerprint_task",
     "fingerprint_tasks",
     "fingerprint_channel_config",
+    "quantize_channels",
+    "fingerprint_quantized",
 ]
 
 #: Salt for per-task fingerprints; bump when the hashed fields change.
 TASK_SALT = "repro.task/v1"
 #: Salt for channel-realization config fingerprints.
 CHANNELS_SALT = "repro.channels/v1"
+#: Salt for quantized channel-cell fingerprints (the allocation service's
+#: lookup keys); bump when the quantization scheme changes.
+QUANTIZED_SALT = "repro.quant/v1"
 
 #: :class:`repro.sim.config.SimConfig` fields that do **not** influence
 #: :func:`repro.sim.experiment.generate_channel_sets`.  Everything not
@@ -169,6 +175,91 @@ def fingerprint_tasks(tasks: Sequence) -> str:
     digest.update(f"repro.ckpt/v1;tasks={len(tasks)}".encode())
     for task in tasks:
         _update_digest_with_task(digest, task)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Quantized channel fingerprints (the allocation service's lookup keys).
+# ---------------------------------------------------------------------------
+
+#: Magnitude bin for an exactly-zero channel entry (|h| = 0 has no dB
+#: representation; any finite gain, however small, lands elsewhere).
+_ZERO_BIN = np.iinfo(np.int64).min
+
+
+def _phase_step_rad(grid_db: float) -> float:
+    """Phase bin width matching ``grid_db``'s relative resolution.
+
+    A magnitude step of ``grid_db`` dB multiplies ``|h|`` by
+    ``10^(grid_db/20)``, i.e. moves ``ln|h|`` by ``grid_db·ln10/20``.
+    Using the same numeric step (in radians) for ``arg(h)`` quantizes the
+    complex logarithm ``ln h = ln|h| + i·arg(h)`` on a square grid — one
+    parameter controls both axes at equal resolution.
+    """
+    return grid_db * math.log(10.0) / 20.0
+
+
+def quantize_channels(channels, grid_db: float) -> Tuple:
+    """The grid cell one :class:`~repro.phy.channel.ChannelSet` lands in.
+
+    Every complex channel entry is quantized in log-polar form: the
+    magnitude in dB is rounded to the nearest multiple of ``grid_db`` and
+    the phase to the matching step (:func:`_phase_step_rad`); exact zeros
+    get a reserved bin.  The noise floor and topology link gains are
+    rounded on the same dB grid.  The result is a nested tuple of plain
+    ints/strings — hashable and comparable — such that two channel sets
+    share a cell **iff** this function returns equal tuples for them
+    (which is exactly when :func:`fingerprint_quantized` collides).
+    """
+    if not grid_db > 0:
+        raise ValueError(f"grid_db must be > 0, got {grid_db!r}")
+    phase_step = _phase_step_rad(grid_db)
+    entries = []
+    for key in sorted(channels.channels):
+        array = np.ascontiguousarray(channels.channels[key])
+        magnitude = np.abs(array)
+        nonzero = magnitude > 0
+        safe = np.where(nonzero, magnitude, 1.0)
+        mag_bins = np.where(
+            nonzero,
+            np.round(20.0 * np.log10(safe) / grid_db),
+            float(_ZERO_BIN),
+        ).astype(np.int64)
+        phase_bins = np.where(
+            nonzero, np.round(np.angle(array) / phase_step), 0.0
+        ).astype(np.int64)
+        entries.append(
+            (
+                str(key[0]),
+                str(key[1]),
+                array.shape,
+                tuple(mag_bins.ravel().tolist()),
+                tuple(phase_bins.ravel().tolist()),
+            )
+        )
+    links = tuple(
+        (str(a), str(b), int(round(gain / grid_db)))
+        for (a, b), gain in sorted(channels.topology.link_gain_db.items())
+    )
+    noise_bin = int(round(10.0 * math.log10(channels.noise_floor_mw) / grid_db))
+    return (int(channels.n_subcarriers), noise_bin, tuple(entries), links)
+
+
+def fingerprint_quantized(channels, grid_db: float) -> str:
+    """SHA-256 over the quantized cell of one channel set.
+
+    This is the allocation service's lookup key ingredient: channel sets
+    that quantize to the same ``grid_db`` cell share the key (and may
+    share a cached strategy answer); any set in a different cell — or the
+    same set under a different grid — gets a different key.  The grid
+    itself is folded in, so answers computed at one tolerance are never
+    served at another.
+    """
+    cell = quantize_channels(channels, grid_db)
+    digest = hashlib.sha256()
+    digest.update(QUANTIZED_SALT.encode())
+    digest.update(f"|grid={grid_db!r}|".encode())
+    digest.update(repr(cell).encode())
     return digest.hexdigest()
 
 

@@ -81,6 +81,19 @@ def _point_checkpoint(checkpoint_dir: Optional[str], point_index: int) -> Option
     return os.path.join(checkpoint_dir, f"point_{point_index:02d}.ckpt")
 
 
+def _point_shard_dir(shard_dir: Optional[str], point_index: int) -> Optional[str]:
+    """Per-point shard directory for service-routed sweeps.
+
+    Each point is its own published experiment (its own manifest,
+    config-hash, leases and journals), so N sweep processes sharing the
+    parent directory cooperate point by point — and the per-point
+    checkpoint machinery is superseded by the service's shard journals.
+    """
+    if shard_dir is None:
+        return None
+    return os.path.join(shard_dir, f"point_{point_index:02d}")
+
+
 def sweep_coherence_time(
     coherence_values_s: Sequence[float] = (0.004, 0.030, 0.120, 1.0),
     spec: ScenarioSpec = ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
@@ -93,6 +106,7 @@ def sweep_coherence_time(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     cache=None,
+    shard_dir: Optional[str] = None,
 ) -> SweepResult:
     """COPA vs CSMA as the channel gets more static.
 
@@ -104,14 +118,28 @@ def sweep_coherence_time(
     forwarded to every point's experiment.  With ``cache`` the shared
     traces are memoized once and each point's per-topology results are
     cached under their own coherence-specific content addresses.
+
+    ``shard_dir`` routes every point through the sharded experiment
+    service (one subdirectory per point; see
+    :mod:`repro.sim.service`): workers regenerate the shared traces from
+    the manifest instead of receiving them — ``coherence_s`` is
+    channel-irrelevant, so every point rebuilds the *same* realization
+    (one cached artifact) and results stay bit-identical to the replayed
+    path.  ``checkpoint_dir``/``resume`` are superseded by the service's
+    per-shard journals and ignored for sharded points.
     """
     # Resolve here so a bad options value fails in the caller's frame.
     options = EngineOptions.resolve(options)
     col = active(collector)
     with col.span("sweep", parameter="coherence_s", points=len(list(coherence_values_s))):
-        traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
+        traces = (
+            None
+            if shard_dir is not None
+            else generate_channel_sets(spec, config, cache=cache, collector=collector)
+        )
         points = []
         for point_index, coherence_s in enumerate(coherence_values_s):
+            point_shard = _point_shard_dir(shard_dir, point_index)
             with col.span("sweep.point", value=float(coherence_s)):
                 result = run_experiment(
                     spec,
@@ -122,9 +150,12 @@ def sweep_coherence_time(
                     options=options,
                     collector=collector,
                     policy=policy,
-                    checkpoint=_point_checkpoint(checkpoint_dir, point_index),
-                    resume=resume,
+                    checkpoint=None
+                    if point_shard
+                    else _point_checkpoint(checkpoint_dir, point_index),
+                    resume=False if point_shard else resume,
                     cache=cache,
+                    shard_dir=point_shard,
                 )
             points.append(SweepPoint(parameter=coherence_s, means_mbps=_means(result)))
             col.inc("sweep.points")
@@ -143,6 +174,7 @@ def sweep_interference(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     cache=None,
+    shard_dir: Optional[str] = None,
 ) -> SweepResult:
     """§4.4 generalized: scale the cross links through a range of offsets.
 
@@ -151,29 +183,68 @@ def sweep_interference(
     conditions from it via :meth:`ChannelSet.scaled_interference` — the
     cheap transform — so the cache holds a single base realization plus
     per-offset result artifacts, never one realization per offset.
+
+    ``shard_dir`` routes every point through the sharded experiment
+    service (one subdirectory per point).  Sharded workers cannot receive
+    arrays, so each point's manifest carries the offset in its scenario
+    spec and workers apply :meth:`ChannelSet.scaled_interference` to the
+    regenerated base realization — the *same* transform this function
+    applies in-process, so per-topology results (and their cache keys)
+    are bit-identical between the two modes.  Requires
+    ``spec.interference_offset_db == 0`` (stacking two offsets in one
+    dB-domain scale is not bit-equal to applying them in sequence).
     """
     # Resolve here so a bad options value fails in the caller's frame.
     options = EngineOptions.resolve(options)
+    if shard_dir is not None and spec.interference_offset_db:
+        raise ValueError(
+            "sweep_interference(shard_dir=...) needs a base spec with "
+            "interference_offset_db == 0; the sweep offsets become the "
+            "manifest's per-point offset"
+        )
     col = active(collector)
     with col.span("sweep", parameter="interference_offset_db", points=len(list(offsets_db))):
-        traces = generate_channel_sets(spec, config, cache=cache, collector=collector)
+        traces = (
+            None
+            if shard_dir is not None
+            else generate_channel_sets(spec, config, cache=cache, collector=collector)
+        )
         points = []
         for point_index, offset in enumerate(offsets_db):
+            point_shard = _point_shard_dir(shard_dir, point_index)
             with col.span("sweep.point", value=float(offset)):
-                emulated = scaled_traces(traces, offset) if offset else list(traces)
-                result = run_experiment(
-                    spec,
-                    config,
-                    channel_sets=emulated,
-                    workers=workers,
-                    chunk_size=chunk_size,
-                    options=options,
-                    collector=collector,
-                    policy=policy,
-                    checkpoint=_point_checkpoint(checkpoint_dir, point_index),
-                    resume=resume,
-                    cache=cache,
-                )
+                if point_shard is not None:
+                    result = run_experiment(
+                        ScenarioSpec(
+                            spec.name,
+                            spec.ap_antennas,
+                            spec.client_antennas,
+                            interference_offset_db=float(offset),
+                            include_copa_plus=spec.include_copa_plus,
+                        ),
+                        config,
+                        workers=workers,
+                        options=options,
+                        collector=collector,
+                        policy=policy,
+                        cache=cache,
+                        shard_dir=point_shard,
+                    )
+                else:
+                    emulated = scaled_traces(traces, offset) if offset else list(traces)
+                    result = run_experiment(
+                        spec,
+                        config,
+                        channel_sets=emulated,
+                        workers=workers,
+                        chunk_size=chunk_size,
+                        options=options,
+                        collector=collector,
+                        policy=policy,
+                        checkpoint=_point_checkpoint(checkpoint_dir, point_index),
+                        resume=resume,
+                        cache=cache,
+                    )
             points.append(SweepPoint(parameter=offset, means_mbps=_means(result)))
             col.inc("sweep.points")
     return SweepResult(parameter_name="interference_offset_db", points=points)
@@ -190,11 +261,15 @@ def sweep_antenna_configurations(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     cache=None,
+    shard_dir: Optional[str] = None,
 ) -> SweepResult:
     """The §4 progression: spatial degrees of freedom vs COPA's win.
 
     The parameter value encodes the configuration as ``ap + client / 10``
     (e.g. 4.2 for 4×2); use :meth:`SweepResult.series` labels accordingly.
+    ``shard_dir`` routes every point through the sharded experiment
+    service (one subdirectory per point, superseding per-point
+    checkpoints).
     """
     # Resolve here so a bad options value fails in the caller's frame.
     options = EngineOptions.resolve(options)
@@ -208,6 +283,7 @@ def sweep_antenna_configurations(
                 client_antennas,
                 include_copa_plus=False,
             )
+            point_shard = _point_shard_dir(shard_dir, point_index)
             with col.span("sweep.point", value=ap_antennas + client_antennas / 10.0):
                 result = run_experiment(
                     spec,
@@ -217,9 +293,12 @@ def sweep_antenna_configurations(
                     options=options,
                     collector=collector,
                     policy=policy,
-                    checkpoint=_point_checkpoint(checkpoint_dir, point_index),
-                    resume=resume,
+                    checkpoint=None
+                    if point_shard
+                    else _point_checkpoint(checkpoint_dir, point_index),
+                    resume=False if point_shard else resume,
                     cache=cache,
+                    shard_dir=point_shard,
                 )
             points.append(
                 SweepPoint(

@@ -325,3 +325,113 @@ class TestRunnerStatsRegression:
         # Exactly one accepted evaluation merged per topology.
         for index in range(N_TOPOLOGIES):
             assert names.count(f"topology[{index}]") == 1
+
+
+class TestServiceChaos:
+    """The shard service's fault story: kill -9 a worker, steal its shard.
+
+    A real worker *process* is killed mid-shard via the service's
+    deterministic chaos hook (``die_after_tasks`` → ``os._exit``, so no
+    lease release, no done marker, no cleanup — exactly the on-disk state
+    a crashed worker leaves).  Its lease expires, a rescuer reclaims the
+    shard, resumes the journaled prefix instead of recomputing it, and
+    the harvested experiment is **bit-identical** to the fault-free
+    serial baseline — with the theft visible only in the telemetry
+    (``service.reclaim``).
+    """
+
+    #: Far above the rescuer's wall-clock; the victim's lease only looks
+    #: expired because the *rescuer* judges it with a tiny TTL.
+    KILL_AFTER_TASKS = 1
+
+    @pytest.fixture()
+    def crashed_shard_dir(self, tmp_path):
+        """A shard dir holding one dead worker's half-finished shard."""
+        import multiprocessing
+
+        from repro.sim.service import publish_shards, worker_entry
+
+        shard_dir = str(tmp_path / "shards")
+        publish_shards(shard_dir, SPEC, CONFIG, n_shards=2, publisher="publisher")
+        victim = multiprocessing.Process(
+            target=worker_entry,
+            args=(shard_dir,),
+            kwargs={
+                "worker_id": "victim",
+                "die_after_tasks": self.KILL_AFTER_TASKS,
+                "observe": False,
+            },
+        )
+        victim.start()
+        victim.join(timeout=120.0)
+        assert victim.exitcode == 86  # died inside the chaos hook, not cleanly
+        return shard_dir
+
+    def test_killed_worker_leaves_a_stale_lease_and_no_done_marker(
+        self, crashed_shard_dir
+    ):
+        import json
+        import os
+
+        lease_path = os.path.join(crashed_shard_dir, "leases", "shard_000.lease")
+        with open(lease_path) as handle:
+            lease = json.load(handle)
+        assert lease["owner"] == "victim"
+        done_dir = os.path.join(crashed_shard_dir, "done")
+        assert not os.path.isdir(done_dir) or os.listdir(done_dir) == []
+        # The journaled prefix survived the crash and validates.
+        journal = os.path.join(crashed_shard_dir, "journals", "shard_000.ckpt")
+        assert os.path.exists(journal)
+
+    def test_shard_is_reclaimed_resumed_and_bit_identical(
+        self, crashed_shard_dir, baseline
+    ):
+        import json
+        import os
+        import time
+
+        from repro.sim.service import harvest, run_worker
+
+        # Let the victim's last heartbeat age past the rescuer's TTL.
+        time.sleep(0.1)
+        collector = Collector()
+        stats = run_worker(
+            crashed_shard_dir,
+            worker_id="rescuer",
+            collector=collector,
+            lease_ttl_s=0.05,
+            policy=NO_SLEEP,
+        )
+        # One shard reclaimed from the corpse, one claimed fresh; the
+        # journaled prefix was resumed, not recomputed.
+        assert stats.shards_claimed == 2
+        assert stats.shards_reclaimed == 1
+        assert stats.tasks_completed == N_TOPOLOGIES
+        assert stats.tasks_resumed == self.KILL_AFTER_TASKS
+        counters = collector.metrics.counters
+        assert counters["service.reclaim"] == 1.0
+        assert counters["service.claim"] == 2.0
+
+        marker = json.load(
+            open(os.path.join(crashed_shard_dir, "done", "shard_000.json"))
+        )
+        assert marker["worker"] == "rescuer"
+        assert marker["reclaimed"] is True
+        assert marker["resumed"] == self.KILL_AFTER_TASKS
+
+        assert_identical(harvest(crashed_shard_dir), baseline)
+
+    def test_live_lease_is_not_stolen(self, crashed_shard_dir):
+        """A generous TTL keeps the victim's lease live: the rescuer must
+        skip the crashed shard and time out with the experiment stuck."""
+        from repro.sim.service import ServiceTimeout, run_worker
+
+        with pytest.raises(ServiceTimeout):
+            run_worker(
+                crashed_shard_dir,
+                worker_id="cautious",
+                lease_ttl_s=3600.0,
+                timeout_s=0.5,
+                poll_s=0.05,
+                policy=NO_SLEEP,
+            )

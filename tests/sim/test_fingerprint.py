@@ -27,11 +27,15 @@ from repro.sim.fingerprint import (
     CHANNEL_IRRELEVANT_CONFIG_FIELDS,
     CHANNEL_IRRELEVANT_SPEC_FIELDS,
     RESULT_IRRELEVANT_OPTION_FIELDS,
+    _ZERO_BIN,
+    _phase_step_rad,
     describe_value,
     fingerprint_channel_config,
     fingerprint_channels,
+    fingerprint_quantized,
     fingerprint_task,
     fingerprint_tasks,
+    quantize_channels,
 )
 from repro.sim.runner import build_tasks
 
@@ -279,3 +283,248 @@ class TestGoldenKeys:
         for key in [fingerprint_task(tasks[0]), fingerprint_channel_config(SPEC, CONFIG)]:
             assert len(key) == 64
             int(key, 16)
+
+
+# ---------------------------------------------------------------------------
+# Quantized fingerprints (the allocation service's lookup keys).
+# ---------------------------------------------------------------------------
+
+
+def _with_channels(channels, arrays):
+    return ChannelSet(
+        topology=channels.topology,
+        channels=arrays,
+        noise_floor_mw=channels.noise_floor_mw,
+        n_subcarriers=channels.n_subcarriers,
+    )
+
+
+def snap_to_grid(channels, grid_db):
+    """A copy of ``channels`` reconstructed at its grid-cell center.
+
+    Cell centers are the one place where same-cell membership is robust:
+    any perturbation strictly smaller than half a bin provably stays in
+    the cell, and anything past half a bin provably leaves it — so the
+    tests below never depend on how close an arbitrary realization sits
+    to a rounding boundary.  Phase bins are clamped one step short of ±π
+    so a sub-half-step perturbation can never wrap around the branch cut.
+    """
+    import math
+
+    step = _phase_step_rad(grid_db)
+    bin_max = int((math.pi - step) / step)
+    snapped = {}
+    for key, array in channels.channels.items():
+        array = np.ascontiguousarray(array)
+        magnitude = np.abs(array)
+        nonzero = magnitude > 0
+        safe = np.where(nonzero, magnitude, 1.0)
+        mag_bins = np.round(20.0 * np.log10(safe) / grid_db)
+        phase_bins = np.clip(np.round(np.angle(array) / step), -bin_max, bin_max)
+        snapped[key] = np.where(
+            nonzero,
+            10.0 ** (mag_bins * grid_db / 20.0) * np.exp(1j * phase_bins * step),
+            0.0,
+        )
+    gains = {
+        key: round(gain / grid_db) * grid_db
+        for key, gain in channels.topology.link_gain_db.items()
+    }
+    return ChannelSet(
+        topology=dataclasses.replace(channels.topology, link_gain_db=gains),
+        channels=snapped,
+        noise_floor_mw=10.0
+        ** (round(10.0 * math.log10(channels.noise_floor_mw) / grid_db) * grid_db / 10.0),
+        n_subcarriers=channels.n_subcarriers,
+    )
+
+
+def _mag_scaled(channels, offset_db):
+    """Every channel entry's magnitude moved by ``offset_db`` dB."""
+    factor = 10.0 ** (offset_db / 20.0)
+    return _with_channels(
+        channels, {key: value * factor for key, value in channels.channels.items()}
+    )
+
+
+class TestQuantizedCell:
+    """The service's hit condition: same ``grid_db`` cell ⇔ same key."""
+
+    GRIDS = [0.0625, 0.25, 1.0, 4.0]
+
+    @pytest.fixture(scope="class")
+    def channels(self):
+        return generate_channel_sets(SPEC, CONFIG)[0]
+
+    @pytest.mark.parametrize("grid_db", GRIDS)
+    def test_snapping_is_idempotent(self, channels, grid_db):
+        snapped = snap_to_grid(channels, grid_db)
+        assert quantize_channels(snap_to_grid(snapped, grid_db), grid_db) == (
+            quantize_channels(snapped, grid_db)
+        )
+
+    @pytest.mark.parametrize("grid_db", GRIDS)
+    def test_hit_iff_same_cell(self, channels, grid_db):
+        """The iff-form of the contract, across every pair we can build.
+
+        A pair of channel sets shares a quantized fingerprint exactly when
+        it shares a cell tuple — never just one of the two.
+        """
+        snapped = snap_to_grid(channels, grid_db)
+        pairs = [
+            (snapped, snap_to_grid(channels, grid_db)),  # rebuilt copy
+            (snapped, _mag_scaled(snapped, 0.4 * grid_db)),  # within the cell
+            (snapped, _mag_scaled(snapped, 0.6 * grid_db)),  # across the edge
+            (snapped, _mag_scaled(snapped, 2.0 * grid_db)),  # far away
+            (channels, snapped),  # arbitrary point vs its cell center
+        ]
+        for left, right in pairs:
+            same_cell = quantize_channels(left, grid_db) == quantize_channels(right, grid_db)
+            same_key = fingerprint_quantized(left, grid_db) == (
+                fingerprint_quantized(right, grid_db)
+            )
+            assert same_key == same_cell
+
+    @pytest.mark.parametrize("grid_db", GRIDS)
+    def test_sub_half_bin_perturbations_hit(self, channels, grid_db):
+        snapped = snap_to_grid(channels, grid_db)
+        key = fingerprint_quantized(snapped, grid_db)
+        assert fingerprint_quantized(_mag_scaled(snapped, 0.4 * grid_db), grid_db) == key
+        assert fingerprint_quantized(_mag_scaled(snapped, -0.4 * grid_db), grid_db) == key
+
+    @pytest.mark.parametrize("grid_db", GRIDS)
+    def test_past_half_bin_perturbations_miss(self, channels, grid_db):
+        snapped = snap_to_grid(channels, grid_db)
+        key = fingerprint_quantized(snapped, grid_db)
+        assert fingerprint_quantized(_mag_scaled(snapped, 0.6 * grid_db), grid_db) != key
+        assert fingerprint_quantized(_mag_scaled(snapped, -0.6 * grid_db), grid_db) != key
+
+    def test_phase_moves_the_cell_at_matching_resolution(self, channels):
+        grid_db = 0.25
+        step = _phase_step_rad(grid_db)
+        snapped = snap_to_grid(channels, grid_db)
+        rotated = _with_channels(
+            snapped,
+            {
+                key: value * np.exp(1j * 0.6 * step)
+                for key, value in snapped.channels.items()
+            },
+        )
+        assert quantize_channels(rotated, grid_db) != quantize_channels(snapped, grid_db)
+        within = _with_channels(
+            snapped,
+            {
+                key: value * np.exp(1j * 0.4 * step)
+                for key, value in snapped.channels.items()
+            },
+        )
+        assert quantize_channels(within, grid_db) == quantize_channels(snapped, grid_db)
+
+    def test_exact_zero_gets_the_reserved_bin(self, channels):
+        grid_db = 0.25
+        snapped = snap_to_grid(channels, grid_db)
+        (key, value), *_ = sorted(snapped.channels.items())
+        zeroed_entry = value.copy()
+        zeroed_entry.flat[0] = 0.0
+        zeroed = _with_channels(snapped, {**snapped.channels, key: zeroed_entry})
+        cell = quantize_channels(zeroed, grid_db)
+        assert cell != quantize_channels(snapped, grid_db)
+        # The zero bin is the sentinel, not a deep-fade magnitude bin.
+        assert cell[2][0][3][0] == _ZERO_BIN
+        tiny_entry = value.copy()
+        tiny_entry.flat[0] = 1e-30
+        tiny = _with_channels(snapped, {**snapped.channels, key: tiny_entry})
+        assert quantize_channels(tiny, grid_db) != cell
+
+    def test_grid_is_folded_into_the_key(self, channels):
+        assert fingerprint_quantized(channels, 0.25) != fingerprint_quantized(channels, 0.5)
+
+    def test_invalid_grid_rejected(self, channels):
+        for bad in (0.0, -0.25):
+            with pytest.raises(ValueError):
+                quantize_channels(channels, bad)
+
+
+class TestQuantizedGoldenKeys:
+    """Pinned quantized keys for the module fixture's first realization.
+
+    Same update policy as :class:`TestGoldenKeys`: if a change to the
+    quantization scheme (bins, phase step, tuple layout) is *intentional*,
+    bump ``QUANTIZED_SALT`` and regenerate these constants; never update
+    the constants without a salt bump — silent drift here invalidates
+    every allocation-service cache entry in the field.
+    """
+
+    GOLDEN_QUARTER_DB = "b27575fa169ad43c14064aadddebae90a7e90359d0b07d64504dc7d7abc66e2c"
+    GOLDEN_ONE_DB = "69675c823cde3518e6babeff9f52c9336dd796fac0660e7c49832660a55ee309"
+
+    @pytest.fixture(scope="class")
+    def channels(self):
+        return generate_channel_sets(SPEC, CONFIG)[0]
+
+    def test_quarter_db_key(self, channels):
+        assert fingerprint_quantized(channels, 0.25) == self.GOLDEN_QUARTER_DB
+
+    def test_one_db_key(self, channels):
+        assert fingerprint_quantized(channels, 1.0) == self.GOLDEN_ONE_DB
+
+    def test_keys_are_hex_sha256(self, channels):
+        key = fingerprint_quantized(channels, 0.25)
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestQuantizationSensitivity:
+    """What tolerance costs: allocation divergence vs ``grid_db``.
+
+    The allocation service answers any channel set in a cell with the
+    cell's first computed answer, so the operative question is how far a
+    cell-center answer can drift from the exact one.  For this fixture
+    the answer is *zero* through every practical grid: the discrete rate
+    table absorbs sub-half-bin SNR error, so snapping to cell centers at
+    0.0625–4 dB grids reproduces the exact COPA aggregate bit for bit.
+    The control rows prove the probe isn't vacuous — the same metric
+    responds once the channel moves far enough (−8/−12 dB) to cross rate
+    boundaries.  If engine changes ever make these rows drift, the pinned
+    matrix forces an explicit re-evaluation of the default grid.
+    """
+
+    GRIDS = [0.0625, 0.25, 1.0, 4.0]
+
+    @pytest.fixture(scope="class")
+    def channels(self):
+        return generate_channel_sets(SPEC, CONFIG)[0]
+
+    @staticmethod
+    def _copa_bps(channels):
+        from repro.core.options import EngineOptions
+        from repro.sim.runner import TopologyTask, evaluate_topology
+
+        task = TopologyTask(
+            index=0,
+            channels=channels,
+            imperfections=CONFIG.imperfections(),
+            seed=CONFIG.seed,
+            coherence_s=CONFIG.coherence_s,
+            include_copa_plus=False,
+            options=EngineOptions(),
+        )
+        return evaluate_topology(task).record.outcome.copa.aggregate_bps
+
+    @pytest.mark.parametrize("grid_db", GRIDS)
+    def test_cell_center_answers_are_exact_at_every_grid(self, channels, grid_db):
+        exact = self._copa_bps(channels)
+        snapped = self._copa_bps(snap_to_grid(channels, grid_db))
+        assert snapped == exact
+
+    def test_probe_responds_past_the_rate_table_granularity(self, channels):
+        exact = self._copa_bps(channels)
+        divergence = {
+            offset_db: abs(self._copa_bps(_mag_scaled(channels, offset_db)) - exact) / exact
+            for offset_db in (-4.0, -8.0, -12.0)
+        }
+        # −4 dB stays inside the rate table: only float-level residue from
+        # the overhead arithmetic, no rate boundary crossed.
+        assert divergence[-4.0] < 1e-6
+        assert 0.005 < divergence[-8.0] < 0.05
+        assert divergence[-12.0] > divergence[-8.0]

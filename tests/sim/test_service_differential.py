@@ -1,0 +1,147 @@
+"""The service's headline guarantee, proven across OS processes.
+
+N concurrent worker *processes* draining one shard directory over one
+shared cache produce results **bit-identical** to a single serial
+in-process run — for every evaluation scenario, for every worker count.
+This is the concurrency half of the differential suite; the chaos half
+(workers killed mid-shard) lives in ``tests/sim/test_chaos.py``.
+
+Workers are real subprocesses (``ProcessPoolExecutor`` dispatching
+:func:`repro.sim.service.worker_entry`), not threads: the lease protocol's
+flock/atomic-rename guarantees are only meaningful across process
+boundaries.
+"""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.sim.checkpoint import fingerprint_tasks
+from repro.sim.config import SimConfig
+from repro.sim.experiment import ScenarioSpec, run_experiment
+from repro.sim.service import harvest, publish_shards, read_manifest, worker_entry
+
+N_TOPOLOGIES = 6
+CONFIG = SimConfig(n_topologies=N_TOPOLOGIES)
+
+SCENARIOS = [
+    ScenarioSpec("1x1", 1, 1, include_copa_plus=False),
+    ScenarioSpec("4x2", 4, 2, include_copa_plus=False),
+    ScenarioSpec("3x2", 3, 2, include_copa_plus=False),
+]
+WORKER_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module", params=[spec.name for spec in SCENARIOS])
+def scenario(request):
+    return next(spec for spec in SCENARIOS if spec.name == request.param)
+
+
+@pytest.fixture(scope="module")
+def baseline(scenario):
+    """The single-process serial reference for one scenario."""
+    return run_experiment(scenario, CONFIG, workers=1)
+
+
+@pytest.fixture(scope="module")
+def shared_cache_root(scenario, tmp_path_factory):
+    """One cache shared by every worker count of one scenario.
+
+    Sharing it across worker counts additionally exercises the
+    cache-prefill path: the 2- and 4-worker runs find the 1-worker run's
+    artifacts and must *still* be bit-identical.
+    """
+    return str(tmp_path_factory.mktemp(f"cache_{scenario.name}"))
+
+
+def _run_sharded(scenario, shard_dir, cache_root, n_workers):
+    """Publish, drain with N worker processes, and return (stats, result)."""
+    publish_shards(shard_dir, scenario, CONFIG, n_shards=N_TOPOLOGIES // 2)
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [
+            pool.submit(
+                worker_entry,
+                shard_dir,
+                cache_root=cache_root,
+                worker_id=f"worker_{rank}",
+                timeout_s=300.0,
+                observe=False,
+            )
+            for rank in range(n_workers)
+        ]
+        stats = [future.result(timeout=300.0) for future in futures]
+    return stats, harvest(shard_dir)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_sharded_run_is_bit_identical_to_serial(
+    scenario, baseline, shared_cache_root, tmp_path, n_workers
+):
+    shard_dir = str(tmp_path / "shards")
+    stats, result = _run_sharded(scenario, shard_dir, shared_cache_root, n_workers)
+
+    # Results: every measured series, bit for bit.
+    assert result.available_series() == baseline.available_series()
+    for key in baseline.available_series():
+        np.testing.assert_array_equal(result.series_mbps(key), baseline.series_mbps(key))
+    for ours, theirs in zip(result.records, baseline.records):
+        assert ours.index == theirs.index
+        assert ours.outcome.copa_choice == theirs.outcome.copa_choice
+        assert ours.outcome.copa_fair_choice == theirs.outcome.copa_fair_choice
+
+    # Headline means: the numbers a report would print.
+    assert result.mean_table_mbps() == baseline.mean_table_mbps()
+
+    # The workers collectively completed every task exactly once per claim,
+    # and every shard was claimed by somebody.
+    assert sum(s["shards_completed"] for s in stats) == N_TOPOLOGIES // 2
+    assert sum(s["tasks_completed"] for s in stats) == N_TOPOLOGIES
+
+
+@pytest.mark.parametrize("n_workers", [4])
+def test_journal_fingerprints_match_serial_checkpoint(
+    scenario, shared_cache_root, tmp_path, n_workers
+):
+    """Shard journals carry the *same* config-hash a serial checkpoint does.
+
+    The journals are therefore interchangeable evidence: any shard journal
+    can be validated against — or resumed into — the full experiment.
+    """
+    shard_dir = str(tmp_path / "shards")
+    _run_sharded(scenario, shard_dir, shared_cache_root, n_workers)
+
+    serial_journal = str(tmp_path / "serial.ckpt")
+    run_experiment(scenario, CONFIG, workers=1, checkpoint=serial_journal)
+    with open(serial_journal) as handle:
+        serial_hash = json.loads(handle.readline())["config_hash"]
+
+    manifest = read_manifest(shard_dir)
+    assert manifest.config_hash == serial_hash
+    assert serial_hash == fingerprint_tasks(manifest.build_tasks())
+
+    journal_dir = os.path.join(shard_dir, "journals")
+    journals = sorted(os.listdir(journal_dir))
+    assert len(journals) == len(manifest.shards)
+    for name in journals:
+        with open(os.path.join(journal_dir, name)) as handle:
+            header = json.loads(handle.readline())
+        assert header["config_hash"] == serial_hash
+        assert header["n_tasks"] == N_TOPOLOGIES
+
+
+def test_worker_counts_agree_with_each_other(scenario, shared_cache_root, tmp_path):
+    """1-, 2- and 4-worker drains of fresh shard dirs agree bit for bit."""
+    results = []
+    for n_workers in WORKER_COUNTS:
+        shard_dir = str(tmp_path / f"shards_{n_workers}")
+        _, result = _run_sharded(scenario, shard_dir, shared_cache_root, n_workers)
+        results.append(result)
+    reference = results[0]
+    for result in results[1:]:
+        for key in reference.available_series():
+            np.testing.assert_array_equal(
+                result.series_mbps(key), reference.series_mbps(key)
+            )

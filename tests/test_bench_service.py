@@ -1,0 +1,103 @@
+"""The service perf harness: schema contract and committed baseline.
+
+``benchmarks/bench_service.py`` is a script, not a package module, so it
+is loaded from its file path here.  The tests pin the
+``repro.bench/service-v1`` schema (the CI service-smoke job validates
+payloads that must stay parseable across PRs) and keep the committed
+repo-root ``BENCH_service.json`` valid.  The timing acceptance itself
+(warm hit rate >= 95%, warm query speedup >= 3x) runs in CI via
+``--quick --check``; re-running the full benchmark here would multiply
+the suite's wall-clock for numbers the committed baseline already
+records.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SCRIPT = os.path.join(_REPO_ROOT, "benchmarks", "bench_service.py")
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_service", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baseline_payload():
+    with open(os.path.join(_REPO_ROOT, "BENCH_service.json")) as handle:
+        return json.load(handle)
+
+
+class TestCommittedBaseline:
+    def test_is_schema_valid(self, bench, baseline_payload):
+        bench.validate_bench_payload(baseline_payload)
+
+    def test_meets_the_acceptance_budgets(self, bench, baseline_payload):
+        assert baseline_payload["query"]["hit_rate"] >= bench.HIT_RATE_FLOOR
+        assert baseline_payload["query"]["speedup"] >= bench.WARM_SPEEDUP_FLOOR
+
+    def test_hit_rate_matches_the_repeat_mix(self, bench, baseline_payload):
+        """Every distinct channel set misses once; everything else hits."""
+        query = baseline_payload["query"]
+        assert query["misses"] == query["n_channels"]
+        assert query["queries"] == query["n_channels"] * query["repeats"]
+        assert query["hits"] == query["queries"] - query["misses"]
+
+    def test_scaling_covers_the_worker_counts(self, bench, baseline_payload):
+        points = baseline_payload["scaling"]["points"]
+        assert [point["workers"] for point in points] == list(bench.WORKER_COUNTS)
+
+    def test_report_formats(self, bench, baseline_payload):
+        report = bench.format_report(baseline_payload)
+        assert "warm hit rate" in report
+        assert "warm speedup" in report
+        assert "shard drain, 4 worker(s)" in report
+
+
+class TestSchemaValidation:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("schema"),
+            lambda p: p.__setitem__("schema", "repro.bench/cache-v1"),
+            lambda p: p.pop("query"),
+            lambda p: p["query"].__setitem__("hit_rate", 1.5),
+            lambda p: p["query"].__setitem__("warm_ms", 0),
+            lambda p: p["query"].__setitem__("hits", p["query"]["hits"] - 1),
+            lambda p: p.pop("scaling"),
+            lambda p: p["scaling"].__setitem__("points", []),
+            lambda p: p["scaling"]["points"][0].__setitem__("wall_s", -1.0),
+            lambda p: p["scaling"]["points"].__setitem__(
+                0, dict(p["scaling"]["points"][1])
+            ),
+        ],
+        ids=[
+            "missing_schema",
+            "wrong_schema",
+            "missing_query",
+            "hit_rate_over_one",
+            "zero_warm_latency",
+            "hits_dont_sum",
+            "missing_scaling",
+            "empty_points",
+            "negative_wall",
+            "duplicate_worker_count",
+        ],
+    )
+    def test_damaged_payloads_are_rejected(self, bench, baseline_payload, mutate):
+        payload = copy.deepcopy(baseline_payload)
+        mutate(payload)
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(payload)
+
+    def test_floors_are_the_issue_acceptance_criteria(self, bench):
+        assert bench.HIT_RATE_FLOOR == 0.95
+        assert bench.WARM_SPEEDUP_FLOOR >= 3.0
