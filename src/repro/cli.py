@@ -65,7 +65,20 @@ def _engine_options(args) -> EngineOptions:
     options = EngineOptions.from_env()
     if getattr(args, "backend", None):
         options = options.replace(backend=args.backend)
+    if getattr(args, "cluster_policy", None):
+        options = options.replace(cluster_policy=args.cluster_policy)
+    if getattr(args, "cluster_threshold", None) is not None:
+        options = options.replace(cluster_threshold_db=args.cluster_threshold)
     return options
+
+
+def _spec_n_aps(args) -> int:
+    return getattr(args, "n_aps", None) or 2
+
+
+def _scenario_name(base_name: str, n_aps: int) -> str:
+    """Scenario label with the AP count folded in for N-cell runs."""
+    return base_name if n_aps == 2 else f"{base_name}-n{n_aps}"
 
 
 def _print_runner_stats(result) -> None:
@@ -151,6 +164,7 @@ def _check_resume_flags(args) -> bool:
 import numpy as np
 
 from .core.backend import available_backends
+from .core.clustering import CLUSTER_POLICIES
 from .core.options import EngineOptions
 from .obs import Collector, format_trace, write_json
 from .sim.config import DEFAULT_CONFIG
@@ -218,6 +232,7 @@ def _run_for_args(args, spec, config, collector, cache):
                 spec.client_antennas,
                 interference_offset_db=args.interference,
                 include_copa_plus=spec.include_copa_plus,
+                n_aps=spec.n_aps,
             ),
             config,
             workers=args.workers,
@@ -263,16 +278,19 @@ def _cmd_scenarios(_args) -> int:
     print("4x2        4 ant / 2 ant   constrained nulling (§4.3, Fig. 11)")
     print("3x2        3 ant / 2 ant   overconstrained + SDA (§4.5, Fig. 13)")
     print("add --interference -10 to any for the §4.4 emulation (Fig. 12)")
+    print("add --n-aps N [--cluster-policy fixed|threshold|greedy] for N-cell runs")
     return 0
 
 
 def _cmd_run(args) -> int:
     spec = SCENARIOS[args.scenario]
+    n_aps = _spec_n_aps(args)
     spec = ScenarioSpec(
-        spec.name,
+        _scenario_name(spec.name, n_aps),
         spec.ap_antennas,
         spec.client_antennas,
         include_copa_plus=args.plus,
+        n_aps=n_aps,
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
     if not _check_resume_flags(args):
@@ -340,8 +358,13 @@ def _cmd_report(args) -> int:
     from .sim.reporting import experiment_report
 
     spec = SCENARIOS[args.scenario]
+    n_aps = _spec_n_aps(args)
     spec = ScenarioSpec(
-        spec.name, spec.ap_antennas, spec.client_antennas, include_copa_plus=args.plus
+        _scenario_name(spec.name, n_aps),
+        spec.ap_antennas,
+        spec.client_antennas,
+        include_copa_plus=args.plus,
+        n_aps=n_aps,
     )
     config = DEFAULT_CONFIG.with_(n_topologies=args.topologies)
     if not _check_resume_flags(args):
@@ -373,12 +396,14 @@ def _cmd_report(args) -> int:
 def _service_spec_config(args):
     """(spec, config) for one service command's scenario arguments."""
     spec = SCENARIOS[args.scenario]
+    n_aps = _spec_n_aps(args)
     spec = ScenarioSpec(
-        spec.name,
+        _scenario_name(spec.name, n_aps),
         spec.ap_antennas,
         spec.client_antennas,
         interference_offset_db=getattr(args, "interference", 0.0),
         include_copa_plus=args.plus,
+        n_aps=n_aps,
     )
     return spec, DEFAULT_CONFIG.with_(n_topologies=args.topologies)
 
@@ -647,6 +672,31 @@ def build_parser() -> argparse.ArgumentParser:
             "workers on it, and harvest the combined bit-identical result",
         )
 
+    def add_ncell_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--n-aps",
+            type=_positive_int,
+            default=2,
+            help="interfering AP/client pairs per topology; > 2 runs the "
+            "N-cell interference-graph engine (default: 2, the paper's setting)",
+        )
+        command.add_argument(
+            "--cluster-policy",
+            choices=CLUSTER_POLICIES,
+            default=None,
+            help="cluster-formation policy for N-cell runs: coordinate "
+            "within clusters, CSMA across them (default: fixed = one "
+            "cluster of all APs)",
+        )
+        command.add_argument(
+            "--cluster-threshold",
+            type=float,
+            metavar="DB",
+            default=None,
+            help="cross-gain threshold in dB for the threshold/greedy "
+            "policies (default: -80)",
+        )
+
     run = sub.add_parser("run", help="run one scenario and print its CDF table")
     run.add_argument("scenario", choices=sorted(SCENARIOS))
     run.add_argument("-n", "--topologies", type=_positive_int, default=30)
@@ -658,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale cross links by this many dB (e.g. -10 for Fig. 12)",
     )
     add_runner_args(run)
+    add_ncell_args(run)
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("table1", help="print the reproduced Table 1").set_defaults(
@@ -681,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--interference", type=float, default=0.0)
     report.add_argument("-o", "--output", default=None, help="file path (default: stdout)")
     add_runner_args(report)
+    add_ncell_args(report)
     report.set_defaults(func=_cmd_report)
 
     service = sub.add_parser(
@@ -739,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="array backend recorded in the manifest (default: $REPRO_BACKEND)",
     )
     add_cache_args(publish)
+    add_ncell_args(publish)
     publish.set_defaults(func=_cmd_service_publish)
 
     worker = ssub.add_parser(

@@ -122,8 +122,12 @@ def batchable(task) -> bool:
 
     Requires: no fault injection, no per-task observation (batching would
     change the trace shape), default rate selector, an allocator with a
-    batched twin, and the engine's 2-AP/2-client topology with uniform
-    antenna counts (the stacked tensors need one shape).
+    batched twin, no explicit cluster policy (N-cell dispatch is
+    per-topology), and the engine's 2-AP/2-client topology with uniform
+    antenna counts (the stacked tensors need one shape).  N>2 tasks
+    therefore always classify to the per-topology path, where
+    ``evaluate_topology`` routes them through the interference-graph
+    engine.
     """
     options = task.options
     if getattr(task, "fault_plan", None) is not None or getattr(task, "observe", False):
@@ -131,6 +135,8 @@ def batchable(task) -> bool:
     if options.rate_selector is not None:
         return False
     if options.allocator is not None and options.allocator not in BATCHED_ALLOCATORS:
+        return False
+    if getattr(options, "cluster_policy", None) is not None:
         return False
     topology = task.channels.topology
     aps, clients = topology.aps, topology.clients

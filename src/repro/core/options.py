@@ -29,10 +29,17 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 __all__ = ["EngineOptions"]
 
-#: Fields that configure the *execution substrate*, not the engine's
-#: physics — they are never forwarded to :class:`StrategyEngine` and are
-#: excluded from result fingerprints (see ``repro.sim.fingerprint``).
-_NON_ENGINE_FIELDS = frozenset({"backend"})
+#: Fields never forwarded to :class:`StrategyEngine` as keyword
+#: arguments.  ``backend`` configures the execution substrate (excluded
+#: from fingerprints when left at the bit-identical reference); the
+#: cluster fields configure the N-cell dispatch layer
+#: (:class:`repro.core.ncell.GraphStrategyEngine`) and *are*
+#: result-determining — ``repro.sim.fingerprint`` hashes them whenever
+#: they are set.
+_NON_ENGINE_FIELDS = frozenset({"backend", "cluster_policy", "cluster_threshold_db"})
+
+#: Fields consumed by the N-cell dispatch layer; see :meth:`cluster_kwargs`.
+_CLUSTER_FIELDS = ("cluster_policy", "cluster_threshold_db")
 
 #: Environment variables read by :meth:`EngineOptions.from_env`.
 _ENV_BACKEND = "REPRO_BACKEND"
@@ -71,6 +78,18 @@ class EngineOptions:
         ``repro.sim.fingerprint`` keys cache artifacts by backend name
         for every non-reference choice.  Excluded from
         :meth:`engine_kwargs` (the serial engine does not take it).
+    cluster_policy:
+        Cluster-formation policy for N-AP topologies (``"fixed"``,
+        ``"threshold"`` or ``"greedy"``, see
+        :mod:`repro.core.clustering`).  ``None`` means ``"fixed"`` (one
+        cluster of all APs) *and* keeps 2-AP tasks on the legacy engine
+        and the batched fast path; any explicit value routes the task
+        through :class:`repro.core.ncell.GraphStrategyEngine`.
+        Result-determining: fingerprinted whenever set.
+    cluster_threshold_db:
+        Cross-gain threshold for the ``threshold``/``greedy`` policies,
+        in dB (``None`` → the documented default).  Result-determining:
+        fingerprinted whenever set.
     """
 
     allocator: Optional[Callable] = None
@@ -79,6 +98,8 @@ class EngineOptions:
     tx_power_dbm: Optional[float] = None
     oracle_check: Optional[bool] = None
     backend: Optional[str] = None
+    cluster_policy: Optional[str] = None
+    cluster_threshold_db: Optional[float] = None
 
     def __post_init__(self):
         if self.allocator is not None and not callable(self.allocator):
@@ -111,6 +132,21 @@ class EngineOptions:
                     f"unknown array backend {self.backend!r}; "
                     f"registered backends: {available_backends()}"
                 )
+        if self.cluster_policy is not None:
+            from .clustering import CLUSTER_POLICIES
+
+            if self.cluster_policy not in CLUSTER_POLICIES:
+                raise ValueError(
+                    f"unknown cluster policy {self.cluster_policy!r}; "
+                    f"expected one of {CLUSTER_POLICIES}"
+                )
+        if self.cluster_threshold_db is not None:
+            if isinstance(self.cluster_threshold_db, bool) or not isinstance(
+                self.cluster_threshold_db, (int, float)
+            ):
+                raise TypeError("cluster_threshold_db must be a number")
+            if not math.isfinite(self.cluster_threshold_db):
+                raise ValueError("cluster_threshold_db must be finite")
 
     def engine_kwargs(self) -> Dict[str, Any]:
         """The non-default engine fields, as keyword arguments.
@@ -123,6 +159,19 @@ class EngineOptions:
             field.name: getattr(self, field.name)
             for field in fields(self)
             if field.name not in _NON_ENGINE_FIELDS and getattr(self, field.name) is not None
+        }
+
+    def cluster_kwargs(self) -> Dict[str, Any]:
+        """The non-default N-cell dispatch fields, as keyword arguments.
+
+        Consumed by :class:`repro.core.ncell.GraphStrategyEngine`; an
+        empty dict on a 2-AP topology means the legacy
+        :class:`~repro.core.strategy.StrategyEngine` path runs unchanged.
+        """
+        return {
+            name: getattr(self, name)
+            for name in _CLUSTER_FIELDS
+            if getattr(self, name) is not None
         }
 
     def replace(self, **overrides: Any) -> "EngineOptions":

@@ -18,7 +18,7 @@ evaluation and the MMSE receiver use the same reduced channel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "TransmissionDesign",
     "beamforming_design",
     "nulling_design",
+    "multi_nulling_design",
     "sda_designs",
     "stream_gains",
     "cross_coupling",
@@ -112,6 +113,36 @@ def nulling_design(
     if active_rx is None:
         active_rx = tuple(range(n_rx))
     return TransmissionDesign(ap=ap, client=client, precoder=precoder, active_rx=active_rx)
+
+
+def multi_nulling_design(
+    csi_own: np.ndarray,
+    victim_csis: Sequence[np.ndarray],
+    ap: str,
+    client: str,
+    n_streams: Optional[int] = None,
+    active_rx: Optional[Tuple[int, ...]] = None,
+) -> TransmissionDesign:
+    """Null toward every victim in a coordination cluster at once.
+
+    The victims' antennas are stacked into one aggregate receive array, so
+    the nullspace projection zeroes the transmission at all of them
+    simultaneously — the N-cell generalization of :func:`nulling_design`
+    (with a single victim the two are identical).  Raises ``ValueError``
+    when the stacked problem is overconstrained, exactly like the 2-AP
+    case.
+    """
+    if not victim_csis:
+        raise ValueError("multi_nulling_design needs at least one victim")
+    stacked = np.concatenate(list(victim_csis), axis=1)
+    return nulling_design(
+        csi_own,
+        stacked,
+        ap=ap,
+        client=client,
+        n_streams=n_streams,
+        active_rx=active_rx,
+    )
 
 
 def _best_antenna(csi_own: np.ndarray) -> int:

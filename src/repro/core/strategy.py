@@ -96,12 +96,12 @@ class SchemeResult:
     name: str
     concurrent: bool
     #: Per-client throughput in bit/s, MAC overhead and airtime share applied.
-    client_throughput_bps: Tuple[float, float]
-    #: Rate selections of the two transmissions (PHY-level detail).
-    rates: Tuple[RateSelection, RateSelection]
+    client_throughput_bps: Tuple[float, ...]
+    #: Rate selections of the transmissions (PHY-level detail), one per cell.
+    rates: Tuple[RateSelection, ...]
     #: The power allocations behind the result (per AP), when applicable —
     #: lets analyses inspect subcarrier usage (e.g. §4.2's OFDMA effect).
-    allocations: Optional[Tuple[StreamAllocation, StreamAllocation]] = None
+    allocations: Optional[Tuple[StreamAllocation, ...]] = None
 
     @property
     def aggregate_bps(self) -> float:
@@ -136,8 +136,9 @@ class StrategyOutcome:
 
 def average_results(name: str, results: Sequence[SchemeResult]) -> SchemeResult:
     """Average per-client throughputs (used for the two SDA leader roles)."""
+    n_clients = len(results[0].client_throughput_bps)
     throughput = tuple(
-        float(np.mean([r.client_throughput_bps[i] for r in results])) for i in range(2)
+        float(np.mean([r.client_throughput_bps[i] for r in results])) for i in range(n_clients)
     )
     return SchemeResult(
         name=name,
@@ -171,7 +172,7 @@ def choose_scheme(
             admissible = all(
                 candidate.client_throughput_bps[i]
                 >= baseline.client_throughput_bps[i] * (1.0 - _FAIRNESS_SLACK)
-                for i in range(2)
+                for i in range(len(candidate.client_throughput_bps))
             )
             if not admissible:
                 continue
@@ -276,7 +277,7 @@ class StrategyEngine:
                 ap=self.ap_names[i],
                 client=self.client_names[i],
             )
-            for i in range(2)
+            for i in range(len(self.ap_names))
         ]
 
     def _null_designs(self) -> List[TransmissionDesign]:
@@ -428,29 +429,32 @@ class StrategyEngine:
             h_own, own_radiated.sum(axis=1), self.imperfections.tx_evm_linear
         )
         if concurrent:
-            other = designs[1 - receiver]
-            other_alloc = allocations[1 - receiver]
-            other_radiated = radiated_powers(
-                other_alloc.powers, other_alloc.used, self.imperfections.carrier_leakage_linear
-            )
-            h_cross = self._channel(other.ap, design.client, true_channel)[:, active, :]
-            eff_cross = h_cross @ other.precoder
-            covariance += interference_covariance(eff_cross, other_radiated)
-            covariance += tx_noise_covariance(
-                h_cross, other_radiated.sum(axis=1), self.imperfections.tx_evm_linear
-            )
-            if not true_channel:
-                # Prediction mode: through its own CSI the other AP's nulls
-                # look infinitely deep, but the AP knows its null depth is
-                # limited by CSI estimation error (§2.2).  Add the expected
-                # residual: per victim antenna, error variance × total power.
-                entry_power = float(np.mean(np.abs(h_cross) ** 2))
-                residual = (
-                    self.imperfections.csi_error_linear
-                    * entry_power
-                    * other_radiated.sum(axis=1)
+            for other_idx in range(len(designs)):
+                if other_idx == receiver:
+                    continue
+                other = designs[other_idx]
+                other_alloc = allocations[other_idx]
+                other_radiated = radiated_powers(
+                    other_alloc.powers, other_alloc.used, self.imperfections.carrier_leakage_linear
                 )
-                covariance += residual[:, None, None] * np.eye(n_active)[None, :, :]
+                h_cross = self._channel(other.ap, design.client, true_channel)[:, active, :]
+                eff_cross = h_cross @ other.precoder
+                covariance += interference_covariance(eff_cross, other_radiated)
+                covariance += tx_noise_covariance(
+                    h_cross, other_radiated.sum(axis=1), self.imperfections.tx_evm_linear
+                )
+                if not true_channel:
+                    # Prediction mode: through its own CSI the other AP's nulls
+                    # look infinitely deep, but the AP knows its null depth is
+                    # limited by CSI estimation error (§2.2).  Add the expected
+                    # residual: per victim antenna, error variance × total power.
+                    entry_power = float(np.mean(np.abs(h_cross) ** 2))
+                    residual = (
+                        self.imperfections.csi_error_linear
+                        * entry_power
+                        * other_radiated.sum(axis=1)
+                    )
+                    covariance += residual[:, None, None] * np.eye(n_active)[None, :, :]
 
         sinr = mmse_sinr(effective, data_powers, covariance)
         return self.rate_selector(sinr, used=alloc.used)
@@ -465,14 +469,16 @@ class StrategyEngine:
         true_channel: bool,
     ) -> SchemeResult:
         rates = tuple(
-            self._rate_of(i, designs, allocations, concurrent, true_channel) for i in range(2)
+            self._rate_of(i, designs, allocations, concurrent, true_channel)
+            for i in range(len(designs))
         )
         factor = self.overhead_model.net_throughput_factor(overhead)
         if concurrent:
             throughput = tuple(r.goodput_bps * factor for r in rates)
         else:
-            # Sequential senders take turns: each client gets half the airtime.
-            throughput = tuple(r.goodput_bps * factor / 2.0 for r in rates)
+            # Sequential senders take turns: each client's airtime share is
+            # 1/N over the N transmitters (1/2 in the paper's topologies).
+            throughput = tuple(r.goodput_bps * factor / float(len(designs)) for r in rates)
         return SchemeResult(
             name=name,
             concurrent=concurrent,
@@ -547,7 +553,7 @@ class StrategyEngine:
 
             with col.span(f"scheme:{SCHEME_COPA_SEQ}"):
                 with col.span("allocate"):
-                    seq_alloc = [self._sequential_allocation(bf[i]) for i in range(2)]
+                    seq_alloc = [self._sequential_allocation(design) for design in bf]
                 self._note_allocations(seq_alloc)
                 schemes[SCHEME_COPA_SEQ], predictions[SCHEME_COPA_SEQ] = self._both(
                     SCHEME_COPA_SEQ, bf, seq_alloc, False, ovh.copa_sequential

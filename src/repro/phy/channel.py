@@ -63,9 +63,11 @@ class ChannelSet:
         ap_names = [ap.name for ap in self.topology.aps]
         client_names = [c.name for c in self.topology.clients]
         for i, ap in enumerate(ap_names):
-            cross_client = client_names[1 - i]
-            for key in [(ap, cross_client), (cross_client, ap)]:
-                new_channels[key] = self.channels[key] * scale
+            for j, cross_client in enumerate(client_names):
+                if j == i:
+                    continue
+                for key in [(ap, cross_client), (cross_client, ap)]:
+                    new_channels[key] = self.channels[key] * scale
         return ChannelSet(
             topology=self.topology,
             channels=new_channels,

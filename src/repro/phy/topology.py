@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from .constants import TX_POWER_DBM
+from ..util import dbm_to_mw, mw_to_dbm
 
 __all__ = [
     "PathLossModel",
@@ -69,7 +70,7 @@ class Node:
 
 @dataclass
 class Topology:
-    """Two AP/client pairs plus the average received power of every link.
+    """N AP/client pairs plus the average received power of every link.
 
     ``link_gain_db[(a, b)]`` is the mean channel gain in dB (i.e. minus the
     path loss) from node ``a`` to node ``b``; the channel layer multiplies
@@ -96,15 +97,24 @@ class Topology:
     def signal_and_interference_dbm(self, tx_power_dbm: float = TX_POWER_DBM):
         """Figure 9's quantities: per client, (signal dBm, interference dBm).
 
-        Signal is from the client's own AP, interference from the other AP,
-        both at full, equally-split transmit power.
+        Signal is from the client's own AP, interference the aggregate
+        over every other AP, all at full, equally-split transmit power.
         """
         pairs = []
         for i, client in enumerate(self.clients):
             own_ap = self.aps[i]
-            other_ap = self.aps[1 - i]
+            others = [ap for j, ap in enumerate(self.aps) if j != i]
             signal = self.mean_rx_power_dbm(own_ap.name, client.name, tx_power_dbm)
-            interference = self.mean_rx_power_dbm(other_ap.name, client.name, tx_power_dbm)
+            if len(others) == 1:
+                # Avoid the dBm -> mW -> dBm round trip for the paper's
+                # 2-AP topologies so the historical values stay exact.
+                interference = self.mean_rx_power_dbm(others[0].name, client.name, tx_power_dbm)
+            else:
+                total_mw = sum(
+                    dbm_to_mw(self.mean_rx_power_dbm(ap.name, client.name, tx_power_dbm))
+                    for ap in others
+                )
+                interference = float(mw_to_dbm(total_mw))
             pairs.append((signal, interference))
         return pairs
 
@@ -113,11 +123,12 @@ class Topology:
 class TopologyGenerator:
     """Random office topologies shaped like the paper's testbed (Fig. 9).
 
-    Two APs are dropped in a rectangular floor with a minimum separation;
-    each client is placed within ``client_radius_m`` of its own AP (hosts
-    are "normally, but not always, closer to their own AP").  Each link
-    independently suffers log-normal shadowing and, with a small
-    probability, a blocked line of sight.
+    N APs (two by default, as in the paper) are dropped in a rectangular
+    floor with a minimum pairwise separation; each client is placed
+    within ``client_radius_m`` of its own AP (hosts are "normally, but
+    not always, closer to their own AP").  Each link independently
+    suffers log-normal shadowing and, with a small probability, a
+    blocked line of sight.
     """
 
     floor_m: Tuple[float, float] = (20.0, 13.0)
@@ -126,15 +137,37 @@ class TopologyGenerator:
     obstruction_probability: float = 0.1
     path_loss: PathLossModel = field(default_factory=PathLossModel)
 
-    def _place_aps(self, rng: np.random.Generator) -> List[Tuple[float, float]]:
+    @staticmethod
+    def _separated(positions: List[Tuple[float, float]], min_separation: float) -> bool:
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                dx = positions[i][0] - positions[j][0]
+                dy = positions[i][1] - positions[j][1]
+                if np.hypot(dx, dy) < min_separation:
+                    return False
+        return True
+
+    def _place_aps(self, rng: np.random.Generator, n_aps: int = 2) -> List[Tuple[float, float]]:
         width, height = self.floor_m
+        # Joint redraw keeps the historical RNG stream for n_aps == 2 and
+        # samples uniformly over valid layouts for any N.
         for _ in range(1000):
-            positions = [(rng.uniform(0, width), rng.uniform(0, height)) for _ in range(2)]
-            dx = positions[0][0] - positions[1][0]
-            dy = positions[0][1] - positions[1][1]
-            if np.hypot(dx, dy) >= self.ap_min_separation_m:
+            positions = [(rng.uniform(0, width), rng.uniform(0, height)) for _ in range(n_aps)]
+            if self._separated(positions, self.ap_min_separation_m):
                 return positions
-        raise RuntimeError("could not place APs with the requested separation")
+        # Dense deployments (many APs on a small floor) can exhaust the
+        # joint redraw; fall back to greedy sequential placement, which
+        # stays deterministic because it continues the same RNG stream.
+        positions = []
+        for _ in range(n_aps):
+            for _ in range(1000):
+                candidate = (rng.uniform(0, width), rng.uniform(0, height))
+                if self._separated(positions + [candidate], self.ap_min_separation_m):
+                    positions.append(candidate)
+                    break
+            else:
+                raise RuntimeError("could not place APs with the requested separation")
+        return positions
 
     def _place_client(self, ap_xy: Tuple[float, float], rng: np.random.Generator) -> Tuple[float, float]:
         width, height = self.floor_m
@@ -157,13 +190,16 @@ class TopologyGenerator:
         rng: np.random.Generator,
         ap_antennas: int = 4,
         client_antennas: int = 2,
+        n_aps: int = 2,
     ) -> Topology:
-        """Draw one topology with the given antenna counts."""
-        ap_positions = self._place_aps(rng)
-        aps = [Node(f"AP{i + 1}", ap_positions[i], ap_antennas) for i in range(2)]
+        """Draw one topology with the given antenna and AP counts."""
+        if n_aps < 1:
+            raise ValueError("n_aps must be at least 1")
+        ap_positions = self._place_aps(rng, n_aps)
+        aps = [Node(f"AP{i + 1}", ap_positions[i], ap_antennas) for i in range(n_aps)]
         clients = [
             Node(f"C{i + 1}", self._place_client(ap_positions[i], rng), client_antennas)
-            for i in range(2)
+            for i in range(n_aps)
         ]
         topology = Topology(aps=aps, clients=clients)
 
@@ -176,6 +212,13 @@ class TopologyGenerator:
                 topology.link_gain_db[(a.name, b.name)] = -loss
         return topology
 
-    def sample_many(self, n: int, rng: np.random.Generator, ap_antennas: int = 4, client_antennas: int = 2) -> List[Topology]:
+    def sample_many(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        ap_antennas: int = 4,
+        client_antennas: int = 2,
+        n_aps: int = 2,
+    ) -> List[Topology]:
         """Draw ``n`` independent topologies (the paper uses 30)."""
-        return [self.sample(rng, ap_antennas, client_antennas) for _ in range(n)]
+        return [self.sample(rng, ap_antennas, client_antennas, n_aps) for _ in range(n)]

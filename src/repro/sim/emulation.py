@@ -87,6 +87,7 @@ def run_emulated_experiment(
             client_antennas=spec.client_antennas,
             interference_offset_db=interference_offset_db,
             include_copa_plus=spec.include_copa_plus,
+            n_aps=spec.n_aps,
         )
         return run_experiment(
             emulated_spec,

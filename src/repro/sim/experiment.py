@@ -48,6 +48,10 @@ class ScenarioSpec:
     interference_offset_db: float = 0.0
     #: Also run the impractical mercury/water-filling COPA+ variant.
     include_copa_plus: bool = True
+    #: Number of interfering AP/client pairs.  2 (the paper's setting)
+    #: runs the legacy engine; larger counts route every topology through
+    #: the N-cell interference-graph engine (:mod:`repro.core.ncell`).
+    n_aps: int = 2
 
 
 SINGLE_ANTENNA = ScenarioSpec("1x1", ap_antennas=1, client_antennas=1)
@@ -143,7 +147,7 @@ def generate_channel_sets(
     sets = []
     for index in range(config.n_topologies):
         rng = config.rng_for_topology(index)
-        topology = generator.sample(rng, spec.ap_antennas, spec.client_antennas)
+        topology = generator.sample(rng, spec.ap_antennas, spec.client_antennas, spec.n_aps)
         channels = model.realize(topology, rng)
         if spec.interference_offset_db:
             channels = channels.scaled_interference(spec.interference_offset_db)

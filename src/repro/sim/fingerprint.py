@@ -97,6 +97,20 @@ RESULT_IRRELEVANT_OPTION_FIELDS = frozenset({"oracle_check"})
 #: state on purpose (see the module docstring).
 _REFERENCE_BACKEND = "numpy"
 
+#: Option fields added after the ``repro.task/v1`` salt whose *unset*
+#: (``None``) value is skipped so every pre-existing cache key stays
+#: valid — mirroring the reference-backend rule above.  This is safe
+#: because an unset cluster field runs the identical legacy code path
+#: (the N=2 delegate is bit-identical by construction); any explicit
+#: value is hashed and therefore invalidates the key.
+_DEFAULT_SKIPPED_OPTION_FIELDS = frozenset({"cluster_policy", "cluster_threshold_db"})
+
+#: ``ScenarioSpec`` fields added after the ``repro.channels/v1`` salt,
+#: skipped at their historical default for the same reason: a 2-AP spec
+#: must keep its pre-N-cell channel key, while any other AP count is
+#: hashed (it changes both topology sampling and every engine result).
+_DEFAULT_SKIPPED_SPEC_FIELDS = {"n_aps": 2}
+
 
 def describe_value(value) -> str:
     """A stable, address-free description of one option value."""
@@ -145,6 +159,8 @@ def _update_digest_with_task(digest, task) -> None:
         if field.name == "backend" and value in (None, _REFERENCE_BACKEND):
             # Reference-backend runs keep their historical keys; see
             # _REFERENCE_BACKEND above.
+            continue
+        if field.name in _DEFAULT_SKIPPED_OPTION_FIELDS and value is None:
             continue
         digest.update(f"opt|{field.name}={describe_value(value)}".encode())
     digest.update(repr(task.imperfections).encode())
@@ -278,7 +294,10 @@ def fingerprint_channel_config(spec, config) -> str:
     for field in dataclasses.fields(spec):
         if field.name in CHANNEL_IRRELEVANT_SPEC_FIELDS:
             continue
-        digest.update(f"spec|{field.name}={describe_value(getattr(spec, field.name))}".encode())
+        value = getattr(spec, field.name)
+        if field.name in _DEFAULT_SKIPPED_SPEC_FIELDS and value == _DEFAULT_SKIPPED_SPEC_FIELDS[field.name]:
+            continue
+        digest.update(f"spec|{field.name}={describe_value(value)}".encode())
     for field in dataclasses.fields(config):
         if field.name in CHANNEL_IRRELEVANT_CONFIG_FIELDS:
             continue

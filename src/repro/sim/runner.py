@@ -71,6 +71,7 @@ import numpy as np
 
 from ..core import batch as batch_engine
 from ..core.mercury import mercury_allocate
+from ..core.ncell import GraphStrategyEngine
 from ..core.options import EngineOptions
 from ..core.strategy import StrategyEngine, StrategyOutcome
 from ..obs.collector import Collector, active
@@ -173,7 +174,17 @@ def evaluate_topology(task: TopologyTask) -> TaskResult:
     collector = Collector() if task.observe else None
     start = time.perf_counter()
     kwargs = task.options.engine_kwargs()
-    outcome = StrategyEngine(
+    cluster_kwargs = task.options.cluster_kwargs()
+    # N-AP topologies (or an explicit cluster policy) route through the
+    # interference-graph engine; plain 2-AP tasks keep the legacy engine,
+    # byte-for-byte.  The graph engine's single-cluster N=2 path delegates
+    # to StrategyEngine with the same RNG, so both spellings agree exactly.
+    if len(task.channels.topology.aps) != 2 or cluster_kwargs:
+        engine_cls: Callable = GraphStrategyEngine
+        kwargs = {**kwargs, **cluster_kwargs}
+    else:
+        engine_cls = StrategyEngine
+    outcome = engine_cls(
         task.channels,
         imperfections=task.imperfections,
         rng=np.random.default_rng(task.seed),
@@ -185,7 +196,7 @@ def evaluate_topology(task: TopologyTask) -> TaskResult:
     if task.include_copa_plus:
         plus_kwargs = dict(kwargs)
         plus_kwargs["allocator"] = mercury_allocate
-        plus_outcome = StrategyEngine(
+        plus_outcome = engine_cls(
             task.channels,
             imperfections=task.imperfections,
             rng=np.random.default_rng(task.seed),

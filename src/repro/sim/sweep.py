@@ -221,6 +221,7 @@ def sweep_interference(
                             spec.client_antennas,
                             interference_offset_db=float(offset),
                             include_copa_plus=spec.include_copa_plus,
+                            n_aps=spec.n_aps,
                         ),
                         config,
                         workers=workers,

@@ -195,6 +195,65 @@ class TestResultDeterminingFieldsIncluded:
         )
 
 
+class TestNCellSensitivity:
+    """N-cell knobs (PR-10) are result-determining — and only when set.
+
+    Cluster policy and AP count change which engine runs and what it
+    computes, so setting them must invalidate cache keys.  Their *unset*
+    defaults (``None`` options fields, ``n_aps=2``) must hash exactly as
+    before the fields existed, or every artifact cached by earlier
+    revisions would be silently orphaned — the pinned digests in
+    :class:`TestGoldenKeys` below enforce that half of the contract.
+    """
+
+    def test_cluster_policy_moves_the_task_key(self, tasks):
+        clustered = dataclasses.replace(
+            tasks[0], options=EngineOptions(cluster_policy="threshold")
+        )
+        assert fingerprint_task(clustered) != fingerprint_task(tasks[0])
+
+    def test_distinct_cluster_policies_get_distinct_keys(self, tasks):
+        keys = {
+            fingerprint_task(
+                dataclasses.replace(tasks[0], options=EngineOptions(cluster_policy=p))
+            )
+            for p in ("fixed", "threshold", "greedy")
+        }
+        assert len(keys) == 3
+
+    def test_cluster_threshold_moves_the_task_key(self, tasks):
+        base = dataclasses.replace(
+            tasks[0], options=EngineOptions(cluster_policy="threshold")
+        )
+        tightened = dataclasses.replace(
+            tasks[0],
+            options=EngineOptions(cluster_policy="threshold", cluster_threshold_db=-60.0),
+        )
+        assert fingerprint_task(tightened) != fingerprint_task(base)
+
+    def test_unset_cluster_fields_do_not_move_the_task_key(self, tasks):
+        explicit_none = dataclasses.replace(
+            tasks[0],
+            options=EngineOptions(cluster_policy=None, cluster_threshold_db=None),
+        )
+        assert fingerprint_task(explicit_none) == fingerprint_task(tasks[0])
+
+    def test_n_aps_moves_the_channel_config_key(self):
+        base = fingerprint_channel_config(SPEC, CONFIG)
+        four = dataclasses.replace(SPEC, n_aps=4)
+        assert fingerprint_channel_config(four, CONFIG) != base
+        six = dataclasses.replace(SPEC, n_aps=6)
+        assert fingerprint_channel_config(six, CONFIG) != fingerprint_channel_config(
+            four, CONFIG
+        )
+
+    def test_default_n_aps_does_not_move_the_channel_config_key(self):
+        explicit_default = dataclasses.replace(SPEC, n_aps=2)
+        assert fingerprint_channel_config(explicit_default, CONFIG) == (
+            fingerprint_channel_config(SPEC, CONFIG)
+        )
+
+
 class TestChannelConfigKey:
     """generate_channel_sets' cache key: realization inputs only."""
 
